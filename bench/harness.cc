@@ -1,0 +1,167 @@
+#include "bench/harness.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/memory_accounting.h"
+#include "common/stats.h"
+#include "common/wall_clock.h"
+
+namespace genealog::bench {
+
+BenchEnv ReadBenchEnv() {
+  BenchEnv env;
+  if (const char* reps = std::getenv("GENEALOG_BENCH_REPS")) {
+    env.reps = std::max(1, std::atoi(reps));
+  }
+  if (const char* scale = std::getenv("GENEALOG_BENCH_SCALE")) {
+    env.scale = std::max(0.05, std::atof(scale));
+  }
+  if (const char* replays = std::getenv("GENEALOG_BENCH_REPLAYS")) {
+    env.replays = std::max(1, std::atoi(replays));
+  }
+  return env;
+}
+
+LrWorkload MakeLrWorkload(double scale) {
+  lr::LinearRoadConfig config;
+  config.n_cars = std::max(4, static_cast<int>(200 * scale));
+  config.duration_s = 3600;
+  config.stop_probability = 0.002;
+  config.accident_probability = 0.01;
+  config.forced_accident_ticks = {15, 55, 95};
+  config.seed = 42;
+  LrWorkload w;
+  w.data = lr::GenerateLinearRoad(config);
+  w.span_s = config.duration_s;
+  w.bytes = SerializedBytes(w.data.reports);
+  return w;
+}
+
+SgWorkload MakeSgWorkload(double scale) {
+  sg::SmartGridConfig config;
+  config.n_meters = std::max(10, static_cast<int>(120 * scale));
+  config.n_days = 21;
+  config.blackout_probability = 0.1;
+  config.forced_blackout_days = {9};
+  config.blackout_meters = 8;
+  config.anomaly_probability = 0.002;
+  config.seed = 42;
+  SgWorkload w;
+  w.data = sg::GenerateSmartGrid(config);
+  w.span_hours = config.n_days * 24;
+  w.bytes = SerializedBytes(w.data.readings);
+  return w;
+}
+
+CellMetrics RunCell(const QueryFactory& factory) {
+  mem::ResetAll();
+  queries::BuiltQuery q = factory();
+
+  // Sample instances 1..3 every 2 ms while the query runs.
+  mem::MemorySampler sampler(/*n_instances=*/4, /*period_ms=*/2);
+  // Latency warm-up: skip the first 10% of wall-clock time, approximated by
+  // a short absolute warm-up (workloads here run a few seconds).
+  q.sink->set_record_after_ns(NowNanos() + 100'000'000);  // +100 ms
+
+  q.Run();
+  sampler.Stop();
+
+  CellMetrics cell;
+  cell.sink_tuples = q.sink->count();
+  const int64_t active_ns = q.source->active_ns();
+  if (active_ns > 0) {
+    cell.throughput_tps = static_cast<double>(q.source->tuples_processed()) /
+                          (static_cast<double>(active_ns) / 1e9);
+  }
+  cell.latency_ms = q.sink->latency_samples() > 0 ? q.sink->mean_latency_ms()
+                                                  : 0.0;
+
+  constexpr double kMb = 1024.0 * 1024.0;
+  for (int instance = 1; instance <= q.n_instances; ++instance) {
+    const auto series = sampler.series(instance);
+    cell.per_instance_avg_mb.push_back(series.avg_bytes / kMb);
+    cell.per_instance_max_mb.push_back(static_cast<double>(series.max_bytes) /
+                                       kMb);
+    cell.avg_mem_mb += series.avg_bytes / kMb;
+    cell.max_mem_mb += static_cast<double>(series.max_bytes) / kMb;
+  }
+
+  if (q.provenance_sink != nullptr) {
+    cell.provenance_records = q.provenance_sink->records();
+    cell.provenance_bytes = q.provenance_sink->bytes_written();
+    cell.mean_origins = q.provenance_sink->mean_origins_per_record();
+  }
+  if (q.baseline_resolver != nullptr) {
+    cell.provenance_records = q.baseline_resolver->records();
+    cell.provenance_bytes = q.baseline_resolver->bytes_written();
+    cell.mean_origins = q.baseline_resolver->mean_origins_per_record();
+  }
+  cell.network_bytes = q.network_bytes();
+  for (SuNode* su : q.su_nodes) {
+    cell.traversal_ms_by_instance.emplace_back(su->instance_id(),
+                                               su->mean_traversal_ms());
+    cell.graph_size_by_instance.emplace_back(su->instance_id(),
+                                             su->mean_graph_size());
+  }
+  return cell;
+}
+
+metrics::QueryVariantResult AggregateCell(const std::string& query,
+                                          const std::string& variant,
+                                          const QueryFactory& factory,
+                                          int reps, uint64_t source_bytes,
+                                          std::vector<CellMetrics>* raw) {
+  RunStats tput;
+  RunStats latency;
+  RunStats avg_mem;
+  RunStats max_mem;
+  RunStats records;
+  RunStats prov_bytes;
+  RunStats net_bytes;
+  std::vector<RunStats> per_instance_avg;
+  std::vector<RunStats> per_instance_max;
+
+  for (int rep = 0; rep < reps; ++rep) {
+    CellMetrics cell = RunCell(factory);
+    if (raw != nullptr) raw->push_back(cell);
+    tput.Add(cell.throughput_tps);
+    latency.Add(cell.latency_ms);
+    avg_mem.Add(cell.avg_mem_mb);
+    max_mem.Add(cell.max_mem_mb);
+    records.Add(static_cast<double>(cell.provenance_records));
+    prov_bytes.Add(static_cast<double>(cell.provenance_bytes));
+    net_bytes.Add(static_cast<double>(cell.network_bytes));
+    per_instance_avg.resize(
+        std::max(per_instance_avg.size(), cell.per_instance_avg_mb.size()));
+    per_instance_max.resize(
+        std::max(per_instance_max.size(), cell.per_instance_max_mb.size()));
+    for (size_t i = 0; i < cell.per_instance_avg_mb.size(); ++i) {
+      per_instance_avg[i].Add(cell.per_instance_avg_mb[i]);
+      per_instance_max[i].Add(cell.per_instance_max_mb[i]);
+    }
+  }
+
+  auto ToCell = [](const RunStats& s) {
+    return metrics::CellStats{s.mean(), s.ci95(), static_cast<int>(s.count())};
+  };
+  metrics::QueryVariantResult row;
+  row.query = query;
+  row.variant = variant;
+  row.throughput_tps = ToCell(tput);
+  row.latency_ms = ToCell(latency);
+  row.avg_mem_mb = ToCell(avg_mem);
+  row.max_mem_mb = ToCell(max_mem);
+  row.provenance_records = ToCell(records);
+  row.provenance_bytes = ToCell(prov_bytes);
+  row.network_bytes = ToCell(net_bytes);
+  row.source_bytes =
+      metrics::CellStats{static_cast<double>(source_bytes), 0, 1};
+  for (const auto& s : per_instance_avg) row.per_instance_avg_mem_mb.push_back(ToCell(s));
+  for (const auto& s : per_instance_max) row.per_instance_max_mem_mb.push_back(ToCell(s));
+  return row;
+}
+
+const char* VariantName(ProvenanceMode mode) { return ToString(mode); }
+
+}  // namespace genealog::bench

@@ -1,0 +1,97 @@
+// Shared benchmark harness: runs one (query, variant, deployment) cell with
+// repetitions and collects the paper's metrics — throughput, latency, per-
+// instance memory, provenance volume, network volume, traversal cost.
+//
+// Environment knobs:
+//   GENEALOG_BENCH_REPS     repetitions per cell (default 3)
+//   GENEALOG_BENCH_SCALE    workload scale multiplier (default 1.0)
+//   GENEALOG_BENCH_REPLAYS  dataset replays per run (default 20) — each run
+//                           streams replays × dataset tuples, giving seconds
+//                           of steady state per measurement
+#ifndef GENEALOG_BENCH_HARNESS_H_
+#define GENEALOG_BENCH_HARNESS_H_
+
+#include <string>
+#include <vector>
+
+#include "metrics/report.h"
+#include "queries/queries.h"
+
+namespace genealog::bench {
+
+struct BenchEnv {
+  int reps = 3;
+  double scale = 1.0;
+  int replays = 12;
+};
+BenchEnv ReadBenchEnv();
+
+// A bench workload: the dataset plus its logical time span (the ts shift
+// applied per replay) and serialized volume.
+struct LrWorkload {
+  lr::LinearRoadData data;
+  int64_t span_s = 0;
+  uint64_t bytes = 0;  // serialized volume of one replay
+};
+struct SgWorkload {
+  sg::SmartGridData data;
+  int64_t span_hours = 0;
+  uint64_t bytes = 0;
+};
+
+LrWorkload MakeLrWorkload(double scale);
+SgWorkload MakeSgWorkload(double scale);
+
+// Applies the replay settings to a query's source options.
+inline void ApplyReplays(queries::QueryBuildOptions& options, int replays,
+                         int64_t span) {
+  options.source.replays = replays;
+  options.source.replay_ts_shift = span;
+}
+
+// Serialized volume of the source dataset (for the provenance-volume ratio).
+template <typename T>
+uint64_t SerializedBytes(const std::vector<IntrusivePtr<T>>& data) {
+  ByteWriter w;
+  uint64_t total = 0;
+  for (const auto& t : data) {
+    w.Clear();
+    SerializeTuple(*t, w);
+    total += w.size();
+  }
+  return total;
+}
+
+struct CellMetrics {
+  double throughput_tps = 0;
+  double latency_ms = 0;
+  double avg_mem_mb = 0;   // sum over instances
+  double max_mem_mb = 0;
+  std::vector<double> per_instance_avg_mb;
+  std::vector<double> per_instance_max_mb;
+  uint64_t sink_tuples = 0;
+  uint64_t provenance_records = 0;
+  uint64_t provenance_bytes = 0;
+  double mean_origins = 0;
+  uint64_t network_bytes = 0;
+  // Traversal stats per SU, keyed by instance id (Figure 14).
+  std::vector<std::pair<int, double>> traversal_ms_by_instance;
+  std::vector<std::pair<int, double>> graph_size_by_instance;
+};
+
+// One full run of a built query; the builder is invoked fresh per call.
+using QueryFactory = std::function<queries::BuiltQuery()>;
+CellMetrics RunCell(const QueryFactory& factory);
+
+// Repetition + aggregation into a table row.
+metrics::QueryVariantResult AggregateCell(const std::string& query,
+                                          const std::string& variant,
+                                          const QueryFactory& factory,
+                                          int reps, uint64_t source_bytes,
+                                          std::vector<CellMetrics>* raw = nullptr);
+
+const char* VariantName(ProvenanceMode mode);
+
+}  // namespace genealog::bench
+
+#endif  // GENEALOG_BENCH_HARNESS_H_

@@ -1,0 +1,196 @@
+// Micro-benchmarks (google-benchmark) for GeneaLog's primitive costs:
+// meta-attribute instrumentation, contribution-graph traversal by size and
+// shape, GL pointer-setting vs BL annotation-union, cascade reclamation,
+// tuple cloning and serialization.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/instrumentation.h"
+#include "core/type_registry.h"
+#include "genealog/traversal.h"
+#include "lr/linear_road.h"
+
+namespace genealog {
+namespace {
+
+using lr::PositionReport;
+
+IntrusivePtr<PositionReport> Report(int64_t ts) {
+  return MakeTuple<PositionReport>(ts, /*car_id=*/7, /*speed=*/0.0,
+                                   /*pos=*/1234);
+}
+
+// Builds an AGGREGATE contribution graph with `n` source tuples.
+TuplePtr AggregateGraph(int n) {
+  std::vector<IntrusivePtr<PositionReport>> window;
+  window.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) window.push_back(Report(i));
+  auto out = Report(0);
+  InstrumentAggregate(ProvenanceMode::kGenealog, *out,
+                      std::span<const IntrusivePtr<PositionReport>>(window));
+  return out;
+}
+
+// Builds a binary JOIN tree of depth d over 2^d source tuples.
+TuplePtr JoinTree(int depth) {
+  std::vector<TuplePtr> layer;
+  for (int i = 0; i < (1 << depth); ++i) layer.push_back(Report(i));
+  while (layer.size() > 1) {
+    std::vector<TuplePtr> next;
+    for (size_t i = 0; i + 1 < layer.size(); i += 2) {
+      auto join = Report(layer[i + 1]->ts);
+      InstrumentJoin(ProvenanceMode::kGenealog, *join, *layer[i + 1],
+                     *layer[i]);
+      next.push_back(join);
+    }
+    layer = std::move(next);
+  }
+  return layer.front();
+}
+
+void BM_InstrumentSource(benchmark::State& state) {
+  auto t = Report(1);
+  for (auto _ : state) {
+    InstrumentSource(ProvenanceMode::kGenealog, *t);
+    benchmark::DoNotOptimize(t.get());
+  }
+}
+BENCHMARK(BM_InstrumentSource);
+
+void BM_InstrumentUnary_GL(benchmark::State& state) {
+  auto in = Report(1);
+  for (auto _ : state) {
+    auto out = Report(1);
+    InstrumentUnary(ProvenanceMode::kGenealog, *out, TupleKind::kMap, *in);
+    benchmark::DoNotOptimize(out.get());
+  }
+}
+BENCHMARK(BM_InstrumentUnary_GL);
+
+void BM_InstrumentAggregate_GL(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::vector<IntrusivePtr<PositionReport>> window;
+  for (int i = 0; i < n; ++i) window.push_back(Report(i));
+  for (auto _ : state) {
+    auto out = Report(0);
+    InstrumentAggregate(ProvenanceMode::kGenealog, *out,
+                        std::span<const IntrusivePtr<PositionReport>>(window));
+    benchmark::DoNotOptimize(out.get());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_InstrumentAggregate_GL)->Arg(4)->Arg(24)->Arg(192)->Arg(1024);
+
+// The BL contrast: annotation union over the same window sizes.
+void BM_InstrumentAggregate_BL(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::vector<IntrusivePtr<PositionReport>> window;
+  for (int i = 0; i < n; ++i) {
+    window.push_back(Report(i));
+    window.back()->id = static_cast<uint64_t>(i);
+    InstrumentSource(ProvenanceMode::kBaseline, *window.back());
+  }
+  for (auto _ : state) {
+    auto out = Report(0);
+    InstrumentAggregate(ProvenanceMode::kBaseline, *out,
+                        std::span<const IntrusivePtr<PositionReport>>(window));
+    benchmark::DoNotOptimize(out.get());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_InstrumentAggregate_BL)->Arg(4)->Arg(24)->Arg(192)->Arg(1024);
+
+void BM_TraversalAggregate(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  TuplePtr root = AggregateGraph(n);
+  TraversalScratch scratch;
+  std::vector<Tuple*> result;
+  for (auto _ : state) {
+    result.clear();
+    FindProvenance(root.get(), result, scratch);
+    benchmark::DoNotOptimize(result.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_TraversalAggregate)->Arg(4)->Arg(8)->Arg(24)->Arg(192)->Arg(2048);
+
+void BM_TraversalJoinTree(benchmark::State& state) {
+  const int depth = static_cast<int>(state.range(0));
+  TuplePtr root = JoinTree(depth);
+  TraversalScratch scratch;
+  std::vector<Tuple*> result;
+  for (auto _ : state) {
+    result.clear();
+    FindProvenance(root.get(), result, scratch);
+    benchmark::DoNotOptimize(result.data());
+  }
+  state.SetItemsProcessed(state.iterations() * (1 << depth));
+}
+BENCHMARK(BM_TraversalJoinTree)->Arg(3)->Arg(6)->Arg(10);
+
+void BM_CascadeReclamation(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    TuplePtr root = AggregateGraph(n);
+    state.ResumeTiming();
+    root.reset();  // reclaims the n-tuple graph iteratively
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_CascadeReclamation)->Arg(24)->Arg(192)->Arg(2048);
+
+void BM_CloneTuple(benchmark::State& state) {
+  auto t = Report(1);
+  for (auto _ : state) {
+    TuplePtr copy = t->CloneTuple();
+    benchmark::DoNotOptimize(copy.get());
+  }
+}
+BENCHMARK(BM_CloneTuple);
+
+void BM_SerializeTuple(benchmark::State& state) {
+  auto t = Report(1);
+  ByteWriter w;
+  for (auto _ : state) {
+    w.Clear();
+    SerializeTuple(*t, w);
+    benchmark::DoNotOptimize(w.bytes().data());
+  }
+  state.SetBytesProcessed(state.iterations() * 45);
+}
+BENCHMARK(BM_SerializeTuple);
+
+void BM_DeserializeTuple(benchmark::State& state) {
+  auto t = Report(1);
+  ByteWriter w;
+  SerializeTuple(*t, w);
+  for (auto _ : state) {
+    ByteReader r(w.bytes());
+    TuplePtr back = DeserializeTuple(r);
+    benchmark::DoNotOptimize(back.get());
+  }
+}
+BENCHMARK(BM_DeserializeTuple);
+
+void BM_AnnotationMerge(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::vector<uint64_t> a;
+  std::vector<uint64_t> b;
+  for (int i = 0; i < n; ++i) {
+    a.push_back(static_cast<uint64_t>(2 * i));
+    b.push_back(static_cast<uint64_t>(2 * i + 1));
+  }
+  for (auto _ : state) {
+    auto merged = MergeAnnotations(&a, &b);
+    benchmark::DoNotOptimize(merged.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n);
+}
+BENCHMARK(BM_AnnotationMerge)->Arg(4)->Arg(96)->Arg(1024);
+
+}  // namespace
+}  // namespace genealog
+
+BENCHMARK_MAIN();

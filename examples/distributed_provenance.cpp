@@ -1,0 +1,66 @@
+// Inter-process provenance (§6): the broken-down-car query (Q1) deployed on
+// three SPE instances as in Figure 7 —
+//
+//   instance 1: Source -> Filter -> SU -> Send          (edge node A)
+//   instance 2: Receive -> Aggregate -> Filter -> SU -> Sink   (edge node B)
+//   instance 3: MU -> provenance sink K2                (provenance node)
+//
+// connected by real TCP loopback channels. Tuples are serialized across every
+// boundary; the MU stitches the contribution graphs back together from the
+// unfolded delivering streams, by joining on tuple ids.
+//
+//   $ ./build/examples/distributed_provenance
+#include <cstdio>
+
+#include "queries/queries.h"
+
+using namespace genealog;
+
+int main() {
+  lr::LinearRoadConfig config;
+  config.n_cars = 60;
+  config.duration_s = 3600;
+  config.stop_probability = 0.008;
+  config.accident_probability = 0.02;
+  config.seed = 99;
+  lr::LinearRoadData data = lr::GenerateLinearRoad(config);
+  std::printf("generated %zu position reports\n\n", data.reports.size());
+
+  queries::QueryBuildOptions options;
+  options.mode = ProvenanceMode::kGenealog;
+  options.distributed = true;
+  options.use_tcp = true;  // three instances talk over real sockets
+  options.sink_consumer = [](const TuplePtr& alert) {
+    const auto& stats = static_cast<const lr::StoppedCarStats&>(*alert);
+    std::printf("[instance 2] STOPPED CAR car=%lld window=%lld pos=%lld\n",
+                static_cast<long long>(stats.car_id),
+                static_cast<long long>(alert->ts),
+                static_cast<long long>(stats.last_pos));
+  };
+  options.provenance_consumer = [](const ProvenanceRecord& record) {
+    std::printf("[instance 3] provenance of alert@%lld: %zu reports:",
+                static_cast<long long>(record.derived_ts),
+                record.origins.size());
+    for (const TuplePtr& origin : record.origins) {
+      std::printf(" ts=%lld", static_cast<long long>(origin->ts));
+    }
+    std::printf("\n");
+  };
+
+  queries::BuiltQuery query = queries::BuildQ1(data, std::move(options));
+  std::printf("deployed %d SPE instances, %zu TCP channels\n\n",
+              query.n_instances, query.channels.size() / 2);
+  query.Run();
+
+  std::printf("\nnetwork: %llu bytes crossed instance boundaries\n",
+              static_cast<unsigned long long>(query.network_bytes()));
+  std::printf("provenance records at instance 3: %llu (avg %.1f sources)\n",
+              static_cast<unsigned long long>(query.provenance_sink->records()),
+              query.provenance_sink->mean_origins_per_record());
+  for (SuNode* su : query.su_nodes) {
+    std::printf("SU '%s' (instance %d): %.4f ms avg traversal, %.1f avg graph\n",
+                su->name().c_str(), su->instance_id(), su->mean_traversal_ms(),
+                su->mean_graph_size());
+  }
+  return 0;
+}

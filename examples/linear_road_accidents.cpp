@@ -1,0 +1,60 @@
+// Linear Road accident detection (the paper's Q2, Figure 9) with
+// fine-grained provenance: every accident alert is traced back to the
+// position reports of the cars involved.
+//
+//   $ ./build/examples/linear_road_accidents [n_cars] [duration_s]
+#include <cstdio>
+#include <cstdlib>
+
+#include "queries/queries.h"
+
+using namespace genealog;
+
+int main(int argc, char** argv) {
+  lr::LinearRoadConfig config;
+  config.n_cars = argc > 1 ? std::atoi(argv[1]) : 80;
+  config.duration_s = argc > 2 ? std::atol(argv[2]) : 3600;
+  config.stop_probability = 0.01;
+  config.accident_probability = 0.05;
+  config.seed = 2024;
+
+  std::printf("Simulating %d cars for %lld s (position report every %lld s)\n",
+              config.n_cars, static_cast<long long>(config.duration_s),
+              static_cast<long long>(config.report_period_s));
+  lr::LinearRoadData data = lr::GenerateLinearRoad(config);
+  std::printf("generated %zu position reports, %zu planted breakdowns\n\n",
+              data.reports.size(), data.planted_stops.size());
+
+  queries::QueryBuildOptions options;
+  options.mode = ProvenanceMode::kGenealog;
+  options.sink_consumer = [](const TuplePtr& alert) {
+    const auto& stats = static_cast<const lr::AccidentStats&>(*alert);
+    std::printf("ACCIDENT window=%lld..%lld position=%lld stopped_cars=%lld\n",
+                static_cast<long long>(alert->ts),
+                static_cast<long long>(alert->ts + queries::kQ2WindowSize),
+                static_cast<long long>(stats.pos),
+                static_cast<long long>(stats.count));
+  };
+  options.provenance_consumer = [](const ProvenanceRecord& record) {
+    std::printf("  provenance (%zu position reports):\n",
+                record.origins.size());
+    for (const TuplePtr& origin : record.origins) {
+      const auto& report = static_cast<const lr::PositionReport&>(*origin);
+      std::printf("    ts=%-6lld car=%-3lld speed=%.0f pos=%lld\n",
+                  static_cast<long long>(origin->ts),
+                  static_cast<long long>(report.car_id), report.speed,
+                  static_cast<long long>(report.pos));
+    }
+  };
+
+  queries::BuiltQuery query = queries::BuildQ2(data, std::move(options));
+  query.Run();
+
+  std::printf("\nprocessed %llu reports, %llu accident alerts, "
+              "%llu provenance records (avg %.1f reports per alert)\n",
+              static_cast<unsigned long long>(query.source->tuples_processed()),
+              static_cast<unsigned long long>(query.sink->count()),
+              static_cast<unsigned long long>(query.provenance_sink->records()),
+              query.provenance_sink->mean_origins_per_record());
+  return 0;
+}

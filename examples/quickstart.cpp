@@ -1,0 +1,146 @@
+// Quickstart: build a small instrumented query, run it, and trace each alert
+// back to the exact source tuples that caused it.
+//
+// The query watches a stream of temperature readings and raises an alert
+// when a sensor's 60-second window average exceeds a threshold; GeneaLog
+// tells us *which readings* pushed the average over.
+//
+//   $ ./build/examples/quickstart
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/tuple_crtp.h"
+#include "genealog/provenance_sink.h"
+#include "genealog/su.h"
+#include "spe/aggregate.h"
+#include "spe/sink.h"
+#include "spe/source.h"
+#include "spe/stateless.h"
+#include "spe/topology.h"
+
+namespace {
+
+using namespace genealog;
+
+// 1. Define a schema: a tuple type with payload, serialization and debug
+//    printing. The CRTP base supplies cloning, type tags and accounting.
+struct Reading final : TupleCrtp<Reading, 0x100> {
+  static constexpr const char* kTypeName = "quickstart.Reading";
+
+  Reading(int64_t ts, int64_t sensor, double celsius)
+      : TupleCrtp(ts), sensor(sensor), celsius(celsius) {}
+
+  int64_t sensor;
+  double celsius;
+
+  const char* type_name() const override { return kTypeName; }
+  void SerializePayload(ByteWriter& w) const override {
+    w.PutI64(sensor);
+    w.PutDouble(celsius);
+  }
+  static TuplePtr Deserialize(ByteReader& r, int64_t ts) {
+    const int64_t sensor = r.GetI64();
+    const double celsius = r.GetDouble();
+    return MakeTuple<Reading>(ts, sensor, celsius);
+  }
+  std::string DebugPayload() const override {
+    return "sensor=" + std::to_string(sensor) +
+           " celsius=" + std::to_string(celsius);
+  }
+};
+GENEALOG_REGISTER_TUPLE(Reading);
+
+struct WindowAverage final : TupleCrtp<WindowAverage, 0x101> {
+  static constexpr const char* kTypeName = "quickstart.WindowAverage";
+
+  WindowAverage(int64_t ts, int64_t sensor, double avg)
+      : TupleCrtp(ts), sensor(sensor), avg(avg) {}
+
+  int64_t sensor;
+  double avg;
+
+  const char* type_name() const override { return kTypeName; }
+  void SerializePayload(ByteWriter& w) const override {
+    w.PutI64(sensor);
+    w.PutDouble(avg);
+  }
+  static TuplePtr Deserialize(ByteReader& r, int64_t ts) {
+    const int64_t sensor = r.GetI64();
+    const double avg = r.GetDouble();
+    return MakeTuple<WindowAverage>(ts, sensor, avg);
+  }
+  std::string DebugPayload() const override {
+    return "sensor=" + std::to_string(sensor) + " avg=" + std::to_string(avg);
+  }
+};
+GENEALOG_REGISTER_TUPLE(WindowAverage);
+
+std::vector<IntrusivePtr<Reading>> MakeReadings() {
+  std::vector<IntrusivePtr<Reading>> readings;
+  // Sensor 1 is fine; sensor 2 overheats around ts 60..120.
+  for (int64_t ts = 0; ts <= 180; ts += 15) {
+    readings.push_back(MakeTuple<Reading>(ts, 1, 21.0 + (ts % 30) * 0.1));
+    const bool hot = ts >= 60 && ts <= 120;
+    readings.push_back(MakeTuple<Reading>(ts, 2, hot ? 93.0 : 24.0));
+  }
+  return readings;
+}
+
+}  // namespace
+
+int main() {
+  // 2. Build the query. The Topology's ProvenanceMode turns the standard
+  //    operators into their GeneaLog-instrumented versions.
+  Topology topo(/*instance_id=*/1, ProvenanceMode::kGenealog);
+
+  auto* source = topo.Add<VectorSourceNode<Reading>>("readings", MakeReadings());
+
+  auto* averages = topo.Add<AggregateNode<Reading, WindowAverage>>(
+      "window_avg",
+      AggregateOptions{/*ws=*/60, /*wa=*/30,
+                       WindowBounds::kLeftClosedRightOpen,
+                       EmitAt::kWindowStart},
+      [](const Reading& r) { return r.sensor; },
+      [](const WindowView<Reading, int64_t>& w) {
+        double sum = 0;
+        for (const auto& r : w.tuples) sum += r->celsius;
+        return MakeTuple<WindowAverage>(
+            0, w.key, sum / static_cast<double>(w.tuples.size()));
+      });
+
+  auto* alerts = topo.Add<FilterNode<WindowAverage>>(
+      "overheat", [](const WindowAverage& a) { return a.avg > 80.0; });
+
+  // 3. Provenance: one SU before the sink (Theorem 5.3). SO feeds the normal
+  //    sink; U feeds a provenance sink that regroups per alert.
+  auto* su = topo.Add<SuNode>("SU");
+  auto* sink = topo.Add<SinkNode>("alerts", [](const TuplePtr& t) {
+    std::printf("ALERT  ts=%-4lld %s\n", static_cast<long long>(t->ts),
+                t->DebugPayload().c_str());
+  });
+  ProvenanceSinkOptions pso;
+  pso.consumer = [](const ProvenanceRecord& record) {
+    std::printf("  caused by %zu readings:\n", record.origins.size());
+    for (const TuplePtr& origin : record.origins) {
+      std::printf("    ts=%-4lld %s\n", static_cast<long long>(origin->ts),
+                  origin->DebugPayload().c_str());
+    }
+  };
+  auto* provenance = topo.Add<ProvenanceSinkNode>("provenance", pso);
+
+  topo.Connect(source, averages);
+  topo.Connect(averages, alerts);
+  topo.Connect(alerts, su);
+  topo.Connect(su, sink);        // SU output 0: the unchanged sink stream
+  topo.Connect(su, provenance);  // SU output 1: the unfolded stream
+
+  // 4. Run to completion (one thread per operator, deterministic merges).
+  RunToCompletion(topo);
+
+  std::printf(
+      "\nEach alert above lists its fine-grained provenance: the exact\n"
+      "source readings in the window that produced it. Memory for all other\n"
+      "readings was reclaimed as soon as they stopped contributing.\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Smart-grid blackout detection (the paper's Q3, Figure 10) with
+// fine-grained provenance: each blackout alert lists the zero-consumption
+// readings of every affected meter — the paper's flagship "large
+// contribution graph" query (8 meters x 24 hourly readings = 192 source
+// tuples per alert).
+//
+//   $ ./build/examples/smartgrid_blackout [n_meters] [n_days]
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+#include "queries/queries.h"
+
+using namespace genealog;
+
+int main(int argc, char** argv) {
+  sg::SmartGridConfig config;
+  config.n_meters = argc > 1 ? std::atoi(argv[1]) : 60;
+  config.n_days = argc > 2 ? std::atoi(argv[2]) : 14;
+  config.blackout_probability = 0.1;
+  config.forced_blackout_days = {3, 10};
+  config.blackout_meters = 8;
+  config.seed = 7;
+
+  std::printf("Simulating %d meters for %d days (hourly readings)\n",
+              config.n_meters, config.n_days);
+  sg::SmartGridData data = sg::GenerateSmartGrid(config);
+  std::printf("generated %zu readings; blackout days:", data.readings.size());
+  for (int64_t day : data.blackout_days) {
+    std::printf(" %lld", static_cast<long long>(day));
+  }
+  std::printf("\n\n");
+
+  queries::QueryBuildOptions options;
+  options.mode = ProvenanceMode::kGenealog;
+  options.sink_consumer = [](const TuplePtr& alert) {
+    const auto& count = static_cast<const sg::ZeroDayCount&>(*alert);
+    std::printf("BLACKOUT day=%lld meters_with_zero_consumption=%lld\n",
+                static_cast<long long>(alert->ts / 24 - 1),
+                static_cast<long long>(count.count));
+  };
+  options.provenance_consumer = [](const ProvenanceRecord& record) {
+    // 192 readings is a lot to print; summarize per meter.
+    std::map<int64_t, int> readings_per_meter;
+    for (const TuplePtr& origin : record.origins) {
+      ++readings_per_meter[static_cast<const sg::MeterReading&>(*origin)
+                               .meter_id];
+    }
+    std::printf("  provenance: %zu source readings across %zu meters (",
+                record.origins.size(), readings_per_meter.size());
+    bool first = true;
+    for (const auto& [meter, n] : readings_per_meter) {
+      std::printf("%sm%lld:%d", first ? "" : " ",
+                  static_cast<long long>(meter), n);
+      first = false;
+    }
+    std::printf(")\n");
+  };
+
+  queries::BuiltQuery query = queries::BuildQ3(data, std::move(options));
+  query.Run();
+
+  std::printf("\nprocessed %llu readings, %llu alerts, avg contribution "
+              "graph %.0f tuples\n",
+              static_cast<unsigned long long>(query.source->tuples_processed()),
+              static_cast<unsigned long long>(query.sink->count()),
+              query.provenance_sink->mean_origins_per_record());
+  return 0;
+}

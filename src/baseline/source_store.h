@@ -1,0 +1,55 @@
+// Temporary store of source tuples for the Ariadne-style baseline (§7, [16]).
+//
+// BL annotates tuples with variable-length id lists and must keep the source
+// streams around until annotated sink tuples are joined against them — the
+// storage behaviour whose cost the paper contrasts with GeneaLog's
+// reachability-based reclamation. The store is unbounded by default (the
+// paper's observed behaviour); an optional event-time eviction horizon is
+// provided for the ablation bench.
+#ifndef GENEALOG_BASELINE_SOURCE_STORE_H_
+#define GENEALOG_BASELINE_SOURCE_STORE_H_
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <utility>
+
+#include "core/tuple.h"
+
+namespace genealog {
+
+class BaselineSourceStore {
+ public:
+  void Insert(TuplePtr t) {
+    const uint64_t id = t->id;
+    order_.emplace_back(t->ts, id);
+    by_id_.emplace(id, std::move(t));
+    if (by_id_.size() > peak_size_) peak_size_ = by_id_.size();
+  }
+
+  // Null if the id was never stored or was already evicted.
+  TuplePtr Lookup(uint64_t id) const {
+    auto it = by_id_.find(id);
+    return it == by_id_.end() ? TuplePtr() : it->second;
+  }
+
+  // Drops tuples with ts < horizon (insertion is in ts order).
+  void EvictBefore(int64_t horizon_ts) {
+    while (!order_.empty() && order_.front().first < horizon_ts) {
+      by_id_.erase(order_.front().second);
+      order_.pop_front();
+    }
+  }
+
+  size_t size() const { return by_id_.size(); }
+  size_t peak_size() const { return peak_size_; }
+
+ private:
+  std::unordered_map<uint64_t, TuplePtr> by_id_;
+  std::deque<std::pair<int64_t, uint64_t>> order_;
+  size_t peak_size_ = 0;
+};
+
+}  // namespace genealog
+
+#endif  // GENEALOG_BASELINE_SOURCE_STORE_H_

@@ -1,0 +1,116 @@
+// Bounded blocking queue used as the stream between two operator threads.
+//
+// Streams in the topology are single-producer/single-consumer; a plain
+// mutex+condvar queue is simple, safe, and fast enough (the reproduced system,
+// Liebre, also uses simple blocking queues between operator threads).
+// Back-pressure is provided by the capacity bound: producers block when a
+// downstream operator is slower.
+#ifndef GENEALOG_COMMON_BOUNDED_QUEUE_H_
+#define GENEALOG_COMMON_BOUNDED_QUEUE_H_
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace genealog {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(size_t capacity) : capacity_(capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  // Blocks while full. Returns false if the queue was aborted.
+  bool Push(T item) {
+    std::unique_lock lock(mu_);
+    not_full_.wait(lock, [&] { return items_.size() < capacity_ || aborted_; });
+    if (aborted_) return false;
+    items_.push_back(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  // Push with coalescing: if `try_merge(tail, item)` absorbs the new item
+  // into the current tail, no slot is consumed (and a full queue does not
+  // block). Streams use this to collapse consecutive watermarks, which
+  // otherwise dominate queue traffic at high fan-out.
+  template <typename Merge>
+  bool PushCoalesce(T item, Merge&& try_merge) {
+    std::unique_lock lock(mu_);
+    if (aborted_) return false;
+    if (!items_.empty() && try_merge(items_.back(), item)) {
+      lock.unlock();
+      not_empty_.notify_one();
+      return true;
+    }
+    not_full_.wait(lock, [&] { return items_.size() < capacity_ || aborted_; });
+    if (aborted_) return false;
+    if (!items_.empty() && try_merge(items_.back(), item)) {
+      lock.unlock();
+      not_empty_.notify_one();
+      return true;
+    }
+    items_.push_back(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  // Blocks while empty. Returns nullopt once aborted and drained.
+  std::optional<T> Pop() {
+    std::unique_lock lock(mu_);
+    not_empty_.wait(lock, [&] { return !items_.empty() || aborted_; });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  // Non-blocking pop, for draining in tests.
+  std::optional<T> TryPop() {
+    std::unique_lock lock(mu_);
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  // Wakes all waiters; subsequent Push fails, Pop drains remaining items then
+  // reports end. Used to tear a topology down on error.
+  void Abort() {
+    {
+      std::lock_guard lock(mu_);
+      aborted_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  size_t Size() const {
+    std::lock_guard lock(mu_);
+    return items_.size();
+  }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  bool aborted_ = false;
+};
+
+}  // namespace genealog
+
+#endif  // GENEALOG_COMMON_BOUNDED_QUEUE_H_

@@ -1,0 +1,36 @@
+// Integer helpers for window arithmetic with negative-safe semantics.
+#ifndef GENEALOG_COMMON_INT_MATH_H_
+#define GENEALOG_COMMON_INT_MATH_H_
+
+#include <cstdint>
+
+namespace genealog {
+
+// Floor division (rounds toward negative infinity). Requires d > 0.
+constexpr int64_t FloorDiv(int64_t n, int64_t d) {
+  int64_t q = n / d;
+  if ((n % d != 0) && ((n < 0) != (d < 0))) --q;
+  return q;
+}
+
+// Largest multiple of `step` that is <= x. Requires step > 0.
+constexpr int64_t FloorAlign(int64_t x, int64_t step) {
+  return FloorDiv(x, step) * step;
+}
+
+// Saturating subtraction for watermark arithmetic around INT64_MIN/MAX.
+constexpr int64_t SatSub(int64_t a, int64_t b) {
+  if (b > 0 && a < INT64_MIN + b) return INT64_MIN;
+  if (b < 0 && a > INT64_MAX + b) return INT64_MAX;
+  return a - b;
+}
+
+constexpr int64_t SatAdd(int64_t a, int64_t b) {
+  if (b > 0 && a > INT64_MAX - b) return INT64_MAX;
+  if (b < 0 && a < INT64_MIN - b) return INT64_MIN;
+  return a + b;
+}
+
+}  // namespace genealog
+
+#endif  // GENEALOG_COMMON_INT_MATH_H_

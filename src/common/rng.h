@@ -1,0 +1,45 @@
+// Deterministic, seedable random number generation for workload synthesis.
+//
+// All workload generators must be reproducible run-to-run (the determinism
+// tests compare distributed vs. intra-process outputs tuple-by-tuple), so we
+// use an explicit SplitMix64 engine instead of std::random_device-seeded
+// facilities, and define our own distributions to be independent of the
+// standard library implementation.
+#ifndef GENEALOG_COMMON_RNG_H_
+#define GENEALOG_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace genealog {
+
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+    return lo + static_cast<int64_t>(Next() % span);
+  }
+
+  // Uniform double in [0, 1).
+  double UniformDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  bool Bernoulli(double p) { return UniformDouble() < p; }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace genealog
+
+#endif  // GENEALOG_COMMON_RNG_H_

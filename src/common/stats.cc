@@ -1,0 +1,78 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace genealog {
+
+void RunStats::Add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  sum_sq_ += x * x;
+}
+
+double RunStats::mean() const { return n_ == 0 ? 0.0 : sum_ / static_cast<double>(n_); }
+
+double RunStats::variance() const {
+  if (n_ < 2) return 0.0;
+  const double n = static_cast<double>(n_);
+  const double var = (sum_sq_ - sum_ * sum_ / n) / (n - 1);
+  return var > 0 ? var : 0.0;
+}
+
+double RunStats::stddev() const { return std::sqrt(variance()); }
+
+double RunStats::ci95() const {
+  if (n_ < 2) return 0.0;
+  return 1.96 * stddev() / std::sqrt(static_cast<double>(n_));
+}
+
+double Percentile(std::vector<double> samples, double pct) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  const double rank = pct / 100.0 * static_cast<double>(samples.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, samples.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return samples[lo] * (1.0 - frac) + samples[hi] * frac;
+}
+
+SampleStats::SampleStats(size_t reservoir_capacity)
+    : capacity_(reservoir_capacity), rng_state_(0x9e3779b97f4a7c15ULL) {
+  reservoir_.reserve(std::min<size_t>(capacity_, 4096));
+}
+
+void SampleStats::Add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  if (reservoir_.size() < capacity_) {
+    reservoir_.push_back(x);
+  } else {
+    // Algorithm R: replace a random slot with probability capacity/n.
+    rng_state_ ^= rng_state_ << 13;
+    rng_state_ ^= rng_state_ >> 7;
+    rng_state_ ^= rng_state_ << 17;
+    const uint64_t slot = rng_state_ % n_;
+    if (slot < capacity_) reservoir_[slot] = x;
+  }
+}
+
+double SampleStats::mean() const { return n_ == 0 ? 0.0 : sum_ / static_cast<double>(n_); }
+
+double SampleStats::percentile(double pct) const {
+  return Percentile(reservoir_, pct);
+}
+
+}  // namespace genealog

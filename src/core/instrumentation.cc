@@ -1,0 +1,30 @@
+#include "core/instrumentation.h"
+
+#include <algorithm>
+
+namespace genealog {
+
+const char* ToString(ProvenanceMode mode) {
+  switch (mode) {
+    case ProvenanceMode::kNone:
+      return "NP";
+    case ProvenanceMode::kGenealog:
+      return "GL";
+    case ProvenanceMode::kBaseline:
+      return "BL";
+  }
+  return "?";
+}
+
+std::vector<uint64_t> MergeAnnotations(const std::vector<uint64_t>* a,
+                                       const std::vector<uint64_t>* b) {
+  if (a == nullptr || a->empty()) return b != nullptr ? *b : std::vector<uint64_t>{};
+  if (b == nullptr || b->empty()) return *a;
+  std::vector<uint64_t> out;
+  out.reserve(a->size() + b->size());
+  std::set_union(a->begin(), a->end(), b->begin(), b->end(),
+                 std::back_inserter(out));
+  return out;
+}
+
+}  // namespace genealog

@@ -1,0 +1,111 @@
+// Operator instrumentation (§4.1), factored as a policy consulted by every
+// standard operator at tuple-creation points.
+//
+//  * kNone     — the plain query (the paper's NP configuration);
+//  * kGenealog — sets the four fixed-size meta-attributes T/U1/U2/N (GL);
+//  * kBaseline — Ariadne-style variable-length annotations: every tuple
+//    carries the sorted id-set of the source tuples contributing to it (BL).
+//
+// Keeping all three behind one interface mirrors the paper's framing: the
+// *same* standard operators run the analysis; only the instrumentation
+// changes.
+#ifndef GENEALOG_CORE_INSTRUMENTATION_H_
+#define GENEALOG_CORE_INSTRUMENTATION_H_
+
+#include <span>
+#include <vector>
+
+#include "core/tuple.h"
+
+namespace genealog {
+
+enum class ProvenanceMode : uint8_t {
+  kNone = 0,      // NP
+  kGenealog = 1,  // GL
+  kBaseline = 2,  // BL
+};
+
+const char* ToString(ProvenanceMode mode);
+
+// Merges sorted, deduplicated annotation vectors.
+std::vector<uint64_t> MergeAnnotations(const std::vector<uint64_t>* a,
+                                       const std::vector<uint64_t>* b);
+
+// Source (§4.1): T = SOURCE, no pointers. BL seeds the annotation with the
+// tuple's own id.
+inline void InstrumentSource(ProvenanceMode mode, Tuple& t) {
+  t.kind = TupleKind::kSource;
+  if (mode == ProvenanceMode::kBaseline) {
+    t.set_baseline_annotation({t.id});
+  }
+}
+
+// Map / Multiplex (§4.1): the output points to its single contributing input
+// through U1.
+inline void InstrumentUnary(ProvenanceMode mode, Tuple& out, TupleKind kind,
+                            Tuple& in) {
+  out.kind = kind;
+  switch (mode) {
+    case ProvenanceMode::kNone:
+      break;
+    case ProvenanceMode::kGenealog:
+      out.set_u1(&in);
+      break;
+    case ProvenanceMode::kBaseline:
+      if (const auto* ann = in.baseline_annotation()) {
+        out.set_baseline_annotation(*ann);
+      }
+      break;
+  }
+}
+
+// Join (§4.1): U1 = the more recent contributing tuple, U2 = the older one.
+inline void InstrumentJoin(ProvenanceMode mode, Tuple& out, Tuple& newer,
+                           Tuple& older) {
+  out.kind = TupleKind::kJoin;
+  switch (mode) {
+    case ProvenanceMode::kNone:
+      break;
+    case ProvenanceMode::kGenealog:
+      out.set_u1(&newer);
+      out.set_u2(&older);
+      break;
+    case ProvenanceMode::kBaseline:
+      out.set_baseline_annotation(MergeAnnotations(newer.baseline_annotation(),
+                                                   older.baseline_annotation()));
+      break;
+  }
+}
+
+// Aggregate (§4.1): with window tuples t1..tn in timestamp order, U2 = t1,
+// U1 = tn, and the N-chain links ti -> ti+1. Sliding windows re-link the same
+// successors; try_set_next makes that idempotent.
+template <typename TuplePtrLike>
+void InstrumentAggregate(ProvenanceMode mode, Tuple& out,
+                         std::span<const TuplePtrLike> window) {
+  out.kind = TupleKind::kAggregate;
+  switch (mode) {
+    case ProvenanceMode::kNone:
+      break;
+    case ProvenanceMode::kGenealog: {
+      out.set_u2(window.front().get());
+      out.set_u1(window.back().get());
+      for (size_t i = 0; i + 1 < window.size(); ++i) {
+        window[i]->try_set_next(window[i + 1].get());
+      }
+      break;
+    }
+    case ProvenanceMode::kBaseline: {
+      std::vector<uint64_t> merged;
+      for (const auto& t : window) {
+        merged = MergeAnnotations(&merged, t->baseline_annotation());
+      }
+      out.set_baseline_annotation(std::move(merged));
+      break;
+    }
+  }
+}
+
+}  // namespace genealog
+
+#endif  // GENEALOG_CORE_INSTRUMENTATION_H_

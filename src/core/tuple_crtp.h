@@ -1,0 +1,50 @@
+// CRTP convenience base implementing the boilerplate of the Tuple interface
+// (type tag, clone, static size) for concrete schema types. A schema type is
+// declared as:
+//
+//   struct PositionReport final : TupleCrtp<PositionReport, tags::kPositionReport> {
+//     PositionReport(int64_t ts, int64_t car_id, double speed, int64_t pos);
+//     int64_t car_id; double speed; int64_t pos;
+//     void SerializePayload(ByteWriter&) const override;
+//     static TuplePtr Deserialize(ByteReader&, int64_t ts);
+//     ...
+//   };
+//   GENEALOG_REGISTER_TUPLE(PositionReport);
+#ifndef GENEALOG_CORE_TUPLE_CRTP_H_
+#define GENEALOG_CORE_TUPLE_CRTP_H_
+
+#include "core/tuple.h"
+#include "core/type_registry.h"
+
+namespace genealog {
+
+template <typename Derived, uint16_t Tag>
+class TupleCrtp : public Tuple {
+ public:
+  static constexpr uint16_t kTypeTag = Tag;
+
+  using Tuple::Tuple;
+
+  uint16_t type_tag() const final { return Tag; }
+
+  size_t SelfBytes() const final { return sizeof(Derived); }
+
+  TuplePtr CloneTuple() const final {
+    return MakeTuple<Derived>(static_cast<const Derived&>(*this));
+  }
+
+ protected:
+  TupleCrtp(const TupleCrtp&) = default;
+};
+
+// Emits a registration constant; place at namespace scope in the header
+// declaring `Type`, after the type definition. `Type` must provide
+// `static TuplePtr Deserialize(ByteReader&, int64_t ts)` and `kTypeName`.
+#define GENEALOG_REGISTER_TUPLE(Type)                                 \
+  inline const bool kTupleRegistration_##Type =                       \
+      ::genealog::RegisterTupleType(Type::kTypeTag, Type::kTypeName,  \
+                                    &Type::Deserialize)
+
+}  // namespace genealog
+
+#endif  // GENEALOG_CORE_TUPLE_CRTP_H_

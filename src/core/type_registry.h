@@ -1,0 +1,57 @@
+// Polymorphic tuple (de)serialization.
+//
+// A tuple crossing a Send/Receive boundary is flattened to bytes:
+//   u16 type_tag | u8 kind | i64 ts | u64 id | i64 stimulus | payload...
+// and rebuilt on the receiving side as a *fresh object* whose meta-attribute
+// pointers are null — exactly the property §6 builds on (pointers cannot
+// cross processes; only SOURCE/REMOTE typing, ids and payloads survive).
+//
+// Concrete tuple types self-register via RegisterTupleType, typically through
+// an inline namespace-scope registration constant in the schema header, so
+// any binary that can name the type can also deserialize it.
+#ifndef GENEALOG_CORE_TYPE_REGISTRY_H_
+#define GENEALOG_CORE_TYPE_REGISTRY_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "common/serialize.h"
+#include "core/tuple.h"
+
+namespace genealog {
+
+// Reads the payload (everything after the common header) and returns a fresh
+// tuple of the registered type with ts 0; header fields are applied by
+// DeserializeTuple.
+using PayloadDeserializer = TuplePtr (*)(ByteReader& r, int64_t ts);
+
+// Registers `tag`. Re-registering the same tag with the same name is a no-op
+// (inline registration constants are emitted once per translation unit);
+// conflicting registrations abort.
+bool RegisterTupleType(uint16_t tag, const char* name, PayloadDeserializer fn);
+
+void SerializeTuple(const Tuple& t, ByteWriter& w);
+
+// Serializes with the kind GeneaLog's instrumented Send uses on the wire:
+// REMOTE unless the tuple is a SOURCE tuple (§4.1, Send). The local object is
+// left untouched because local provenance graphs may still reference it.
+void SerializeTupleForSend(const Tuple& t, ByteWriter& w);
+
+TuplePtr DeserializeTuple(ByteReader& r);
+
+// Well-known type tags. Tests use tags >= 0x7000.
+namespace tags {
+inline constexpr uint16_t kPositionReport = 1;
+inline constexpr uint16_t kStoppedCarStats = 2;
+inline constexpr uint16_t kAccidentStats = 3;
+inline constexpr uint16_t kMeterReading = 4;
+inline constexpr uint16_t kDailyConsumption = 5;
+inline constexpr uint16_t kZeroDayCount = 6;
+inline constexpr uint16_t kConsumptionDiff = 7;
+inline constexpr uint16_t kUnfolded = 8;
+inline constexpr uint16_t kBaselineSinkReport = 9;
+}  // namespace tags
+
+}  // namespace genealog
+
+#endif  // GENEALOG_CORE_TYPE_REGISTRY_H_

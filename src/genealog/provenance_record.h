@@ -1,0 +1,24 @@
+// The final provenance artifact: one sink tuple together with the source
+// tuples contributing to it. Produced by GeneaLog's provenance sink and by
+// the baseline resolver, so equivalence tests can compare the two techniques
+// record-by-record.
+#ifndef GENEALOG_GENEALOG_PROVENANCE_RECORD_H_
+#define GENEALOG_GENEALOG_PROVENANCE_RECORD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/tuple.h"
+
+namespace genealog {
+
+struct ProvenanceRecord {
+  TuplePtr derived;  // the sink tuple's payload
+  uint64_t derived_id = 0;
+  int64_t derived_ts = 0;
+  std::vector<TuplePtr> origins;  // contributing source tuples
+};
+
+}  // namespace genealog
+
+#endif  // GENEALOG_GENEALOG_PROVENANCE_RECORD_H_

@@ -1,0 +1,81 @@
+#include "genealog/su.h"
+
+namespace genealog {
+
+void UnfoldInto(const TuplePtr& derived, std::vector<Tuple*>& origins,
+                TraversalScratch& scratch,
+                std::vector<IntrusivePtr<UnfoldedTuple>>& out) {
+  origins.clear();
+  FindProvenance(derived.get(), origins, scratch);
+  out.reserve(out.size() + origins.size());
+  for (Tuple* o : origins) {
+    auto u = MakeTuple<UnfoldedTuple>(derived->ts);
+    u->stimulus = derived->stimulus;
+    u->derived = derived;
+    u->derived_id = derived->id;
+    u->derived_ts = derived->ts;
+    u->origin = TuplePtr(o);
+    u->origin_id = o->id;
+    u->origin_ts = o->ts;
+    u->origin_kind = o->kind;
+    out.push_back(std::move(u));
+  }
+}
+
+void SuNode::OnTuple(TuplePtr t) {
+  // SO: the delivering stream passes through unchanged.
+  if (!EmitTo(0, StreamItem::MakeTuple(t))) return;
+
+  // U: one unfolded tuple per originating tuple. The traversal itself is the
+  // per-sink-tuple cost the paper studies in Figure 14.
+  const int64_t t0 = NowNanos();
+  result_.clear();
+  FindProvenance(t.get(), result_, scratch_);
+  const int64_t elapsed = NowNanos() - t0;
+  {
+    std::lock_guard lock(mu_);
+    traversal_ms_.Add(NanosToMillis(elapsed));
+    graph_size_.Add(static_cast<double>(result_.size()));
+  }
+
+  for (Tuple* o : result_) {
+    auto u = MakeTuple<UnfoldedTuple>(t->ts);
+    u->stimulus = t->stimulus;
+    u->id = NextTupleId();
+    u->derived = t;
+    u->derived_id = t->id;
+    u->derived_ts = t->ts;
+    u->origin = TuplePtr(o);
+    u->origin_id = o->id;
+    u->origin_ts = o->ts;
+    u->origin_kind = o->kind;
+    if (!EmitTo(1, StreamItem::MakeTuple(std::move(u)))) return;
+  }
+}
+
+ComposedSu BuildComposedSu(Topology& topology, const std::string& name) {
+  auto* mux = topology.Add<MultiplexNode>(name + ".multiplex");
+  auto* map = topology.Add<MapNode<Tuple, UnfoldedTuple>>(
+      name + ".unfold",
+      [scratch = std::make_shared<TraversalScratch>(),
+       origins = std::make_shared<std::vector<Tuple*>>(),
+       buffer = std::make_shared<std::vector<IntrusivePtr<UnfoldedTuple>>>()](
+          const Tuple& in, MapCollector<UnfoldedTuple>& collector) {
+        // Multiplex copies preserve the delivering tuple's id (they are
+        // copies), so unfolding the SM copy carries the ids Def. 6.2 needs.
+        buffer->clear();
+        // The tuple is intrusively ref-counted; materializing a new handle
+        // from the reference is safe.
+        TuplePtr derived(const_cast<Tuple*>(&in));
+        UnfoldInto(derived, *origins, *scratch, *buffer);
+        for (auto& u : *buffer) collector.Emit(std::move(u));
+        buffer->clear();
+      });
+  // Build-time wiring: SM = multiplex output 0 feeds the Map. The caller
+  // connects multiplex -> sink (SO, output 1) and map -> consumer (U); for a
+  // Multiplex every output receives a copy, so output order is immaterial.
+  topology.Connect(mux, map);
+  return ComposedSu{mux, mux, map};
+}
+
+}  // namespace genealog

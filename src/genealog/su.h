@@ -1,0 +1,81 @@
+// SU — the single-stream unfolder (Definition 5.2, Figure 5).
+//
+// One input SI, two outputs: SO (output 0, an exact copy of SI) and U
+// (output 1, the unfolded stream of SI). Per Theorem 5.3, adding an SU before
+// each Sink provides intra-process fine-grained provenance through U.
+//
+// Two implementations are provided:
+//  * SuNode — the efficient fused operator (the paper notes SU's semantics
+//    can be assigned to one thread / a single user-defined operator);
+//  * BuildComposedSu — the literal Figure 5B construction from standard
+//    instrumented operators (Multiplex + Map), demonstrating challenge C3.
+// Equivalence of the two is covered by tests and an ablation bench.
+#ifndef GENEALOG_GENEALOG_SU_H_
+#define GENEALOG_GENEALOG_SU_H_
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/wall_clock.h"
+#include "genealog/traversal.h"
+#include "genealog/unfolded.h"
+#include "spe/node.h"
+#include "spe/stateless.h"
+#include "spe/topology.h"
+
+namespace genealog {
+
+class SuNode final : public SingleInputNode {
+ public:
+  explicit SuNode(std::string name) : SingleInputNode(std::move(name)) {}
+
+  // --- contribution-graph traversal cost (Figure 14) -----------------------
+  double mean_traversal_ms() const {
+    std::lock_guard lock(mu_);
+    return traversal_ms_.mean();
+  }
+  uint64_t traversal_count() const {
+    std::lock_guard lock(mu_);
+    return traversal_ms_.count();
+  }
+  double traversal_percentile_ms(double pct) const {
+    std::lock_guard lock(mu_);
+    return traversal_ms_.percentile(pct);
+  }
+  double mean_graph_size() const {
+    std::lock_guard lock(mu_);
+    return graph_size_.mean();
+  }
+
+ protected:
+  void OnTuple(TuplePtr t) override;
+
+ private:
+  TraversalScratch scratch_;
+  std::vector<Tuple*> result_;
+  mutable std::mutex mu_;
+  SampleStats traversal_ms_;
+  SampleStats graph_size_;
+};
+
+// Builds one UnfoldedTuple for each originating tuple of `derived`.
+// Shared by SuNode and the composed Figure 5B Map function.
+void UnfoldInto(const TuplePtr& derived, std::vector<Tuple*>& origins,
+                TraversalScratch& scratch,
+                std::vector<IntrusivePtr<UnfoldedTuple>>& out);
+
+// The Figure 5B construction: SI -> Multiplex -> {SO, SM}, SM -> Map -> U.
+// Returns the entry node (connect the delivering stream to it), the node
+// whose output 0 is SO, and the node producing U.
+struct ComposedSu {
+  Node* entry;    // receives SI
+  Node* so_node;  // its (only) output is SO
+  Node* u_node;   // its (only) output is U
+};
+ComposedSu BuildComposedSu(Topology& topology, const std::string& name);
+
+}  // namespace genealog
+
+#endif  // GENEALOG_GENEALOG_SU_H_

@@ -1,0 +1,45 @@
+// Contribution-graph traversal — the paper's Listing 1.
+//
+// Starting from a tuple (usually a sink tuple), performs a breadth-first
+// search over the U1/U2/N meta-attributes and returns the *originating*
+// tuples (Def. 4.1): tuples of type SOURCE, or REMOTE when part of the graph
+// lives in another SPE instance.
+#ifndef GENEALOG_GENEALOG_TRAVERSAL_H_
+#define GENEALOG_GENEALOG_TRAVERSAL_H_
+
+#include <deque>
+#include <unordered_set>
+#include <vector>
+
+#include "core/tuple.h"
+
+namespace genealog {
+
+// Reusable scratch space: traversal is on the hot path of the SU operator,
+// so the queue and visited set are recycled across calls.
+class TraversalScratch {
+ public:
+  void Clear() {
+    queue_.clear();
+    visited_.clear();
+  }
+
+ private:
+  friend void FindProvenance(Tuple* root, std::vector<Tuple*>& result,
+                             TraversalScratch& scratch);
+  std::deque<Tuple*> queue_;
+  std::unordered_set<const Tuple*> visited_;
+};
+
+// Appends the originating tuples of `root` to `result` in BFS discovery
+// order (deterministic for a given contribution graph). The caller must keep
+// `root` alive; returned pointers are valid as long as `root` is.
+void FindProvenance(Tuple* root, std::vector<Tuple*>& result,
+                    TraversalScratch& scratch);
+
+// Convenience overload for tests and examples.
+std::vector<Tuple*> FindProvenance(Tuple* root);
+
+}  // namespace genealog
+
+#endif  // GENEALOG_GENEALOG_TRAVERSAL_H_

@@ -1,0 +1,49 @@
+// The tuple schema of unfolded (delivering) streams — Definitions 5.1 / 6.2.
+//
+// Each tuple of an unfolded stream pairs one *derived* (delivering) tuple
+// with one of its *originating* tuples, and carries the originating tuple's
+// ts and ID (the paper's tsO/IDO) so that MU operators in downstream SPE
+// instances can stitch contribution graphs across process boundaries by
+// joining on ids.
+//
+// Crossing a Send/Receive boundary serializes both nested payloads inline;
+// the receiving side rebuilds fresh payload objects (pointers never cross).
+#ifndef GENEALOG_GENEALOG_UNFOLDED_H_
+#define GENEALOG_GENEALOG_UNFOLDED_H_
+
+#include <string>
+
+#include "core/tuple_crtp.h"
+
+namespace genealog {
+
+struct UnfoldedTuple final : TupleCrtp<UnfoldedTuple, tags::kUnfolded> {
+  static constexpr const char* kTypeName = "Unfolded";
+
+  explicit UnfoldedTuple(int64_t ts) : TupleCrtp(ts) {}
+
+  // The delivering tuple (sink tuple for SU-before-Sink, sent tuple for
+  // SU-before-Send) and its identifying attributes.
+  TuplePtr derived;
+  uint64_t derived_id = 0;
+  int64_t derived_ts = 0;
+
+  // One originating tuple (Def. 4.1) and the tsO/IDO attributes.
+  TuplePtr origin;
+  uint64_t origin_id = 0;
+  int64_t origin_ts = 0;
+  TupleKind origin_kind = TupleKind::kSource;
+
+  const char* type_name() const override { return kTypeName; }
+
+  void SerializePayload(ByteWriter& w) const override;
+  static TuplePtr Deserialize(ByteReader& r, int64_t ts);
+
+  std::string DebugPayload() const override;
+};
+
+GENEALOG_REGISTER_TUPLE(UnfoldedTuple);
+
+}  // namespace genealog
+
+#endif  // GENEALOG_GENEALOG_UNFOLDED_H_

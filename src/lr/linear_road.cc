@@ -1,0 +1,209 @@
+#include "lr/linear_road.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/int_math.h"
+#include "common/rng.h"
+
+namespace genealog::lr {
+
+void PositionReport::SerializePayload(ByteWriter& w) const {
+  w.PutI64(car_id);
+  w.PutDouble(speed);
+  w.PutI64(pos);
+}
+
+TuplePtr PositionReport::Deserialize(ByteReader& r, int64_t ts) {
+  const int64_t car_id = r.GetI64();
+  const double speed = r.GetDouble();
+  const int64_t pos = r.GetI64();
+  return MakeTuple<PositionReport>(ts, car_id, speed, pos);
+}
+
+std::string PositionReport::DebugPayload() const {
+  return "car=" + std::to_string(car_id) + " speed=" + std::to_string(speed) +
+         " pos=" + std::to_string(pos);
+}
+
+void StoppedCarStats::SerializePayload(ByteWriter& w) const {
+  w.PutI64(car_id);
+  w.PutI64(count);
+  w.PutI64(dist_pos);
+  w.PutI64(last_pos);
+}
+
+TuplePtr StoppedCarStats::Deserialize(ByteReader& r, int64_t ts) {
+  const int64_t car_id = r.GetI64();
+  const int64_t count = r.GetI64();
+  const int64_t dist_pos = r.GetI64();
+  const int64_t last_pos = r.GetI64();
+  return MakeTuple<StoppedCarStats>(ts, car_id, count, dist_pos, last_pos);
+}
+
+std::string StoppedCarStats::DebugPayload() const {
+  return "car=" + std::to_string(car_id) + " count=" + std::to_string(count) +
+         " dist_pos=" + std::to_string(dist_pos) +
+         " last_pos=" + std::to_string(last_pos);
+}
+
+void AccidentStats::SerializePayload(ByteWriter& w) const {
+  w.PutI64(pos);
+  w.PutI64(count);
+}
+
+TuplePtr AccidentStats::Deserialize(ByteReader& r, int64_t ts) {
+  const int64_t pos = r.GetI64();
+  const int64_t count = r.GetI64();
+  return MakeTuple<AccidentStats>(ts, pos, count);
+}
+
+std::string AccidentStats::DebugPayload() const {
+  return "pos=" + std::to_string(pos) + " count=" + std::to_string(count);
+}
+
+namespace {
+
+struct CarState {
+  int64_t pos = 0;
+  double speed = 25.0;        // meters per second
+  int stopped_reports_left = 0;
+};
+
+}  // namespace
+
+LinearRoadData GenerateLinearRoad(const LinearRoadConfig& config) {
+  SplitMix64 rng(config.seed);
+  LinearRoadData data;
+
+  std::vector<CarState> cars(static_cast<size_t>(config.n_cars));
+  for (CarState& car : cars) {
+    car.pos = rng.UniformInt(0, config.highway_length - 1);
+    car.speed = 18.0 + rng.UniformDouble() * 17.0;  // 18..35 m/s
+  }
+
+  // Cars are phase-aligned to the report period: car i reports at
+  // phase_i + k * period, giving exactly ws/period reports per window.
+  std::vector<int64_t> phases(static_cast<size_t>(config.n_cars));
+  for (auto& phase : phases) phase = rng.UniformInt(0, config.report_period_s - 1);
+
+  for (int64_t tick = 0; tick * config.report_period_s < config.duration_s;
+       ++tick) {
+    const int64_t base_ts = tick * config.report_period_s;
+    // Plant an accident: stop two distinct moving cars at one position.
+    const bool forced_accident =
+        std::find(config.forced_accident_ticks.begin(),
+                  config.forced_accident_ticks.end(),
+                  tick) != config.forced_accident_ticks.end();
+    if (config.n_cars >= 2 &&
+        (forced_accident || rng.Bernoulli(config.accident_probability))) {
+      // Pick a pair of currently moving cars (retrying a few times so forced
+      // accidents reliably land even when random breakdowns are active).
+      for (int attempt = 0; attempt < 8; ++attempt) {
+        const auto a = static_cast<size_t>(rng.UniformInt(0, config.n_cars - 1));
+        size_t b = static_cast<size_t>(rng.UniformInt(0, config.n_cars - 1));
+        if (b == a) b = (b + 1) % cars.size();
+        if (cars[a].stopped_reports_left != 0 ||
+            cars[b].stopped_reports_left != 0) {
+          continue;
+        }
+        const int n_reports = static_cast<int>(
+            rng.UniformInt(config.min_stop_reports, config.max_stop_reports));
+        const int64_t crash_pos = rng.UniformInt(0, config.highway_length - 1);
+        for (size_t car_idx : {a, b}) {
+          cars[car_idx].pos = crash_pos;
+          cars[car_idx].stopped_reports_left = n_reports;
+          data.planted_stops.push_back(
+              PlantedStop{static_cast<int64_t>(car_idx), crash_pos,
+                          base_ts + phases[car_idx], n_reports});
+        }
+        break;
+      }
+    }
+
+    for (size_t i = 0; i < cars.size(); ++i) {
+      CarState& car = cars[i];
+      const int64_t ts = base_ts + phases[i];
+      if (ts >= config.duration_s) continue;
+      if (car.stopped_reports_left == 0 &&
+          rng.Bernoulli(config.stop_probability)) {
+        const int n_reports = static_cast<int>(
+            rng.UniformInt(config.min_stop_reports, config.max_stop_reports));
+        car.stopped_reports_left = n_reports;
+        data.planted_stops.push_back(
+            PlantedStop{static_cast<int64_t>(i), car.pos, ts, n_reports});
+      }
+      double speed = car.speed;
+      if (car.stopped_reports_left > 0) {
+        speed = 0.0;
+        --car.stopped_reports_left;
+      } else {
+        car.pos = (car.pos + static_cast<int64_t>(car.speed) *
+                                 config.report_period_s) %
+                  config.highway_length;
+      }
+      data.reports.push_back(MakeTuple<PositionReport>(
+          ts, static_cast<int64_t>(i), speed, car.pos));
+    }
+  }
+
+  std::stable_sort(data.reports.begin(), data.reports.end(),
+                   [](const auto& a, const auto& b) { return a->ts < b->ts; });
+  return data;
+}
+
+std::vector<ReferenceStoppedEvent> ReferenceStoppedCars(
+    const std::vector<IntrusivePtr<PositionReport>>& reports, int64_t ws,
+    int64_t wa, int64_t required_count) {
+  // Zero-speed reports per car, in ts order (input is sorted).
+  std::map<int64_t, std::vector<const PositionReport*>> zero_by_car;
+  for (const auto& r : reports) {
+    if (r->speed == 0.0) zero_by_car[r->car_id].push_back(r.get());
+  }
+
+  std::vector<ReferenceStoppedEvent> events;
+  for (const auto& [car_id, zeros] : zero_by_car) {
+    const int64_t first_ts = zeros.front()->ts;
+    const int64_t last_ts = zeros.back()->ts;
+    // Aligned window starts that could contain any zero report of this car.
+    for (int64_t start = FloorAlign(first_ts - ws + 1, wa); start <= last_ts;
+         start += wa) {
+      if (start + ws <= first_ts) continue;
+      int64_t count = 0;
+      std::set<int64_t> positions;
+      int64_t pos = 0;
+      for (const PositionReport* r : zeros) {
+        if (r->ts >= start && r->ts < start + ws) {
+          ++count;
+          positions.insert(r->pos);
+          pos = r->pos;
+        }
+      }
+      if (count == required_count && positions.size() == 1) {
+        events.push_back(ReferenceStoppedEvent{start, car_id, pos});
+      }
+    }
+  }
+  std::sort(events.begin(), events.end());
+  return events;
+}
+
+std::vector<ReferenceAccidentEvent> ReferenceAccidents(
+    const std::vector<ReferenceStoppedEvent>& stopped) {
+  std::map<std::pair<int64_t, int64_t>, std::set<int64_t>> cars_at;
+  for (const auto& e : stopped) {
+    cars_at[{e.window_start, e.pos}].insert(e.car_id);
+  }
+  std::vector<ReferenceAccidentEvent> events;
+  for (const auto& [key, cars] : cars_at) {
+    if (cars.size() >= 2) {
+      events.push_back(ReferenceAccidentEvent{
+          key.first, key.second, static_cast<int64_t>(cars.size())});
+    }
+  }
+  std::sort(events.begin(), events.end());
+  return events;
+}
+
+}  // namespace genealog::lr

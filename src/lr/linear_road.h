@@ -1,0 +1,152 @@
+// Linear Road workload (§7, Q1/Q2): vehicular position reports.
+//
+// Cars on a highway emit a position report every 30 seconds with schema
+// ⟨ts, car_id, speed, pos⟩ (the benchmark's multi-attribute position is
+// collapsed to one attribute, as in the paper's exposition). The generator
+// plants breakdowns (>= 4 consecutive zero-speed reports at a fixed position)
+// and accidents (two cars stopped at the same position at the same time) and
+// exports the planted events; independent brute-force reference detectors
+// provide the oracle for query-correctness tests.
+#ifndef GENEALOG_LR_LINEAR_ROAD_H_
+#define GENEALOG_LR_LINEAR_ROAD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/tuple_crtp.h"
+
+namespace genealog::lr {
+
+struct PositionReport final : TupleCrtp<PositionReport, tags::kPositionReport> {
+  static constexpr const char* kTypeName = "lr.PositionReport";
+
+  PositionReport(int64_t ts, int64_t car_id, double speed, int64_t pos)
+      : TupleCrtp(ts), car_id(car_id), speed(speed), pos(pos) {}
+
+  int64_t car_id;
+  double speed;
+  int64_t pos;
+
+  const char* type_name() const override { return kTypeName; }
+  void SerializePayload(ByteWriter& w) const override;
+  static TuplePtr Deserialize(ByteReader& r, int64_t ts);
+  std::string DebugPayload() const override;
+};
+
+GENEALOG_REGISTER_TUPLE(PositionReport);
+
+// Output of Q1's Aggregate: per-car zero-speed statistics over one window,
+// with the extra last_pos field Q2 builds on (§7, footnote 4).
+struct StoppedCarStats final : TupleCrtp<StoppedCarStats, tags::kStoppedCarStats> {
+  static constexpr const char* kTypeName = "lr.StoppedCarStats";
+
+  StoppedCarStats(int64_t ts, int64_t car_id, int64_t count, int64_t dist_pos,
+                  int64_t last_pos)
+      : TupleCrtp(ts),
+        car_id(car_id),
+        count(count),
+        dist_pos(dist_pos),
+        last_pos(last_pos) {}
+
+  int64_t car_id;
+  int64_t count;
+  int64_t dist_pos;
+  int64_t last_pos;
+
+  const char* type_name() const override { return kTypeName; }
+  void SerializePayload(ByteWriter& w) const override;
+  static TuplePtr Deserialize(ByteReader& r, int64_t ts);
+  std::string DebugPayload() const override;
+};
+
+GENEALOG_REGISTER_TUPLE(StoppedCarStats);
+
+// Output of Q2's second Aggregate: stopped-vehicle count per position.
+struct AccidentStats final : TupleCrtp<AccidentStats, tags::kAccidentStats> {
+  static constexpr const char* kTypeName = "lr.AccidentStats";
+
+  AccidentStats(int64_t ts, int64_t pos, int64_t count)
+      : TupleCrtp(ts), pos(pos), count(count) {}
+
+  int64_t pos;
+  int64_t count;
+
+  const char* type_name() const override { return kTypeName; }
+  void SerializePayload(ByteWriter& w) const override;
+  static TuplePtr Deserialize(ByteReader& r, int64_t ts);
+  std::string DebugPayload() const override;
+};
+
+GENEALOG_REGISTER_TUPLE(AccidentStats);
+
+// --- generator ---------------------------------------------------------------
+
+struct LinearRoadConfig {
+  int n_cars = 200;
+  int64_t duration_s = 3600;        // logical span of the trace
+  int64_t report_period_s = 30;     // paper: reports every 30 seconds
+  int64_t highway_length = 528000;  // positions are integers in [0, length)
+  // Per report, probability that a healthy car breaks down.
+  double stop_probability = 0.01;
+  // Breakdown length in reports, uniform in [min, max]; >= 4 triggers Q1.
+  int min_stop_reports = 4;
+  int max_stop_reports = 8;
+  // Per report, probability that a *pair* of cars is stopped together at the
+  // same position (an accident for Q2).
+  double accident_probability = 0.002;
+  // Report ticks at which an accident is planted regardless of the
+  // probability draw (deterministic event planting for tests and benches).
+  std::vector<int64_t> forced_accident_ticks;
+  uint64_t seed = 42;
+};
+
+struct PlantedStop {
+  int64_t car_id;
+  int64_t pos;
+  int64_t first_report_ts;  // ts of the first zero-speed report
+  int n_reports;
+};
+
+struct LinearRoadData {
+  std::vector<IntrusivePtr<PositionReport>> reports;  // timestamp-sorted
+  std::vector<PlantedStop> planted_stops;
+};
+
+LinearRoadData GenerateLinearRoad(const LinearRoadConfig& config);
+
+// --- reference (oracle) detectors --------------------------------------------
+
+// A Q1 event: in window [window_start, window_start+ws) car `car_id` had
+// exactly `zero_reports`==4 zero-speed reports, all at position `pos`.
+struct ReferenceStoppedEvent {
+  int64_t window_start;
+  int64_t car_id;
+  int64_t pos;
+  bool operator==(const ReferenceStoppedEvent&) const = default;
+  auto operator<=>(const ReferenceStoppedEvent&) const = default;
+};
+
+// Brute-force re-implementation of Q1's semantics (independent of the SPE):
+// slide [s, s+ws) by wa over all aligned starts; report (s, car, pos) when
+// the car has exactly `required_count` zero-speed reports, all at one pos.
+std::vector<ReferenceStoppedEvent> ReferenceStoppedCars(
+    const std::vector<IntrusivePtr<PositionReport>>& reports, int64_t ws,
+    int64_t wa, int64_t required_count);
+
+struct ReferenceAccidentEvent {
+  int64_t window_start;  // Q1 window start == Q2 window start
+  int64_t pos;
+  int64_t car_count;
+  bool operator==(const ReferenceAccidentEvent&) const = default;
+  auto operator<=>(const ReferenceAccidentEvent&) const = default;
+};
+
+// Q2 semantics on top of the Q1 reference: >= 2 distinct stopped cars at the
+// same position in the same window.
+std::vector<ReferenceAccidentEvent> ReferenceAccidents(
+    const std::vector<ReferenceStoppedEvent>& stopped);
+
+}  // namespace genealog::lr
+
+#endif  // GENEALOG_LR_LINEAR_ROAD_H_

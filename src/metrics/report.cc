@@ -1,0 +1,100 @@
+#include "metrics/report.h"
+
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+namespace genealog::metrics {
+namespace {
+
+std::string Fmt(const char* format, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), format, v);
+  return buf;
+}
+
+std::string FmtCell(const CellStats& c, const char* format) {
+  std::string s = Fmt(format, c.mean);
+  if (c.runs > 1 && c.ci95 > 0) {
+    s += " ±" + Fmt(format, c.ci95);
+  }
+  return s;
+}
+
+}  // namespace
+
+std::string FormatDelta(double value, std::optional<double> reference,
+                        bool /*higher_is_worse*/) {
+  if (!reference.has_value() || *reference == 0.0) return "";
+  const double delta = (value - *reference) / *reference * 100.0;
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%+.1f%%", delta);
+  return buf;
+}
+
+std::string RenderOverheadTable(const std::vector<QueryVariantResult>& rows,
+                                const std::string& title) {
+  // Index NP references per query.
+  std::map<std::string, const QueryVariantResult*> np;
+  for (const auto& r : rows) {
+    if (r.variant == "NP") np[r.query] = &r;
+  }
+
+  std::string out;
+  out += title + "\n";
+  out += std::string(title.size(), '=') + "\n";
+  char line[256];
+  std::snprintf(line, sizeof(line), "%-4s %-3s | %15s %8s | %12s %8s | %11s %8s | %11s %8s\n",
+                "qry", "var", "tput(t/s)", "d%", "latency(ms)", "d%",
+                "avg_mem(MB)", "d%", "max_mem(MB)", "d%");
+  out += line;
+  out += std::string(120, '-') + "\n";
+
+  for (const auto& r : rows) {
+    const QueryVariantResult* ref =
+        np.count(r.query) != 0 && r.variant != "NP" ? np[r.query] : nullptr;
+    std::snprintf(
+        line, sizeof(line),
+        "%-4s %-3s | %15s %8s | %12s %8s | %11s %8s | %11s %8s\n",
+        r.query.c_str(), r.variant.c_str(),
+        FmtCell(r.throughput_tps, "%.0f").c_str(),
+        ref != nullptr
+            ? FormatDelta(r.throughput_tps.mean, ref->throughput_tps.mean, false)
+                  .c_str()
+            : "",
+        FmtCell(r.latency_ms, "%.2f").c_str(),
+        ref != nullptr
+            ? FormatDelta(r.latency_ms.mean, ref->latency_ms.mean, true).c_str()
+            : "",
+        FmtCell(r.avg_mem_mb, "%.2f").c_str(),
+        ref != nullptr
+            ? FormatDelta(r.avg_mem_mb.mean, ref->avg_mem_mb.mean, true).c_str()
+            : "",
+        FmtCell(r.max_mem_mb, "%.2f").c_str(),
+        ref != nullptr
+            ? FormatDelta(r.max_mem_mb.mean, ref->max_mem_mb.mean, true).c_str()
+            : "");
+    out += line;
+  }
+  return out;
+}
+
+std::string RenderProvenanceVolumeTable(
+    const std::vector<QueryVariantResult>& rows) {
+  std::string out;
+  out += "Provenance volume vs. source volume (paper: 0.003%..0.5%)\n";
+  out += "----------------------------------------------------------\n";
+  char line[256];
+  for (const auto& r : rows) {
+    if (r.provenance_bytes.mean <= 0 || r.source_bytes.mean <= 0) continue;
+    std::snprintf(line, sizeof(line),
+                  "%-4s %-3s | provenance %10.0f B | source %12.0f B | ratio %8.4f%%\n",
+                  r.query.c_str(), r.variant.c_str(), r.provenance_bytes.mean,
+                  r.source_bytes.mean,
+                  r.provenance_bytes.mean / r.source_bytes.mean * 100.0);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace genealog::metrics

@@ -1,0 +1,56 @@
+// Result aggregation and table rendering for the benchmark harnesses.
+//
+// The benches reproduce the *rows* behind the paper's bar charts: for each
+// (query, variant) cell they print the metric value and the percentage delta
+// against the NP (no-provenance) reference, matching the annotations in
+// Figures 12 and 13.
+#ifndef GENEALOG_METRICS_REPORT_H_
+#define GENEALOG_METRICS_REPORT_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace genealog::metrics {
+
+// One experiment cell, averaged over repetitions.
+struct CellStats {
+  double mean = 0;
+  double ci95 = 0;
+  int runs = 0;
+};
+
+struct QueryVariantResult {
+  std::string query;    // "Q1".."Q4"
+  std::string variant;  // "NP" / "GL" / "BL"
+  CellStats throughput_tps;
+  CellStats latency_ms;
+  CellStats avg_mem_mb;
+  CellStats max_mem_mb;
+  // Extras (zero when not applicable):
+  CellStats provenance_records;
+  CellStats provenance_bytes;
+  CellStats source_bytes;
+  CellStats network_bytes;
+  std::vector<CellStats> per_instance_avg_mem_mb;
+  std::vector<CellStats> per_instance_max_mem_mb;
+};
+
+// Renders the Figure-12/13-style table: one block per query, one row per
+// variant, columns throughput / latency / avg mem / max mem with % deltas
+// against the NP row of the same query.
+std::string RenderOverheadTable(const std::vector<QueryVariantResult>& rows,
+                                const std::string& title);
+
+// Renders the provenance-volume ratio (provenance bytes vs source bytes, §7:
+// "ranging from 0.003% to 0.5%").
+std::string RenderProvenanceVolumeTable(
+    const std::vector<QueryVariantResult>& rows);
+
+// Helper: percentage delta string like "-3.7%" (empty for the reference row).
+std::string FormatDelta(double value, std::optional<double> reference,
+                        bool higher_is_worse);
+
+}  // namespace genealog::metrics
+
+#endif  // GENEALOG_METRICS_REPORT_H_

@@ -1,0 +1,50 @@
+#include "net/frame.h"
+
+#include <stdexcept>
+
+namespace genealog {
+
+std::vector<uint8_t> EncodeTupleFrame(const Tuple& t, bool remotify) {
+  ByteWriter w;
+  w.PutU8(static_cast<uint8_t>(FrameKind::kTuple));
+  if (remotify) {
+    SerializeTupleForSend(t, w);
+  } else {
+    SerializeTuple(t, w);
+  }
+  return w.TakeBytes();
+}
+
+std::vector<uint8_t> EncodeWatermarkFrame(int64_t wm) {
+  ByteWriter w;
+  w.PutU8(static_cast<uint8_t>(FrameKind::kWatermark));
+  w.PutI64(wm);
+  return w.TakeBytes();
+}
+
+std::vector<uint8_t> EncodeFlushFrame() {
+  ByteWriter w;
+  w.PutU8(static_cast<uint8_t>(FrameKind::kFlush));
+  return w.TakeBytes();
+}
+
+DecodedFrame DecodeFrame(const std::vector<uint8_t>& frame) {
+  ByteReader r(frame);
+  DecodedFrame out;
+  out.kind = static_cast<FrameKind>(r.GetU8());
+  switch (out.kind) {
+    case FrameKind::kTuple:
+      out.tuple = DeserializeTuple(r);
+      break;
+    case FrameKind::kWatermark:
+      out.watermark = r.GetI64();
+      break;
+    case FrameKind::kFlush:
+      break;
+    default:
+      throw std::runtime_error("unknown frame kind");
+  }
+  return out;
+}
+
+}  // namespace genealog

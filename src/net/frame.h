@@ -1,0 +1,40 @@
+// Wire frames for Send/Receive channels.
+//
+// A frame is one self-contained message: a serialized tuple, a watermark, or
+// a flush (end-of-stream). Channels transport frames as opaque byte blobs;
+// the TCP transport adds a u32 length prefix per frame.
+#ifndef GENEALOG_NET_FRAME_H_
+#define GENEALOG_NET_FRAME_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/type_registry.h"
+
+namespace genealog {
+
+enum class FrameKind : uint8_t {
+  kTuple = 1,
+  kWatermark = 2,
+  kFlush = 3,
+};
+
+// Serializes a tuple frame. With `remotify` set (the instrumented Send, §4.1)
+// the wire kind becomes REMOTE unless the tuple is a SOURCE tuple; the local
+// object is never modified.
+std::vector<uint8_t> EncodeTupleFrame(const Tuple& t, bool remotify);
+std::vector<uint8_t> EncodeWatermarkFrame(int64_t wm);
+std::vector<uint8_t> EncodeFlushFrame();
+
+struct DecodedFrame {
+  FrameKind kind = FrameKind::kFlush;
+  TuplePtr tuple;          // kTuple
+  int64_t watermark = 0;   // kWatermark
+};
+
+// Throws std::runtime_error / std::out_of_range on malformed input.
+DecodedFrame DecodeFrame(const std::vector<uint8_t>& frame);
+
+}  // namespace genealog
+
+#endif  // GENEALOG_NET_FRAME_H_

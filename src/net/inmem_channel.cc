@@ -1,0 +1,32 @@
+#include "net/channel.h"
+
+namespace genealog {
+
+// A zero-length frame is the end-of-stream sentinel: real frames always carry
+// at least the FrameKind byte.
+
+InMemoryChannel::InMemoryChannel(size_t capacity_frames)
+    : queue_(capacity_frames) {}
+
+bool InMemoryChannel::SendFrame(std::vector<uint8_t> frame) {
+  if (frame.empty()) return false;
+  bytes_sent_.fetch_add(frame.size(), std::memory_order_relaxed);
+  return queue_.Push(std::move(frame));
+}
+
+bool InMemoryChannel::RecvFrame(std::vector<uint8_t>& frame) {
+  std::optional<std::vector<uint8_t>> item = queue_.Pop();
+  if (!item.has_value() || item->empty()) return false;
+  frame = std::move(*item);
+  return true;
+}
+
+void InMemoryChannel::CloseSend() { queue_.Push({}); }
+
+void InMemoryChannel::Abort() { queue_.Abort(); }
+
+uint64_t InMemoryChannel::bytes_sent() const {
+  return bytes_sent_.load(std::memory_order_relaxed);
+}
+
+}  // namespace genealog

@@ -1,0 +1,76 @@
+// Send and Receive operators (§2): transmit tuples between SPE instances.
+//
+// Semantically they forward tuples; in implementation they create new memory
+// objects on the receiving side. The instrumented Send writes kind = REMOTE
+// on the wire unless the tuple is a SOURCE tuple (§4.1), which is how each
+// process can locally distinguish tuples produced at other instances.
+#ifndef GENEALOG_NET_SEND_RECEIVE_H_
+#define GENEALOG_NET_SEND_RECEIVE_H_
+
+#include <string>
+#include <utility>
+
+#include "net/channel.h"
+#include "net/frame.h"
+#include "spe/node.h"
+
+namespace genealog {
+
+class SendNode final : public SingleInputNode {
+ public:
+  // `channel` must outlive the node.
+  SendNode(std::string name, ByteChannel* channel)
+      : SingleInputNode(std::move(name)), channel_(channel) {}
+
+ protected:
+  void OnTuple(TuplePtr t) override {
+    channel_->SendFrame(EncodeTupleFrame(*t, /*remotify=*/true));
+  }
+
+  void OnWatermark(int64_t wm) override {
+    channel_->SendFrame(EncodeWatermarkFrame(wm));
+  }
+
+  void OnFlush() override {
+    channel_->SendFrame(EncodeFlushFrame());
+    channel_->CloseSend();
+  }
+
+ private:
+  ByteChannel* channel_;
+};
+
+class ReceiveNode final : public Node {
+ public:
+  ReceiveNode(std::string name, ByteChannel* channel)
+      : Node(std::move(name)), channel_(channel) {}
+
+  void Run() override {
+    std::vector<uint8_t> frame;
+    while (channel_->RecvFrame(frame)) {
+      DecodedFrame decoded = DecodeFrame(frame);
+      switch (decoded.kind) {
+        case FrameKind::kTuple:
+          CountProcessed();
+          if (!EmitTupleAll(decoded.tuple)) return;
+          break;
+        case FrameKind::kWatermark:
+          if (!ForwardWatermark(decoded.watermark)) return;
+          break;
+        case FrameKind::kFlush:
+          EmitFlushAll();
+          return;
+      }
+    }
+    // Channel closed without an explicit flush (sender aborted): still
+    // propagate end-of-stream so the rest of the instance can unwind.
+    EmitFlushAll();
+  }
+
+ private:
+  ByteChannel* channel_;
+};
+
+}  // namespace genealog
+
+#endif  // GENEALOG_NET_SEND_RECEIVE_H_

@@ -1,0 +1,53 @@
+// Generic deployment assembly shared by the four query builders.
+//
+// A query is described by two operator fragments around the paper's
+// distribution split (Figures 7/9C/10C/11C):
+//   * stage1 — operators co-located with the Source (instance 1);
+//   * stage2 — operators co-located with the data Sink (instance 2).
+// stage1 can expose several delivering streams (Q4 has two); they map, in
+// order, onto stage2's input entries.
+//
+// Assemble() then produces any of the six configurations:
+//   * intra-process NP / GL / BL (everything in instance 1);
+//   * distributed NP (instances 1+2), GL and BL (instances 1+2 plus the
+//     provenance instance 3), with SU/MU (GL) or full source-stream shipping
+//     into the baseline resolver (BL) across serializing channels.
+#ifndef GENEALOG_QUERIES_ASSEMBLE_H_
+#define GENEALOG_QUERIES_ASSEMBLE_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "queries/common.h"
+
+namespace genealog::queries {
+
+struct Stage2 {
+  // Input nodes, one per stage-1 delivering stream, in order. The same node
+  // may appear twice (a Join taking both streams).
+  std::vector<Node*> entries;
+  // The node producing the sink stream.
+  Node* exit = nullptr;
+};
+
+struct QuerySpec {
+  std::string name;
+  // Sum of all stateful window sizes (resolver slack / provenance-sink
+  // finalize slack).
+  int64_t total_window_span = 0;
+  // MU join window: the stateful window span of instance 2 (§6.1).
+  int64_t mu_ws = 0;
+  // Creates the source node inside the given topology.
+  std::function<SourceNodeBase*(Topology&, const SourceOptions&)> make_source;
+  // Builds stage 1, connecting `input` to its first operator; returns the
+  // delivering nodes.
+  std::function<std::vector<Node*>(Topology&, Node* input)> build_stage1;
+  std::function<Stage2(Topology&)> build_stage2;
+};
+
+BuiltQuery Assemble(const QuerySpec& spec, QueryBuildOptions options);
+
+}  // namespace genealog::queries
+
+#endif  // GENEALOG_QUERIES_ASSEMBLE_H_

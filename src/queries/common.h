@@ -1,0 +1,159 @@
+// Shared scaffolding for the four evaluation queries (§7).
+//
+// Every query builds in any combination of
+//   * provenance mode: NP (none) / GL (GeneaLog) / BL (Ariadne baseline),
+//   * deployment: intra-process (one SPE instance) or the paper's 3-instance
+//     layout (2 processing instances + 1 provenance instance, Figs. 7/9C/10C/
+//     11C), connected by serializing channels (in-memory or TCP loopback).
+//
+// The returned BuiltQuery owns the topologies and channels and exposes the
+// probe nodes the benches read: source (throughput), sink (latency), SU nodes
+// (Figure 14 traversal cost), provenance sink / baseline resolver (records,
+// graph sizes, on-disk volume).
+#ifndef GENEALOG_QUERIES_COMMON_H_
+#define GENEALOG_QUERIES_COMMON_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baseline/resolver.h"
+#include "genealog/mu.h"
+#include "genealog/provenance_sink.h"
+#include "genealog/su.h"
+#include "net/channel.h"
+#include "net/send_receive.h"
+#include "spe/aggregate.h"
+#include "spe/join.h"
+#include "spe/sink.h"
+#include "spe/source.h"
+#include "spe/stateless.h"
+#include "spe/topology.h"
+
+namespace genealog::queries {
+
+struct QueryBuildOptions {
+  ProvenanceMode mode = ProvenanceMode::kNone;
+  bool distributed = false;
+  // Transport for distributed deployments: TCP loopback when true, in-memory
+  // serializing channels otherwise.
+  bool use_tcp = false;
+  // Use the composed (Figure 5B / Figure 8) SU/MU implementations instead of
+  // the fused operators — the C3 demonstration and fusion ablation.
+  bool composed_unfolders = false;
+  // BL only: let the source store evict tuples that can no longer contribute
+  // (an oracle the paper's baseline does not have) — the eviction ablation.
+  bool baseline_oracle_eviction = false;
+  // If non-empty, provenance records are persisted here (paper: on disk).
+  std::string provenance_file;
+  SourceOptions source;
+  // Optional observers (tests, examples): called on the sink thread for each
+  // sink tuple / finalized provenance record.
+  SinkNode::Consumer sink_consumer;
+  std::function<void(const ProvenanceRecord&)> provenance_consumer;
+};
+
+struct BuiltQuery {
+  QueryBuildOptions options;
+  std::string name;
+
+  std::vector<std::unique_ptr<Topology>> topologies;
+  std::vector<std::unique_ptr<ByteChannel>> channels;
+
+  // Probes (non-owning; valid while topologies live).
+  SourceNodeBase* source = nullptr;
+  SinkNode* sink = nullptr;
+  ProvenanceSinkNode* provenance_sink = nullptr;      // GL only
+  BaselineResolverNode* baseline_resolver = nullptr;  // BL only
+  std::vector<SuNode*> su_nodes;  // fused SU per instance (instance order)
+
+  // Sum of the stateful window sizes (the MU join window / resolver slack).
+  int64_t total_window_span = 0;
+  int n_instances = 1;
+
+  uint64_t network_bytes() const {
+    uint64_t total = 0;
+    for (const auto& c : channels) total += c->bytes_sent();
+    return total;
+  }
+
+  // Runs all topologies to completion (blocking).
+  void Run() {
+    // A failing node aborts queues *and* channels, so Receive nodes blocked
+    // on a socket or frame queue unwind too.
+    if (!topologies.empty()) {
+      for (auto& channel : channels) {
+        topologies.front()->RegisterAbortable(channel.get());
+      }
+    }
+    std::vector<Topology*> raw;
+    raw.reserve(topologies.size());
+    for (auto& t : topologies) raw.push_back(t.get());
+    Runner runner(std::move(raw));
+    runner.Start();
+    runner.Join();
+  }
+};
+
+// Allocates a channel on the query (TCP loopback pair collapses to one
+// ByteChannel per direction; the sender handle is what Send/Receive share for
+// in-memory channels).
+struct ChannelEnds {
+  ByteChannel* send;
+  ByteChannel* recv;
+};
+inline ChannelEnds AddChannel(BuiltQuery& q) {
+  if (q.options.use_tcp) {
+    auto [sender, receiver] = MakeTcpChannelPair();
+    ByteChannel* s = sender.get();
+    ByteChannel* r = receiver.get();
+    q.channels.push_back(std::move(sender));
+    q.channels.push_back(std::move(receiver));
+    return {s, r};
+  }
+  auto channel = std::make_unique<InMemoryChannel>();
+  ByteChannel* c = channel.get();
+  q.channels.push_back(std::move(channel));
+  return {c, c};
+}
+
+// Inserts an SU (fused, or composed per Figure 5B when the ablation option is
+// set) between a delivering stream and its consumers. Returns the node the
+// delivering stream must be connected to. SO feeds `so_consumer`, U feeds
+// `u_consumer`.
+inline Node* AddSu(BuiltQuery& q, Topology& topology, const std::string& name,
+                   Node* so_consumer, Node* u_consumer) {
+  if (q.options.composed_unfolders) {
+    ComposedSu composed = BuildComposedSu(topology, name);
+    topology.Connect(composed.so_node, so_consumer);
+    topology.Connect(composed.u_node, u_consumer);
+    return composed.entry;
+  }
+  auto* su = topology.Add<SuNode>(name);
+  topology.Connect(su, so_consumer);  // output 0 = SO
+  topology.Connect(su, u_consumer);   // output 1 = U
+  q.su_nodes.push_back(su);
+  return su;
+}
+
+// Inserts an MU (fused or composed per Figure 8). Returns {derived input
+// node, upstream input node}; the MU output feeds `consumer`.
+struct MuHandles {
+  Node* derived_entry;
+  Node* upstream_entry;
+};
+inline MuHandles AddMu(BuiltQuery& q, Topology& topology,
+                       const std::string& name, int64_t ws, Node* consumer) {
+  if (q.options.composed_unfolders) {
+    ComposedMu composed = BuildComposedMu(topology, name, ws);
+    topology.Connect(composed.output, consumer);
+    return {composed.derived_entry, composed.upstream_entry};
+  }
+  auto* mu = topology.Add<MuNode>(name, ws);
+  topology.Connect(mu, consumer);
+  return {mu, mu};
+}
+
+}  // namespace genealog::queries
+
+#endif  // GENEALOG_QUERIES_COMMON_H_

@@ -1,0 +1,221 @@
+#include "queries/assemble.h"
+
+namespace genealog::queries {
+namespace {
+
+ProvenanceSinkOptions MakeProvenanceSinkOptions(const QuerySpec& spec,
+                                                const QueryBuildOptions& options) {
+  ProvenanceSinkOptions pso;
+  pso.finalize_slack = spec.total_window_span;
+  pso.file_path = options.provenance_file;
+  pso.consumer = options.provenance_consumer;
+  return pso;
+}
+
+BaselineResolverOptions MakeResolverOptions(const QuerySpec& spec,
+                                            const QueryBuildOptions& options) {
+  BaselineResolverOptions bro;
+  bro.slack = spec.total_window_span;
+  bro.evict = options.baseline_oracle_eviction;
+  bro.file_path = options.provenance_file;
+  bro.consumer = options.provenance_consumer;
+  return bro;
+}
+
+// Intra-process deployment: everything in SPE instance 1 (Figures 1/9A/10A/11A
+// plus Theorem 5.3's SU-before-Sink for GL).
+void AssembleIntra(const QuerySpec& spec, BuiltQuery& q) {
+  auto topology =
+      std::make_unique<Topology>(/*instance_id=*/1, q.options.mode);
+  Topology& topo = *topology;
+
+  SourceNodeBase* source = spec.make_source(topo, q.options.source);
+  q.source = source;
+  auto* sink = topo.Add<SinkNode>("K", q.options.sink_consumer);
+  q.sink = sink;
+
+  Node* stage1_input = source;
+  MultiplexNode* source_tap = nullptr;  // BL: source stream copy to resolver
+  if (q.options.mode == ProvenanceMode::kBaseline) {
+    source_tap = topo.Add<MultiplexNode>("bl.source_tap");
+    topo.Connect(source, source_tap);
+    stage1_input = source_tap;
+  }
+
+  std::vector<Node*> exits = spec.build_stage1(topo, stage1_input);
+  Stage2 stage2 = spec.build_stage2(topo);
+  for (size_t i = 0; i < exits.size(); ++i) {
+    topo.Connect(exits[i], stage2.entries[i]);
+  }
+
+  switch (q.options.mode) {
+    case ProvenanceMode::kNone:
+      topo.Connect(stage2.exit, sink);
+      break;
+    case ProvenanceMode::kGenealog: {
+      auto* psink = topo.Add<ProvenanceSinkNode>(
+          "K2", MakeProvenanceSinkOptions(spec, q.options));
+      q.provenance_sink = psink;
+      Node* su = AddSu(q, topo, "SU", sink, psink);
+      topo.Connect(stage2.exit, su);
+      break;
+    }
+    case ProvenanceMode::kBaseline: {
+      auto* resolver = topo.Add<BaselineResolverNode>(
+          "bl.resolver", MakeResolverOptions(spec, q.options));
+      q.baseline_resolver = resolver;
+      auto* sink_tap = topo.Add<MultiplexNode>("bl.sink_tap");
+      topo.Connect(stage2.exit, sink_tap);
+      topo.Connect(sink_tap, sink);
+      // Resolver port order matters: 0 = annotated sink stream, 1.. = source
+      // streams.
+      topo.Connect(sink_tap, resolver);
+      topo.Connect(source_tap, resolver);
+      break;
+    }
+  }
+
+  q.n_instances = 1;
+  q.topologies.push_back(std::move(topology));
+}
+
+// The paper's distributed deployment: instance 1 (source side), instance 2
+// (sink side), and — for GL/BL — instance 3 recording provenance.
+void AssembleDistributed(const QuerySpec& spec, BuiltQuery& q) {
+  auto topo1 = std::make_unique<Topology>(1, q.options.mode);
+  auto topo2 = std::make_unique<Topology>(2, q.options.mode);
+  std::unique_ptr<Topology> topo3;
+
+  SourceNodeBase* source = spec.make_source(*topo1, q.options.source);
+  q.source = source;
+  auto* sink = topo2->Add<SinkNode>("K", q.options.sink_consumer);
+  q.sink = sink;
+
+  // Instance 1 body.
+  Node* stage1_input = source;
+  MultiplexNode* source_tap = nullptr;
+  if (q.options.mode == ProvenanceMode::kBaseline) {
+    source_tap = topo1->Add<MultiplexNode>("bl.source_tap");
+    topo1->Connect(source, source_tap);
+    stage1_input = source_tap;
+  }
+  std::vector<Node*> exits = spec.build_stage1(*topo1, stage1_input);
+
+  // Instance 2 body.
+  Stage2 stage2 = spec.build_stage2(*topo2);
+
+  switch (q.options.mode) {
+    case ProvenanceMode::kNone: {
+      // Data channels only: exit_i -> Send ~~> Receive -> entry_i.
+      for (size_t i = 0; i < exits.size(); ++i) {
+        ChannelEnds ch = AddChannel(q);
+        auto* send = topo1->Add<SendNode>("send.data" + std::to_string(i),
+                                          ch.send);
+        auto* recv = topo2->Add<ReceiveNode>("recv.data" + std::to_string(i),
+                                             ch.recv);
+        topo1->Connect(exits[i], send);
+        topo2->Connect(recv, stage2.entries[i]);
+      }
+      topo2->Connect(stage2.exit, sink);
+      q.n_instances = 2;
+      break;
+    }
+    case ProvenanceMode::kGenealog: {
+      topo3 = std::make_unique<Topology>(3, q.options.mode);
+      auto* psink = topo3->Add<ProvenanceSinkNode>(
+          "K2", MakeProvenanceSinkOptions(spec, q.options));
+      q.provenance_sink = psink;
+      MuHandles mu = AddMu(q, *topo3, "MU", spec.mu_ws, psink);
+
+      // Derived stream first: SU before the Sink at instance 2, its U sent to
+      // the MU's derived port (port 0).
+      ChannelEnds ch_derived = AddChannel(q);
+      auto* send_derived = topo2->Add<SendNode>("send.U_sink", ch_derived.send);
+      auto* recv_derived = topo3->Add<ReceiveNode>("recv.U_sink",
+                                                   ch_derived.recv);
+      Node* su2 = AddSu(q, *topo2, "SU.sink", sink, send_derived);
+      topo2->Connect(stage2.exit, su2);
+      topo3->Connect(recv_derived, mu.derived_entry);  // MU port 0
+
+      // One SU before each Send at instance 1; each U stream becomes an MU
+      // upstream port.
+      for (size_t i = 0; i < exits.size(); ++i) {
+        ChannelEnds ch_data = AddChannel(q);
+        auto* send_data = topo1->Add<SendNode>("send.data" + std::to_string(i),
+                                               ch_data.send);
+        auto* recv_data = topo2->Add<ReceiveNode>(
+            "recv.data" + std::to_string(i), ch_data.recv);
+        ChannelEnds ch_u = AddChannel(q);
+        auto* send_u = topo1->Add<SendNode>("send.U" + std::to_string(i),
+                                            ch_u.send);
+        auto* recv_u = topo3->Add<ReceiveNode>("recv.U" + std::to_string(i),
+                                               ch_u.recv);
+        Node* su1 = AddSu(q, *topo1, "SU.send" + std::to_string(i), send_data,
+                          send_u);
+        topo1->Connect(exits[i], su1);
+        topo2->Connect(recv_data, stage2.entries[i]);
+        topo3->Connect(recv_u, mu.upstream_entry);  // MU ports 1..
+      }
+      q.n_instances = 3;
+      break;
+    }
+    case ProvenanceMode::kBaseline: {
+      topo3 = std::make_unique<Topology>(3, q.options.mode);
+      auto* resolver = topo3->Add<BaselineResolverNode>(
+          "bl.resolver", MakeResolverOptions(spec, q.options));
+      q.baseline_resolver = resolver;
+
+      // Annotated sink stream to the resolver (port 0).
+      ChannelEnds ch_sink = AddChannel(q);
+      auto* send_sink = topo2->Add<SendNode>("send.sink_ann", ch_sink.send);
+      auto* recv_sink = topo3->Add<ReceiveNode>("recv.sink_ann", ch_sink.recv);
+      auto* sink_tap = topo2->Add<MultiplexNode>("bl.sink_tap");
+      topo2->Connect(stage2.exit, sink_tap);
+      topo2->Connect(sink_tap, sink);
+      topo2->Connect(sink_tap, send_sink);
+      topo3->Connect(recv_sink, resolver);  // port 0
+
+      // The whole source stream shipped to the provenance node (port 1) —
+      // the network cost §7 observes sinking the distributed baseline.
+      ChannelEnds ch_src = AddChannel(q);
+      auto* send_src = topo1->Add<SendNode>("send.source_copy", ch_src.send);
+      auto* recv_src = topo3->Add<ReceiveNode>("recv.source_copy", ch_src.recv);
+      topo1->Connect(source_tap, send_src);
+      topo3->Connect(recv_src, resolver);  // port 1
+
+      // Data channels.
+      for (size_t i = 0; i < exits.size(); ++i) {
+        ChannelEnds ch_data = AddChannel(q);
+        auto* send = topo1->Add<SendNode>("send.data" + std::to_string(i),
+                                          ch_data.send);
+        auto* recv = topo2->Add<ReceiveNode>("recv.data" + std::to_string(i),
+                                             ch_data.recv);
+        topo1->Connect(exits[i], send);
+        topo2->Connect(recv, stage2.entries[i]);
+      }
+      q.n_instances = 3;
+      break;
+    }
+  }
+
+  q.topologies.push_back(std::move(topo1));
+  q.topologies.push_back(std::move(topo2));
+  if (topo3 != nullptr) q.topologies.push_back(std::move(topo3));
+}
+
+}  // namespace
+
+BuiltQuery Assemble(const QuerySpec& spec, QueryBuildOptions options) {
+  BuiltQuery q;
+  q.options = std::move(options);
+  q.name = spec.name;
+  q.total_window_span = spec.total_window_span;
+  if (q.options.distributed) {
+    AssembleDistributed(spec, q);
+  } else {
+    AssembleIntra(spec, q);
+  }
+  return q;
+}
+
+}  // namespace genealog::queries

@@ -1,0 +1,95 @@
+// Q1 — Detecting broken-down cars (Linear Road, Figure 1).
+//
+//   Source -> Filter(speed == 0)
+//          -> Aggregate(count(), distinct(pos), last(pos);
+//                       WS = 120 s, WA = 30 s, group-by car_id)
+//          -> Filter(count == 4 AND dist_pos == 1) -> Sink
+//
+// A car is stopped when at least four consecutive position reports (one
+// every 30 s) have zero speed and the same position: a [s, s+120) window
+// holds exactly four reports of a car, so count == 4 with one distinct
+// position is precisely that condition. Four source tuples contribute to
+// each sink tuple. The distributed split (Figure 7) places Source+Filter on
+// instance 1 and Aggregate+Filter+Sink on instance 2.
+#include <set>
+
+#include "queries/assemble.h"
+#include "queries/queries.h"
+
+namespace genealog::queries {
+namespace {
+
+using lr::PositionReport;
+using lr::StoppedCarStats;
+
+AggregateCombiner<PositionReport, StoppedCarStats, int64_t>
+StoppedCarCombiner() {
+  return [](const WindowView<PositionReport, int64_t>& w) {
+    std::set<int64_t> positions;
+    for (const auto& t : w.tuples) positions.insert(t->pos);
+    return MakeTuple<StoppedCarStats>(
+        /*ts=*/0, /*car_id=*/w.key, static_cast<int64_t>(w.tuples.size()),
+        static_cast<int64_t>(positions.size()), w.tuples.back()->pos);
+  };
+}
+
+}  // namespace
+
+// Shared with q2.cc: builds Filter(speed==0) -> Aggregate -> Filter(stopped)
+// and returns the final node.
+Node* BuildStoppedCarChain(Topology& topo, Node* input,
+                           const std::string& prefix) {
+  auto* f_zero = topo.Add<FilterNode<PositionReport>>(
+      prefix + "filter.speed0",
+      [](const PositionReport& t) { return t.speed == 0.0; });
+  auto* agg = topo.Add<AggregateNode<PositionReport, StoppedCarStats>>(
+      prefix + "agg.stopped",
+      AggregateOptions{kQ1WindowSize, kQ1WindowAdvance,
+                       WindowBounds::kLeftClosedRightOpen, EmitAt::kWindowStart},
+      [](const PositionReport& t) { return t.car_id; }, StoppedCarCombiner());
+  auto* f_stopped = topo.Add<FilterNode<StoppedCarStats>>(
+      prefix + "filter.stopped", [](const StoppedCarStats& t) {
+        return t.count == kQ1StopCount && t.dist_pos == 1;
+      });
+  topo.Connect(input, f_zero);
+  topo.Connect(f_zero, agg);
+  topo.Connect(agg, f_stopped);
+  return f_stopped;
+}
+
+BuiltQuery BuildQ1(const lr::LinearRoadData& data, QueryBuildOptions options) {
+  QuerySpec spec;
+  spec.name = "Q1";
+  spec.total_window_span = kQ1WindowSize;
+  spec.mu_ws = kQ1WindowSize;  // instance 2 holds the 120 s Aggregate
+  spec.make_source = [&data](Topology& topo, const SourceOptions& so) {
+    return topo.Add<VectorSourceNode<PositionReport>>("source", data.reports,
+                                                      so);
+  };
+  // Figure 7: instance 1 = Source + Filter; instance 2 = Aggregate + Filter.
+  spec.build_stage1 = [](Topology& topo, Node* input) {
+    auto* f_zero = topo.Add<FilterNode<PositionReport>>(
+        "filter.speed0",
+        [](const PositionReport& t) { return t.speed == 0.0; });
+    topo.Connect(input, f_zero);
+    return std::vector<Node*>{f_zero};
+  };
+  spec.build_stage2 = [](Topology& topo) {
+    auto* agg = topo.Add<AggregateNode<PositionReport, StoppedCarStats>>(
+        "agg.stopped",
+        AggregateOptions{kQ1WindowSize, kQ1WindowAdvance,
+                         WindowBounds::kLeftClosedRightOpen,
+                         EmitAt::kWindowStart},
+        [](const PositionReport& t) { return t.car_id; },
+        StoppedCarCombiner());
+    auto* f_stopped = topo.Add<FilterNode<StoppedCarStats>>(
+        "filter.stopped", [](const StoppedCarStats& t) {
+          return t.count == kQ1StopCount && t.dist_pos == 1;
+        });
+    topo.Connect(agg, f_stopped);
+    return Stage2{{agg}, f_stopped};
+  };
+  return Assemble(spec, std::move(options));
+}
+
+}  // namespace genealog::queries

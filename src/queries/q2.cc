@@ -1,0 +1,65 @@
+// Q2 — Detecting accidents (Linear Road, Figure 9).
+//
+// Extends Q1: the stopped-car events (carrying each car's last position) are
+// aggregated by position over a tumbling 30 s window counting distinct cars;
+// two or more stopped cars at the same position is an accident. Eight source
+// tuples contribute to each sink tuple (two cars × four reports).
+//
+// Distributed split (Figure 9C): instance 1 = Source + Filter + Aggregate +
+// Filter (all of Q1), instance 2 = Aggregate + Filter + Sink.
+#include <set>
+
+#include "queries/assemble.h"
+#include "queries/queries.h"
+
+namespace genealog::queries {
+
+Node* BuildStoppedCarChain(Topology& topo, Node* input,
+                           const std::string& prefix);  // defined in q1.cc
+
+namespace {
+
+using lr::AccidentStats;
+using lr::StoppedCarStats;
+
+AggregateCombiner<StoppedCarStats, AccidentStats, int64_t> AccidentCombiner() {
+  return [](const WindowView<StoppedCarStats, int64_t>& w) {
+    std::set<int64_t> cars;
+    for (const auto& t : w.tuples) cars.insert(t->car_id);
+    return MakeTuple<AccidentStats>(/*ts=*/0, /*pos=*/w.key,
+                                    static_cast<int64_t>(cars.size()));
+  };
+}
+
+}  // namespace
+
+BuiltQuery BuildQ2(const lr::LinearRoadData& data, QueryBuildOptions options) {
+  QuerySpec spec;
+  spec.name = "Q2";
+  spec.total_window_span = kQ1WindowSize + kQ2WindowSize;
+  spec.mu_ws = kQ2WindowSize;  // instance 2 holds the 30 s Aggregate
+  spec.make_source = [&data](Topology& topo, const SourceOptions& so) {
+    return topo.Add<VectorSourceNode<lr::PositionReport>>("source",
+                                                          data.reports, so);
+  };
+  spec.build_stage1 = [](Topology& topo, Node* input) {
+    return std::vector<Node*>{BuildStoppedCarChain(topo, input, "q1.")};
+  };
+  spec.build_stage2 = [](Topology& topo) {
+    auto* agg = topo.Add<AggregateNode<StoppedCarStats, AccidentStats>>(
+        "agg.accidents",
+        AggregateOptions{kQ2WindowSize, kQ2WindowAdvance,
+                         WindowBounds::kLeftClosedRightOpen,
+                         EmitAt::kWindowStart},
+        [](const StoppedCarStats& t) { return t.last_pos; },
+        AccidentCombiner());
+    auto* f_accident = topo.Add<FilterNode<AccidentStats>>(
+        "filter.accident",
+        [](const AccidentStats& t) { return t.count > 1; });
+    topo.Connect(agg, f_accident);
+    return Stage2{{agg}, f_accident};
+  };
+  return Assemble(spec, std::move(options));
+}
+
+}  // namespace genealog::queries

@@ -1,0 +1,80 @@
+// Q4 — Anomaly (faulty meter) detection (smart grid, Figure 11).
+//
+//   Source -> Multiplex -> { Aggregate(sum(cons); WS = WA = 1 day,
+//                                      group-by meter_id, emit at window end),
+//                            Filter(ts % 24 == 0) }
+//          -> Join(L.meter_id == R.meter_id, WS = 1 hour,
+//                  cons_diff = |L.cons_sum - R.cons|)
+//          -> Filter(cons_diff > 200) -> Sink
+//
+// A faulty meter under-reports a day and compensates with a spike at the
+// following midnight; the daily sum of day d (emitted at ts = 24(d+1)) joins
+// the midnight reading at ts = 24(d+1), and a large absolute difference
+// raises the alert. 25 source tuples contribute to each sink tuple: the 24
+// readings of the summed day plus the midnight reading (the paper counts 24;
+// the off-by-one is a window-boundary-inclusion choice, see EXPERIMENTS.md).
+//
+// Distributed split (Figure 11C): instance 1 = Source + Multiplex +
+// Aggregate + Filter (two delivering streams, so two SUs feed the MU's two
+// upstream ports); instance 2 = Join + Filter + Sink.
+#include <cmath>
+
+#include "queries/assemble.h"
+#include "queries/queries.h"
+
+namespace genealog::queries {
+namespace {
+
+using sg::ConsumptionDiff;
+using sg::DailyConsumption;
+using sg::MeterReading;
+
+}  // namespace
+
+AggregateNode<MeterReading, DailyConsumption>* AddDailySumAggregate(
+    Topology& topo, const std::string& name);  // defined in q3.cc
+
+BuiltQuery BuildQ4(const sg::SmartGridData& data, QueryBuildOptions options) {
+  QuerySpec spec;
+  spec.name = "Q4";
+  spec.total_window_span = kDayHours + kQ4JoinWindowHours;
+  spec.mu_ws = kQ4JoinWindowHours;  // instance 2 holds the 1 h Join
+  spec.make_source = [&data](Topology& topo, const SourceOptions& so) {
+    return topo.Add<VectorSourceNode<MeterReading>>("source", data.readings,
+                                                    so);
+  };
+  spec.build_stage1 = [](Topology& topo, Node* input) {
+    auto* mux = topo.Add<MultiplexNode>("multiplex");
+    auto* agg = AddDailySumAggregate(topo, "agg.daily_sum");
+    auto* f_midnight = topo.Add<FilterNode<MeterReading>>(
+        "filter.midnight",
+        [](const MeterReading& t) { return t.ts % kDayHours == 0; });
+    topo.Connect(input, mux);
+    topo.Connect(mux, agg);
+    topo.Connect(mux, f_midnight);
+    return std::vector<Node*>{agg, f_midnight};
+  };
+  spec.build_stage2 = [](Topology& topo) {
+    auto* join =
+        topo.Add<JoinNode<DailyConsumption, MeterReading, ConsumptionDiff>>(
+            "join.meter", JoinOptions{kQ4JoinWindowHours},
+            [](const DailyConsumption& l, const MeterReading& r) {
+              return l.meter_id == r.meter_id;
+            },
+            [](const DailyConsumption& l, const MeterReading& r) {
+              return MakeTuple<ConsumptionDiff>(
+                  /*ts=*/0, l.meter_id, std::abs(l.cons_sum - r.cons));
+            });
+    auto* f_alert = topo.Add<FilterNode<ConsumptionDiff>>(
+        "filter.anomaly", [](const ConsumptionDiff& t) {
+          return t.cons_diff > kQ4DiffThreshold;
+        });
+    topo.Connect(join, f_alert);
+    // The Join appears twice: entry 0 = left (daily sums), entry 1 = right
+    // (midnight readings), matching stage 1's exit order.
+    return Stage2{{join, join}, f_alert};
+  };
+  return Assemble(spec, std::move(options));
+}
+
+}  // namespace genealog::queries

@@ -1,0 +1,166 @@
+#include "smartgrid/smartgrid.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/rng.h"
+
+namespace genealog::sg {
+
+void MeterReading::SerializePayload(ByteWriter& w) const {
+  w.PutI64(meter_id);
+  w.PutDouble(cons);
+}
+
+TuplePtr MeterReading::Deserialize(ByteReader& r, int64_t ts) {
+  const int64_t meter_id = r.GetI64();
+  const double cons = r.GetDouble();
+  return MakeTuple<MeterReading>(ts, meter_id, cons);
+}
+
+std::string MeterReading::DebugPayload() const {
+  return "meter=" + std::to_string(meter_id) + " cons=" + std::to_string(cons);
+}
+
+void DailyConsumption::SerializePayload(ByteWriter& w) const {
+  w.PutI64(meter_id);
+  w.PutDouble(cons_sum);
+}
+
+TuplePtr DailyConsumption::Deserialize(ByteReader& r, int64_t ts) {
+  const int64_t meter_id = r.GetI64();
+  const double cons_sum = r.GetDouble();
+  return MakeTuple<DailyConsumption>(ts, meter_id, cons_sum);
+}
+
+std::string DailyConsumption::DebugPayload() const {
+  return "meter=" + std::to_string(meter_id) +
+         " cons_sum=" + std::to_string(cons_sum);
+}
+
+void ZeroDayCount::SerializePayload(ByteWriter& w) const { w.PutI64(count); }
+
+TuplePtr ZeroDayCount::Deserialize(ByteReader& r, int64_t ts) {
+  const int64_t count = r.GetI64();
+  return MakeTuple<ZeroDayCount>(ts, count);
+}
+
+std::string ZeroDayCount::DebugPayload() const {
+  return "count=" + std::to_string(count);
+}
+
+void ConsumptionDiff::SerializePayload(ByteWriter& w) const {
+  w.PutI64(meter_id);
+  w.PutDouble(cons_diff);
+}
+
+TuplePtr ConsumptionDiff::Deserialize(ByteReader& r, int64_t ts) {
+  const int64_t meter_id = r.GetI64();
+  const double cons_diff = r.GetDouble();
+  return MakeTuple<ConsumptionDiff>(ts, meter_id, cons_diff);
+}
+
+std::string ConsumptionDiff::DebugPayload() const {
+  return "meter=" + std::to_string(meter_id) +
+         " cons_diff=" + std::to_string(cons_diff);
+}
+
+SmartGridData GenerateSmartGrid(const SmartGridConfig& config) {
+  SplitMix64 rng(config.seed);
+  SmartGridData data;
+
+  // Per-meter deviations planned ahead: blackout membership per day and
+  // pending midnight compensation (meter -> spike to emit at next hour-0).
+  const auto n_meters = static_cast<size_t>(config.n_meters);
+  std::vector<double> pending_spike(n_meters, 0.0);
+  std::vector<int> zero_day(n_meters, -1);  // day the meter reads zero
+
+  for (int64_t day = 0; day < config.n_days; ++day) {
+    const bool blackout =
+        rng.Bernoulli(config.blackout_probability) ||
+        std::find(config.forced_blackout_days.begin(),
+                  config.forced_blackout_days.end(),
+                  day) != config.forced_blackout_days.end();
+    if (blackout) data.blackout_days.push_back(day);
+    for (size_t m = 0; m < n_meters; ++m) {
+      const bool blacked_out =
+          blackout && m < static_cast<size_t>(config.blackout_meters);
+      if (!blacked_out && zero_day[m] != day &&
+          rng.Bernoulli(config.anomaly_probability)) {
+        zero_day[m] = static_cast<int>(day);
+        data.planted_anomalies.emplace_back(static_cast<int64_t>(m), day);
+      }
+      double day_total = 0.0;
+      for (int64_t hour = 0; hour < 24; ++hour) {
+        const int64_t ts = day * 24 + hour;
+        double cons;
+        if (hour == 0 && pending_spike[m] > 0.0) {
+          cons = pending_spike[m];
+          pending_spike[m] = 0.0;
+        } else if (blacked_out || zero_day[m] == day) {
+          cons = 0.0;
+        } else {
+          cons = std::max(0.05, config.base_consumption +
+                                    (rng.UniformDouble() * 2.0 - 1.0) *
+                                        config.consumption_jitter);
+        }
+        day_total += cons;
+        data.readings.push_back(
+            MakeTuple<MeterReading>(ts, static_cast<int64_t>(m), cons));
+      }
+      if (zero_day[m] == static_cast<int>(day)) {
+        // Compensate the skipped day at the next midnight.
+        pending_spike[m] = config.anomaly_spike;
+        (void)day_total;
+      }
+    }
+  }
+
+  std::stable_sort(data.readings.begin(), data.readings.end(),
+                   [](const auto& a, const auto& b) { return a->ts < b->ts; });
+  return data;
+}
+
+std::vector<ReferenceBlackoutEvent> ReferenceBlackouts(
+    const std::vector<IntrusivePtr<MeterReading>>& readings,
+    int64_t threshold) {
+  // (day, meter) -> daily sum.
+  std::map<std::pair<int64_t, int64_t>, double> sums;
+  for (const auto& r : readings) {
+    sums[{r->ts / 24, r->meter_id}] += r->cons;
+  }
+  std::map<int64_t, int64_t> zero_meters_per_day;
+  for (const auto& [key, sum] : sums) {
+    if (sum == 0.0) ++zero_meters_per_day[key.first];
+  }
+  std::vector<ReferenceBlackoutEvent> events;
+  for (const auto& [day, count] : zero_meters_per_day) {
+    if (count > threshold) events.push_back(ReferenceBlackoutEvent{day, count});
+  }
+  return events;
+}
+
+std::vector<ReferenceAnomalyEvent> ReferenceAnomalies(
+    const std::vector<IntrusivePtr<MeterReading>>& readings,
+    double threshold) {
+  std::map<std::pair<int64_t, int64_t>, double> sums;        // (day, meter)
+  std::map<std::pair<int64_t, int64_t>, double> midnights;   // (ts, meter)
+  for (const auto& r : readings) {
+    sums[{r->ts / 24, r->meter_id}] += r->cons;
+    if (r->ts % 24 == 0) midnights[{r->ts, r->meter_id}] = r->cons;
+  }
+  std::vector<ReferenceAnomalyEvent> events;
+  for (const auto& [key, sum] : sums) {
+    const auto [day, meter] = key;
+    auto it = midnights.find({(day + 1) * 24, meter});
+    if (it == midnights.end()) continue;
+    const double diff = std::abs(sum - it->second);
+    if (diff > threshold) {
+      events.push_back(ReferenceAnomalyEvent{day, meter, diff});
+    }
+  }
+  return events;
+}
+
+}  // namespace genealog::sg

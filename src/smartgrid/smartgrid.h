@@ -1,0 +1,153 @@
+// Smart-grid workload (§7, Q3/Q4): hourly smart-meter readings.
+//
+// Schema ⟨ts, meter_id, cons⟩, one reading per meter per hour (ts counts
+// hours; a day is readings ts = 24d .. 24d+23). The generator plants
+//  * blackouts — on chosen days, a set of >= 8 meters reports zero
+//    consumption for the whole day (Q3 raises an alert when more than 7
+//    meters have a zero daily sum);
+//  * anomalies — a meter under-reports (zero) for a day and compensates with
+//    a spike at the following midnight (ts % 24 == 0), the faulty-meter
+//    behaviour Q4 detects via |daily_sum - midnight_reading| > threshold.
+#ifndef GENEALOG_SMARTGRID_SMARTGRID_H_
+#define GENEALOG_SMARTGRID_SMARTGRID_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/tuple_crtp.h"
+
+namespace genealog::sg {
+
+struct MeterReading final : TupleCrtp<MeterReading, tags::kMeterReading> {
+  static constexpr const char* kTypeName = "sg.MeterReading";
+
+  MeterReading(int64_t ts, int64_t meter_id, double cons)
+      : TupleCrtp(ts), meter_id(meter_id), cons(cons) {}
+
+  int64_t meter_id;
+  double cons;
+
+  const char* type_name() const override { return kTypeName; }
+  void SerializePayload(ByteWriter& w) const override;
+  static TuplePtr Deserialize(ByteReader& r, int64_t ts);
+  std::string DebugPayload() const override;
+};
+
+GENEALOG_REGISTER_TUPLE(MeterReading);
+
+struct DailyConsumption final
+    : TupleCrtp<DailyConsumption, tags::kDailyConsumption> {
+  static constexpr const char* kTypeName = "sg.DailyConsumption";
+
+  DailyConsumption(int64_t ts, int64_t meter_id, double cons_sum)
+      : TupleCrtp(ts), meter_id(meter_id), cons_sum(cons_sum) {}
+
+  int64_t meter_id;
+  double cons_sum;
+
+  const char* type_name() const override { return kTypeName; }
+  void SerializePayload(ByteWriter& w) const override;
+  static TuplePtr Deserialize(ByteReader& r, int64_t ts);
+  std::string DebugPayload() const override;
+};
+
+GENEALOG_REGISTER_TUPLE(DailyConsumption);
+
+// Q3's second Aggregate output: number of meters with a zero-consumption day.
+struct ZeroDayCount final : TupleCrtp<ZeroDayCount, tags::kZeroDayCount> {
+  static constexpr const char* kTypeName = "sg.ZeroDayCount";
+
+  ZeroDayCount(int64_t ts, int64_t count) : TupleCrtp(ts), count(count) {}
+
+  int64_t count;
+
+  const char* type_name() const override { return kTypeName; }
+  void SerializePayload(ByteWriter& w) const override;
+  static TuplePtr Deserialize(ByteReader& r, int64_t ts);
+  std::string DebugPayload() const override;
+};
+
+GENEALOG_REGISTER_TUPLE(ZeroDayCount);
+
+// Q4's Join output: |daily sum - midnight reading| per meter.
+struct ConsumptionDiff final
+    : TupleCrtp<ConsumptionDiff, tags::kConsumptionDiff> {
+  static constexpr const char* kTypeName = "sg.ConsumptionDiff";
+
+  ConsumptionDiff(int64_t ts, int64_t meter_id, double cons_diff)
+      : TupleCrtp(ts), meter_id(meter_id), cons_diff(cons_diff) {}
+
+  int64_t meter_id;
+  double cons_diff;
+
+  const char* type_name() const override { return kTypeName; }
+  void SerializePayload(ByteWriter& w) const override;
+  static TuplePtr Deserialize(ByteReader& r, int64_t ts);
+  std::string DebugPayload() const override;
+};
+
+GENEALOG_REGISTER_TUPLE(ConsumptionDiff);
+
+// --- generator ---------------------------------------------------------------
+
+struct SmartGridConfig {
+  int n_meters = 40;
+  int n_days = 14;
+  // Hourly consumption of a healthy meter: uniform in [base - jitter, base +
+  // jitter], floored at 0.05.
+  double base_consumption = 2.0;
+  double consumption_jitter = 1.0;
+  // Per day, probability that a blackout hits (the first `blackout_meters`
+  // meters report zero for the whole day). > 7 meters triggers Q3.
+  double blackout_probability = 0.15;
+  // Days that black out regardless of the probability draw (deterministic
+  // event planting for tests and benches).
+  std::vector<int64_t> forced_blackout_days;
+  int blackout_meters = 9;
+  // Per meter-day, probability of the faulty-compensation anomaly: the day
+  // reads zero and the next midnight reading carries the spike.
+  double anomaly_probability = 0.01;
+  double anomaly_spike = 300.0;
+  uint64_t seed = 1234;
+};
+
+struct SmartGridData {
+  std::vector<IntrusivePtr<MeterReading>> readings;  // timestamp-sorted
+  std::vector<int64_t> blackout_days;
+  // (meter, day whose consumption was compensated at midnight of day+1)
+  std::vector<std::pair<int64_t, int64_t>> planted_anomalies;
+};
+
+SmartGridData GenerateSmartGrid(const SmartGridConfig& config);
+
+// --- reference (oracle) detectors --------------------------------------------
+
+struct ReferenceBlackoutEvent {
+  int64_t day;          // blackout day index
+  int64_t meter_count;  // meters with zero daily sum ( > threshold )
+  bool operator==(const ReferenceBlackoutEvent&) const = default;
+  auto operator<=>(const ReferenceBlackoutEvent&) const = default;
+};
+
+// Q3 semantics, brute force: days where more than `threshold` meters have an
+// all-zero daily consumption sum (day d = readings ts in [24d, 24d+24)).
+std::vector<ReferenceBlackoutEvent> ReferenceBlackouts(
+    const std::vector<IntrusivePtr<MeterReading>>& readings,
+    int64_t threshold);
+
+struct ReferenceAnomalyEvent {
+  int64_t day;  // day whose sum is compared against the next midnight
+  int64_t meter_id;
+  double diff;
+  bool operator==(const ReferenceAnomalyEvent&) const = default;
+  auto operator<=>(const ReferenceAnomalyEvent&) const = default;
+};
+
+// Q4 semantics, brute force: |sum(day d) - reading(24*(d+1))| > threshold.
+std::vector<ReferenceAnomalyEvent> ReferenceAnomalies(
+    const std::vector<IntrusivePtr<MeterReading>>& readings, double threshold);
+
+}  // namespace genealog::sg
+
+#endif  // GENEALOG_SMARTGRID_SMARTGRID_H_

@@ -1,0 +1,274 @@
+// Aggregate operator (§2): time-based sliding window of size WS and advance
+// WA over the most recent tuples, with optional group-by, firing when the
+// input watermark passes the window boundary.
+//
+// Window bounds are configurable:
+//  * kLeftClosedRightOpen  — [start, start+WS), output ts = start by default.
+//    Matches Figure 1, where the sink tuple (08:00:00, a, 4, 1) aggregates the
+//    reports 08:00:01..08:01:31 of window [08:00:00, 08:02:00).
+//  * kLeftOpenRightClosed  — (start, start+WS], output ts = start+WS by
+//    default. Used by the smart-grid queries so that a day window over hourly
+//    readings 1..24 ends exactly at the midnight reading (Q4's join then
+//    matches the daily sum with the midnight measurement within WS = 1 h, and
+//    the contribution-graph sizes are the paper's 192 and 24 tuples).
+//
+// Firing is globally ordered by (window end, group key), making the output
+// stream deterministic and timestamp-sorted; the forwarded watermark is the
+// tightest bound on future output timestamps.
+#ifndef GENEALOG_SPE_AGGREGATE_H_
+#define GENEALOG_SPE_AGGREGATE_H_
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <functional>
+#include <map>
+#include <queue>
+#include <span>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "common/int_math.h"
+#include "spe/node.h"
+
+namespace genealog {
+
+enum class WindowBounds : uint8_t {
+  kLeftClosedRightOpen,  // [start, start+WS)
+  kLeftOpenRightClosed,  // (start, start+WS]
+};
+
+enum class EmitAt : uint8_t { kWindowStart, kWindowEnd };
+
+// Which window tuples the provenance instrumentation links (§9 future-work
+// item (i)): by Definition 3.1 every window tuple contributes
+// (kAllWindowTuples); kContributorsOnly lets the combiner narrow that to the
+// tuples that actually explain the output — e.g. only the maximum for a
+// max() aggregate — shrinking contribution graphs and releasing the other
+// tuples as soon as the window is evicted. Restricted to tumbling windows
+// (WA >= WS): with overlap, a tuple's N successor would differ per window.
+enum class ProvenanceScope : uint8_t { kAllWindowTuples, kContributorsOnly };
+
+struct AggregateOptions {
+  int64_t ws = 0;  // window size
+  int64_t wa = 0;  // window advance
+  WindowBounds bounds = WindowBounds::kLeftClosedRightOpen;
+  EmitAt emit_at = EmitAt::kWindowStart;
+  ProvenanceScope provenance_scope = ProvenanceScope::kAllWindowTuples;
+};
+
+// The window handed to a combiner: the group key, the window frame, and the
+// tuples belonging to it, in timestamp order.
+template <typename In, typename Key>
+struct WindowView {
+  const Key& key;
+  int64_t start;  // window start (left bound; open or closed per options)
+  int64_t end;    // start + WS
+  std::span<const IntrusivePtr<In>> tuples;
+  // Under ProvenanceScope::kContributorsOnly the combiner may fill this with
+  // the (strictly increasing) indices into `tuples` that explain the output.
+  // Left empty, all window tuples are linked, as under kAllWindowTuples.
+  std::vector<size_t>* contributors = nullptr;
+};
+
+// Combiner: computes the output payload for a (non-empty) window; returning
+// null suppresses the output. Timestamps, ids, stimuli and provenance
+// meta-attributes are applied by the node.
+template <typename In, typename Out, typename Key>
+using AggregateCombiner =
+    std::function<IntrusivePtr<Out>(const WindowView<In, Key>&)>;
+
+template <typename In, typename Out, typename Key = int64_t>
+class AggregateNode final : public SingleInputNode {
+ public:
+  using KeyFn = std::function<Key(const In&)>;
+
+  AggregateNode(std::string name, AggregateOptions options, KeyFn key_fn,
+                AggregateCombiner<In, Out, Key> combiner)
+      : SingleInputNode(std::move(name)),
+        options_(options),
+        key_fn_(std::move(key_fn)),
+        combiner_(std::move(combiner)) {
+    assert(options_.ws > 0 && options_.wa > 0);
+    if (options_.provenance_scope == ProvenanceScope::kContributorsOnly &&
+        options_.wa < options_.ws) {
+      throw std::invalid_argument(
+          "ProvenanceScope::kContributorsOnly requires tumbling windows "
+          "(WA >= WS): with sliding windows a tuple's N successor would "
+          "differ per window");
+    }
+  }
+
+ protected:
+  void OnTuple(TuplePtr t) override {
+    auto typed = StaticPointerCast<In>(t);
+    const Key key = key_fn_(*typed);
+    auto [it, inserted] = groups_.try_emplace(key);
+    GroupState& g = it->second;
+    if (inserted) {
+      g.next_start = FirstWindowStart(typed->ts);
+      heap_.push(HeapEntry{FireThreshold(g.next_start), key});
+    }
+    g.tuples.push_back(std::move(typed));
+  }
+
+  void OnWatermark(int64_t wm) override {
+    FireDue(wm);
+    ForwardWatermark(OutputWatermark(wm));
+  }
+
+  void OnFlush() override { FireDue(kWatermarkMax); }
+
+ private:
+  struct GroupState {
+    std::deque<IntrusivePtr<In>> tuples;
+    int64_t next_start = 0;  // start of the earliest unfired window
+  };
+
+  struct HeapEntry {
+    int64_t fire_at;  // input watermark at which the window may fire
+    Key key;
+    // Min-heap by (fire_at, key): simultaneous firings across groups are
+    // ordered by key, keeping the output deterministic.
+    bool operator>(const HeapEntry& o) const {
+      if (fire_at != o.fire_at) return fire_at > o.fire_at;
+      return o.key < key;
+    }
+  };
+
+  bool LeftClosed() const {
+    return options_.bounds == WindowBounds::kLeftClosedRightOpen;
+  }
+
+  // Window membership: LCRO [s, s+WS); LORC (s, s+WS].
+  bool InWindow(int64_t ts, int64_t start) const {
+    if (LeftClosed()) return ts >= start && ts < start + options_.ws;
+    return ts > start && ts <= start + options_.ws;
+  }
+
+  // Start of the earliest aligned window that contains (or could contain) ts.
+  int64_t FirstWindowStart(int64_t ts) const {
+    // LCRO: smallest aligned s with s + WS > ts;
+    // LORC: smallest aligned s with s + WS >= ts.
+    const int64_t bound = LeftClosed() ? ts - options_.ws : ts - options_.ws - 1;
+    return FloorAlign(bound, options_.wa) + options_.wa;
+  }
+
+  // The window [s, ...] may fire once the input watermark reaches this value
+  // (all tuples that could belong to the window have been seen).
+  int64_t FireThreshold(int64_t start) const {
+    return SatAdd(start + options_.ws, LeftClosed() ? 0 : 1);
+  }
+
+  int64_t OutputWatermark(int64_t wm) const {
+    // Tightest bound on future output ts, see the window-arithmetic note in
+    // DESIGN.md: min future start = wm - WS (+1 if left-closed).
+    const int64_t min_future_start =
+        SatAdd(SatSub(wm, options_.ws), LeftClosed() ? 1 : 0);
+    return options_.emit_at == EmitAt::kWindowStart
+               ? min_future_start
+               : SatAdd(min_future_start, options_.ws);
+  }
+
+  void FireDue(int64_t wm) {
+    while (!heap_.empty() && heap_.top().fire_at <= wm) {
+      const Key key = heap_.top().key;
+      heap_.pop();
+      auto it = groups_.find(key);
+      if (it == groups_.end()) continue;
+      GroupState& g = it->second;
+
+      // Fast-forward over empty windows: the earliest buffered tuple bounds
+      // the earliest non-empty window.
+      if (!g.tuples.empty()) {
+        g.next_start =
+            std::max(g.next_start, FirstWindowStart(g.tuples.front()->ts));
+      }
+      if (FireThreshold(g.next_start) > wm) {
+        heap_.push(HeapEntry{FireThreshold(g.next_start), key});
+        continue;
+      }
+
+      FireOne(key, g);
+
+      if (g.tuples.empty()) {
+        groups_.erase(it);
+      } else {
+        heap_.push(HeapEntry{FireThreshold(g.next_start), key});
+      }
+    }
+  }
+
+  // Fires the window at g.next_start and advances the group by WA.
+  void FireOne(const Key& key, GroupState& g) {
+    const int64_t start = g.next_start;
+    window_scratch_.clear();
+    for (const auto& t : g.tuples) {
+      if (InWindow(t->ts, start)) {
+        window_scratch_.push_back(t);
+      } else if (t->ts > start + options_.ws) {
+        break;  // sorted: nothing later belongs to this window
+      }
+    }
+    if (!window_scratch_.empty()) {
+      const bool selective =
+          options_.provenance_scope == ProvenanceScope::kContributorsOnly;
+      contributor_indices_.clear();
+      WindowView<In, Key> view{key, start, start + options_.ws,
+                               std::span<const IntrusivePtr<In>>(window_scratch_),
+                               selective ? &contributor_indices_ : nullptr};
+      IntrusivePtr<Out> out = combiner_(view);
+      if (out != nullptr) {
+        out->ts = options_.emit_at == EmitAt::kWindowStart ? start
+                                                           : start + options_.ws;
+        // The contributing tuples: everything in the window, or the subset
+        // the combiner selected (future-work item (i)).
+        std::span<const IntrusivePtr<In>> contributing(window_scratch_);
+        if (selective && !contributor_indices_.empty()) {
+          contributor_scratch_.clear();
+          for (size_t index : contributor_indices_) {
+            assert(index < window_scratch_.size());
+            assert(contributor_scratch_.empty() ||
+                   contributor_scratch_.back()->ts <=
+                       window_scratch_[index]->ts);
+            contributor_scratch_.push_back(window_scratch_[index]);
+          }
+          contributing = std::span<const IntrusivePtr<In>>(contributor_scratch_);
+        }
+        int64_t stimulus = 0;
+        for (const auto& t : contributing) {
+          stimulus = std::max(stimulus, t->stimulus);
+        }
+        out->stimulus = stimulus;
+        out->id = NextTupleId();
+        InstrumentAggregate(mode(), *out, contributing);
+        EmitTupleAll(out);
+        contributor_scratch_.clear();
+      }
+    }
+    window_scratch_.clear();
+
+    // Advance and evict tuples that precede the next window.
+    g.next_start += options_.wa;
+    while (!g.tuples.empty()) {
+      const int64_t ts = g.tuples.front()->ts;
+      const bool before_next = LeftClosed() ? ts < g.next_start : ts <= g.next_start;
+      if (!before_next) break;
+      g.tuples.pop_front();
+    }
+  }
+
+  AggregateOptions options_;
+  KeyFn key_fn_;
+  AggregateCombiner<In, Out, Key> combiner_;
+  std::map<Key, GroupState> groups_;
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> heap_;
+  std::vector<IntrusivePtr<In>> window_scratch_;
+  std::vector<size_t> contributor_indices_;
+  std::vector<IntrusivePtr<In>> contributor_scratch_;
+};
+
+}  // namespace genealog
+
+#endif  // GENEALOG_SPE_AGGREGATE_H_

@@ -1,0 +1,94 @@
+// Join operator (§2): matches pairs (tL, tR) with |tL.ts - tR.ts| <= WS that
+// satisfy the predicate, producing one output tuple per pair.
+//
+// Implementation: the two input streams are merged deterministically
+// (MergingNode); each released tuple is matched against the opposite window
+// buffer. Because merge order is (ts, port), the buffered tuple of a pair is
+// never newer than the one being processed, which yields the paper's U1/U2
+// orientation for free: U1 (more recent) = the tuple being processed,
+// U2 = the buffered one. Buffers are purged once the merged watermark is more
+// than WS ahead.
+#ifndef GENEALOG_SPE_JOIN_H_
+#define GENEALOG_SPE_JOIN_H_
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <functional>
+#include <utility>
+
+#include "common/int_math.h"
+#include "spe/node.h"
+
+namespace genealog {
+
+struct JoinOptions {
+  int64_t ws = 0;  // max timestamp distance between matched tuples
+};
+
+template <typename L, typename R, typename Out>
+class JoinNode final : public MergingNode {
+ public:
+  using Predicate = std::function<bool(const L&, const R&)>;
+  // Builds the output payload for one matching pair; ts, id, stimulus and
+  // provenance instrumentation are applied by the node.
+  using Combine = std::function<IntrusivePtr<Out>(const L&, const R&)>;
+
+  JoinNode(std::string name, JoinOptions options, Predicate pred,
+           Combine combine)
+      : MergingNode(std::move(name)),
+        options_(options),
+        pred_(std::move(pred)),
+        combine_(std::move(combine)) {
+    assert(options_.ws >= 0);
+  }
+
+ protected:
+  void OnMergedTuple(size_t port, TuplePtr t) override {
+    if (port == 0) {
+      auto l = StaticPointerCast<L>(t);
+      for (const auto& r : right_) {
+        if (l->ts - r->ts <= options_.ws && pred_(*l, *r)) {
+          EmitMatch(*l, *r, /*newer=*/l.get(), /*older=*/r.get());
+        }
+      }
+      left_.push_back(std::move(l));
+    } else {
+      auto r = StaticPointerCast<R>(t);
+      for (const auto& l : left_) {
+        if (r->ts - l->ts <= options_.ws && pred_(*l, *r)) {
+          EmitMatch(*l, *r, /*newer=*/r.get(), /*older=*/l.get());
+        }
+      }
+      right_.push_back(std::move(r));
+    }
+  }
+
+  void OnMergedWatermark(int64_t wm) override {
+    const int64_t horizon = SatSub(wm, options_.ws);
+    while (!left_.empty() && left_.front()->ts < horizon) left_.pop_front();
+    while (!right_.empty() && right_.front()->ts < horizon) right_.pop_front();
+    ForwardWatermark(wm);
+  }
+
+ private:
+  void EmitMatch(const L& l, const R& r, Tuple* newer, Tuple* older) {
+    IntrusivePtr<Out> out = combine_(l, r);
+    if (out == nullptr) return;
+    out->ts = std::max(l.ts, r.ts);
+    out->stimulus = std::max(l.stimulus, r.stimulus);
+    out->id = NextTupleId();
+    InstrumentJoin(mode(), *out, *newer, *older);
+    EmitTupleAll(out);
+  }
+
+  JoinOptions options_;
+  Predicate pred_;
+  Combine combine_;
+  std::deque<IntrusivePtr<L>> left_;
+  std::deque<IntrusivePtr<R>> right_;
+};
+
+}  // namespace genealog
+
+#endif  // GENEALOG_SPE_JOIN_H_

@@ -1,0 +1,136 @@
+#include "spe/node.h"
+
+#include <atomic>
+
+namespace genealog {
+namespace {
+
+std::atomic<uint64_t> g_next_node_uid{1};
+
+}  // namespace
+
+Node::Node(std::string name)
+    : name_(std::move(name)),
+      uid_(g_next_node_uid.fetch_add(1, std::memory_order_relaxed)) {}
+
+Endpoint Node::AddInput(size_t capacity) {
+  if (in_queue_ == nullptr) {
+    in_queue_ = std::make_unique<StreamQueue>(capacity);
+  }
+  return Endpoint{in_queue_.get(), static_cast<uint16_t>(num_ports_++)};
+}
+
+void Node::AbortQueues() {
+  if (in_queue_ != nullptr) in_queue_->Abort();
+}
+
+bool Node::EmitTupleAll(const TuplePtr& t) {
+  for (const Endpoint& e : outputs_) {
+    if (!e.Push(StreamItem::MakeTuple(t))) return false;
+  }
+  return true;
+}
+
+bool Node::ForwardWatermark(int64_t wm) {
+  if (wm <= last_forwarded_wm_ || wm == kWatermarkMax) return true;
+  last_forwarded_wm_ = wm;
+  for (const Endpoint& e : outputs_) {
+    if (!e.Push(StreamItem::MakeWatermark(wm))) return false;
+  }
+  return true;
+}
+
+void Node::EmitFlushAll() {
+  for (const Endpoint& e : outputs_) {
+    e.Push(StreamItem::MakeFlush());
+  }
+}
+
+void SingleInputNode::Run() {
+  StreamQueue* in = input_queue();
+  for (;;) {
+    std::optional<StreamItem> item = in->Pop();
+    if (!item.has_value()) return;  // aborted
+    switch (item->kind) {
+      case StreamItem::Kind::kTuple:
+        CountProcessed();
+        OnTuple(std::move(item->tuple));
+        break;
+      case StreamItem::Kind::kWatermark:
+        OnWatermark(item->watermark);
+        break;
+      case StreamItem::Kind::kFlush:
+        OnFlush();
+        EmitFlushAll();
+        return;
+    }
+  }
+}
+
+int64_t MergingNode::MinWatermark(const std::vector<PortState>& ports) const {
+  int64_t min_wm = kWatermarkMax;
+  for (const PortState& p : ports) {
+    if (!p.flushed && p.wm < min_wm) min_wm = p.wm;
+  }
+  return min_wm;
+}
+
+void MergingNode::ReleaseReady(std::vector<PortState>& ports) {
+  const int64_t min_wm = MinWatermark(ports);
+  for (;;) {
+    size_t best = ports.size();
+    int64_t best_ts = 0;
+    for (size_t i = 0; i < ports.size(); ++i) {
+      if (ports[i].buffer.empty()) continue;
+      const int64_t head_ts = ports[i].buffer.front()->ts;
+      if (head_ts >= min_wm) continue;
+      if (best == ports.size() || head_ts < best_ts) {
+        best = i;
+        best_ts = head_ts;
+      }
+    }
+    if (best == ports.size()) break;
+    TuplePtr t = std::move(ports[best].buffer.front());
+    ports[best].buffer.pop_front();
+    CountProcessed();
+    OnMergedTuple(best, std::move(t));
+  }
+  if (min_wm > last_merged_wm_) {
+    last_merged_wm_ = min_wm;
+    OnMergedWatermark(min_wm);
+  }
+}
+
+void MergingNode::Run() {
+  std::vector<PortState> ports(num_inputs());
+  size_t flushed_ports = 0;
+  while (flushed_ports < ports.size()) {
+    std::optional<StreamItem> item = input_queue()->Pop();
+    if (!item.has_value()) return;  // aborted
+    PortState& port = ports[item->port];
+    switch (item->kind) {
+      case StreamItem::Kind::kTuple: {
+        // A sorted stream implies future ts on this port are >= this ts, so
+        // the tuple itself raises the port watermark to its own ts.
+        const int64_t ts = item->tuple->ts;
+        port.buffer.push_back(std::move(item->tuple));
+        if (ts > port.wm) port.wm = ts;
+        break;
+      }
+      case StreamItem::Kind::kWatermark:
+        if (item->watermark > port.wm) port.wm = item->watermark;
+        break;
+      case StreamItem::Kind::kFlush:
+        port.flushed = true;
+        ++flushed_ports;
+        break;
+    }
+    ReleaseReady(ports);
+  }
+  // All inputs flushed: the merged watermark is +inf and ReleaseReady above
+  // already drained the buffers in order.
+  OnAllFlushed();
+  EmitFlushAll();
+}
+
+}  // namespace genealog

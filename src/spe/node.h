@@ -1,0 +1,181 @@
+// Operator node framework.
+//
+// A Node is a runtime operator instance: it owns one physical input queue
+// (logical ports are tags on the items), holds endpoints into the input
+// queues of downstream nodes, and runs as a dedicated thread (the Liebre
+// execution model). Two base behaviours cover all operators:
+//
+//  * SingleInputNode — processes its one (already timestamp-sorted) input
+//    stream item by item;
+//  * MergingNode — deterministically merges multiple sorted input ports:
+//    tuples are buffered per port and released in (ts, port) order, strictly
+//    below the minimum input watermark, so the processing order is a pure
+//    function of the data (§2's determinism requirement), independent of
+//    thread scheduling and queue interleaving.
+#ifndef GENEALOG_SPE_NODE_H_
+#define GENEALOG_SPE_NODE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/bounded_queue.h"
+#include "core/instrumentation.h"
+#include "spe/stream_item.h"
+
+namespace genealog {
+
+using StreamQueue = BoundedQueue<StreamItem>;
+
+inline constexpr size_t kDefaultQueueCapacity = 4096;
+inline constexpr int64_t kWatermarkMin = std::numeric_limits<int64_t>::min();
+inline constexpr int64_t kWatermarkMax = std::numeric_limits<int64_t>::max();
+
+// A producer-side handle to one logical input port of a downstream node.
+struct Endpoint {
+  StreamQueue* queue = nullptr;
+  uint16_t port = 0;
+
+  bool Push(StreamItem item) const {
+    item.port = port;
+    // Consecutive watermarks on the same port collapse into one: a watermark
+    // only promises a bound on future timestamps, so the latest value
+    // subsumes earlier ones. This keeps watermark-dominated streams (high
+    // fan-out partitioners, filters that drop most tuples) from flooding
+    // queues.
+    return queue->PushCoalesce(
+        std::move(item), [](StreamItem& tail, const StreamItem& incoming) {
+          if (tail.kind == StreamItem::Kind::kWatermark &&
+              incoming.kind == StreamItem::Kind::kWatermark &&
+              tail.port == incoming.port) {
+            tail.watermark = std::max(tail.watermark, incoming.watermark);
+            return true;
+          }
+          return false;
+        });
+  }
+};
+
+class Node {
+ public:
+  explicit Node(std::string name);
+  virtual ~Node() = default;
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  // Thread body. Must drain inputs until flush/abort and emit a final flush.
+  virtual void Run() = 0;
+
+  const std::string& name() const { return name_; }
+  uint64_t uid() const { return uid_; }
+
+  int instance_id() const { return instance_id_; }
+  void set_instance_id(int id) { instance_id_ = id; }
+
+  ProvenanceMode mode() const { return mode_; }
+  void set_mode(ProvenanceMode mode) { mode_ = mode; }
+
+  // --- wiring (used by Topology) -------------------------------------------
+  // Registers a new logical input port and returns the producer-side handle.
+  Endpoint AddInput(size_t capacity = kDefaultQueueCapacity);
+  StreamQueue* input_queue() { return in_queue_.get(); }
+  size_t num_inputs() const { return num_ports_; }
+
+  void AddOutput(Endpoint e) { outputs_.push_back(e); }
+  size_t num_outputs() const { return outputs_.size(); }
+
+  void AbortQueues();
+
+  // Tuples processed by this node (inputs for operators, emissions for
+  // sources); read by harnesses after the run.
+  uint64_t tuples_processed() const {
+    return tuples_processed_.load(std::memory_order_relaxed);
+  }
+
+ protected:
+  // Globally unique tuple id: node uid in the high bits, sequence in the low.
+  uint64_t NextTupleId() { return (uid_ << 40) | next_seq_++; }
+
+  // Emission helpers. All return false when a downstream queue was aborted,
+  // which the Run loops treat as a request to stop.
+  bool EmitTo(size_t out_idx, StreamItem item) {
+    return outputs_[out_idx].Push(std::move(item));
+  }
+  bool EmitTupleAll(const TuplePtr& t);
+  // Monotonic watermark broadcast: non-increasing or infinite values are
+  // swallowed (flush carries the end-of-stream meaning).
+  bool ForwardWatermark(int64_t wm);
+  void EmitFlushAll();
+
+  void CountProcessed() {
+    tuples_processed_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  std::vector<Endpoint> outputs_;
+
+ private:
+  std::string name_;
+  uint64_t uid_;
+  uint64_t next_seq_ = 0;
+  int instance_id_ = 0;
+  ProvenanceMode mode_ = ProvenanceMode::kNone;
+  int64_t last_forwarded_wm_ = kWatermarkMin;
+  std::atomic<uint64_t> tuples_processed_{0};
+  std::unique_ptr<StreamQueue> in_queue_;
+  size_t num_ports_ = 0;
+};
+
+// Base for one-input operators (Map, Filter, Multiplex, Aggregate, Sink, SU,
+// Send). The input stream is sorted, so items are handled as they arrive.
+class SingleInputNode : public Node {
+ public:
+  using Node::Node;
+
+  void Run() final;
+
+ protected:
+  virtual void OnTuple(TuplePtr t) = 0;
+  // Default: forward. Stateful operators override to fire windows first.
+  virtual void OnWatermark(int64_t wm) { ForwardWatermark(wm); }
+  // Called once before the final flush is forwarded.
+  virtual void OnFlush() {}
+};
+
+// Base for multi-input operators (Union, Join, MU). Implements the
+// deterministic sorted merge described in the header comment.
+class MergingNode : public Node {
+ public:
+  using Node::Node;
+
+  void Run() final;
+
+ protected:
+  // Tuples arrive in deterministic (ts, port, arrival) order.
+  virtual void OnMergedTuple(size_t port, TuplePtr t) = 0;
+  // The merged watermark advanced; wm is kWatermarkMax during the final
+  // drain. Default forwards (ForwardWatermark swallows the infinite value).
+  virtual void OnMergedWatermark(int64_t wm) { ForwardWatermark(wm); }
+  // Called once after all inputs flushed and buffers drained.
+  virtual void OnAllFlushed() {}
+
+ private:
+  struct PortState {
+    std::deque<TuplePtr> buffer;
+    int64_t wm = kWatermarkMin;
+    bool flushed = false;
+  };
+
+  // Releases buffered tuples with ts < min watermark, in (ts, port) order.
+  void ReleaseReady(std::vector<PortState>& ports);
+  int64_t MinWatermark(const std::vector<PortState>& ports) const;
+
+  int64_t last_merged_wm_ = kWatermarkMin;
+};
+
+}  // namespace genealog
+
+#endif  // GENEALOG_SPE_NODE_H_

@@ -1,0 +1,90 @@
+// Key-partitioned operator parallelism.
+//
+// Challenge C3 (§3) argues that implementing provenance with standard
+// operators lets it reuse "existing distribution and parallelization
+// techniques" — the classic technique being key partitioning: a partitioner
+// routes each tuple to one of N operator instances by key hash, and a Union
+// merges the N sorted outputs back deterministically. Because every tuple is
+// consumed by exactly one Aggregate instance, the N-chain safety argument
+// (one stateful consumer per tuple object) is preserved, so GeneaLog's
+// instrumentation works unchanged inside each partition.
+#ifndef GENEALOG_SPE_PARALLEL_H_
+#define GENEALOG_SPE_PARALLEL_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "spe/aggregate.h"
+#include "spe/node.h"
+#include "spe/stateless.h"
+#include "spe/topology.h"
+
+namespace genealog {
+
+// Routes each input tuple to exactly one output stream by key hash. Like
+// Filter, it *forwards* (no copies, no instrumentation): it is semantically a
+// Router whose conditions partition the key space.
+template <typename T>
+class KeyPartitionNode final : public SingleInputNode {
+ public:
+  using KeyHashFn = std::function<uint64_t(const T&)>;
+
+  KeyPartitionNode(std::string name, KeyHashFn hash)
+      : SingleInputNode(std::move(name)), hash_(std::move(hash)) {}
+
+ protected:
+  void OnTuple(TuplePtr t) override {
+    const size_t out = static_cast<size_t>(
+        Mix(hash_(static_cast<const T&>(*t))) % num_outputs());
+    EmitTo(out, StreamItem::MakeTuple(std::move(t)));
+  }
+
+ private:
+  // SplitMix64 finalizer: decorrelates consecutive key values.
+  static uint64_t Mix(uint64_t x) {
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+  }
+
+  KeyHashFn hash_;
+};
+
+// A key-partitioned Aggregate: partition -> N AggregateNode instances ->
+// Union. Returns {entry, exit}. The merged output contains exactly the
+// tuples a single-instance Aggregate would produce; simultaneous firings of
+// keys living in different partitions merge by (ts, partition) instead of
+// (ts, key), a deterministic (run-invariant) order.
+struct ParallelStage {
+  Node* entry = nullptr;
+  Node* exit = nullptr;
+  std::vector<Node*> instances;
+};
+
+template <typename In, typename Out, typename Key = int64_t>
+ParallelStage AddParallelAggregate(
+    Topology& topology, const std::string& name, int parallelism,
+    AggregateOptions options,
+    typename AggregateNode<In, Out, Key>::KeyFn key_fn,
+    AggregateCombiner<In, Out, Key> combiner) {
+  ParallelStage stage;
+  auto* partition = topology.Add<KeyPartitionNode<In>>(
+      name + ".partition",
+      [key_fn](const In& t) { return static_cast<uint64_t>(key_fn(t)); });
+  auto* merge = topology.Add<UnionNode>(name + ".merge");
+  for (int i = 0; i < parallelism; ++i) {
+    auto* agg = topology.Add<AggregateNode<In, Out, Key>>(
+        name + ".agg" + std::to_string(i), options, key_fn, combiner);
+    topology.Connect(partition, agg);
+    topology.Connect(agg, merge);
+    stage.instances.push_back(agg);
+  }
+  stage.entry = partition;
+  stage.exit = merge;
+  return stage;
+}
+
+}  // namespace genealog
+
+#endif  // GENEALOG_SPE_PARALLEL_H_

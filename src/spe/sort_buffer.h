@@ -1,0 +1,93 @@
+// Sorting front-end for out-of-order sources.
+//
+// §2 assumes each source stream is fed in timestamp order, "either because
+// Sources deliver timestamp-sorted streams or by leveraging sorting
+// techniques" (the paper cites quality-driven reorder buffers). This node is
+// such a technique: it buffers tuples within a bounded event-time slack and
+// releases them in (ts, arrival) order, emitting watermarks so downstream
+// deterministic merges and windows work unchanged. Tuples arriving later
+// than the slack allows (they would break the sorted contract) are dropped
+// and counted, the standard policy for watermark-based engines.
+//
+// Incoming watermarks are ignored: an out-of-order producer cannot promise
+// them truthfully. The node produces its own from the high-water mark.
+#ifndef GENEALOG_SPE_SORT_BUFFER_H_
+#define GENEALOG_SPE_SORT_BUFFER_H_
+
+#include <atomic>
+#include <cassert>
+#include <queue>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/int_math.h"
+#include "spe/node.h"
+
+namespace genealog {
+
+class SortBufferNode final : public SingleInputNode {
+ public:
+  // `slack`: maximum event-time displacement the buffer absorbs. A tuple
+  // with ts <= max_seen_ts - slack on arrival is late and dropped.
+  SortBufferNode(std::string name, int64_t slack)
+      : SingleInputNode(std::move(name)), slack_(slack) {
+    assert(slack >= 0);
+  }
+
+  uint64_t late_drops() const {
+    return late_drops_.load(std::memory_order_relaxed);
+  }
+
+ protected:
+  void OnTuple(TuplePtr t) override {
+    const int64_t release_bound = SatSub(max_seen_ts_, slack_);
+    if (t->ts < release_bound) {
+      late_drops_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    if (t->ts > max_seen_ts_) max_seen_ts_ = t->ts;
+    heap_.push(Entry{t->ts, next_seq_++, std::move(t)});
+    Release(SatSub(max_seen_ts_, slack_));
+  }
+
+  void OnWatermark(int64_t) override {
+    // Swallowed: see the header comment.
+  }
+
+  void OnFlush() override { Release(kWatermarkMax); }
+
+ private:
+  struct Entry {
+    int64_t ts;
+    uint64_t seq;  // arrival order stabilizes equal timestamps
+    TuplePtr tuple;
+    bool operator>(const Entry& o) const {
+      if (ts != o.ts) return ts > o.ts;
+      return seq > o.seq;
+    }
+  };
+
+  // Emits every buffered tuple with ts < bound, in (ts, arrival) order, and
+  // advertises the bound as the new watermark.
+  void Release(int64_t bound) {
+    while (!heap_.empty() && heap_.top().ts < bound) {
+      // std::priority_queue::top() is const; the move is safe because the
+      // element is popped immediately.
+      TuplePtr t = std::move(const_cast<Entry&>(heap_.top()).tuple);
+      heap_.pop();
+      if (!EmitTupleAll(t)) return;
+    }
+    ForwardWatermark(bound);
+  }
+
+  const int64_t slack_;
+  int64_t max_seen_ts_ = kWatermarkMin;
+  uint64_t next_seq_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  std::atomic<uint64_t> late_drops_{0};
+};
+
+}  // namespace genealog
+
+#endif  // GENEALOG_SPE_SORT_BUFFER_H_

@@ -1,0 +1,151 @@
+// Source operators (§2): create the source tuples fed to the query.
+//
+// Sources stamp each tuple with kind=SOURCE, a unique id and the wall-clock
+// stimulus used for the latency metric, and interleave watermarks so
+// downstream merges can make progress. VectorSource replays a pre-generated
+// sorted dataset — the benches use it so data generation never bottlenecks a
+// measurement — with optional rate limiting and early stop.
+#ifndef GENEALOG_SPE_SOURCE_H_
+#define GENEALOG_SPE_SOURCE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/wall_clock.h"
+#include "spe/node.h"
+
+namespace genealog {
+
+struct SourceOptions {
+  // Maximum emission rate in tuples/second; 0 = unthrottled.
+  double max_rate_tps = 0;
+  // Cooperative early-stop flag polled between tuples (bench timeouts).
+  std::atomic<bool>* stop = nullptr;
+  // Replay the dataset this many times, shifting ts by `replay_ts_shift` each
+  // lap, to extend run length without regenerating data.
+  int replays = 1;
+  int64_t replay_ts_shift = 0;
+};
+
+// Common probe interface so harnesses can compute throughput without knowing
+// the payload type.
+class SourceNodeBase : public Node {
+ public:
+  using Node::Node;
+  // Wall-clock span of the emission loop; 0 if not tracked.
+  virtual int64_t active_ns() const { return 0; }
+};
+
+template <typename T>
+class VectorSourceNode final : public SourceNodeBase {
+ public:
+  VectorSourceNode(std::string name, std::vector<IntrusivePtr<T>> data,
+                   SourceOptions options = {})
+      : SourceNodeBase(std::move(name)), data_(std::move(data)), options_(options) {}
+
+  void Run() override {
+    const int64_t start_ns = NowNanos();
+    start_ns_.store(start_ns, std::memory_order_relaxed);
+    const double ns_per_tuple =
+        options_.max_rate_tps > 0 ? 1e9 / options_.max_rate_tps : 0;
+    uint64_t emitted = 0;
+    bool stopped = false;
+    for (int lap = 0; lap < options_.replays && !stopped; ++lap) {
+      const int64_t ts_shift = static_cast<int64_t>(lap) * options_.replay_ts_shift;
+      for (size_t i = 0; i < data_.size(); ++i) {
+        if (options_.stop != nullptr &&
+            options_.stop->load(std::memory_order_relaxed)) {
+          stopped = true;
+          break;
+        }
+        if (ns_per_tuple > 0) {
+          const int64_t due =
+              start_ns + static_cast<int64_t>(ns_per_tuple * static_cast<double>(emitted));
+          while (NowNanos() < due) {
+            // Sub-millisecond sleeps overshoot badly; spin for short waits.
+            if (due - NowNanos() > 2'000'000) {
+              std::this_thread::sleep_for(std::chrono::milliseconds(1));
+            }
+          }
+        }
+        // Sources may replay shared datasets; each emission is a fresh tuple
+        // object so provenance graphs and instance attribution stay exact.
+        TuplePtr t = data_[i]->CloneTuple();
+        t->ts = data_[i]->ts + ts_shift;
+        t->id = NextTupleId();
+        t->stimulus = NowNanos();
+        InstrumentSource(mode(), *t);
+        CountProcessed();
+        ++emitted;
+        if (!EmitTupleAll(t)) {
+          stopped = true;
+          break;
+        }
+        // Watermark: future tuples have ts >= this tuple's ts; if the next
+        // tuple is strictly later we can promise its ts already.
+        int64_t wm = t->ts;
+        if (i + 1 < data_.size()) {
+          const int64_t next_ts = data_[i + 1]->ts + ts_shift;
+          if (next_ts > t->ts) wm = next_ts;
+        } else if (lap + 1 < options_.replays) {
+          const int64_t next_ts = data_[0]->ts + ts_shift + options_.replay_ts_shift;
+          if (next_ts > t->ts) wm = next_ts;
+        }
+        if (!ForwardWatermark(wm)) {
+          stopped = true;
+          break;
+        }
+      }
+    }
+    end_ns_.store(NowNanos(), std::memory_order_relaxed);
+    EmitFlushAll();
+  }
+
+  // Wall-clock span of the emission loop, for throughput computation.
+  int64_t active_ns() const override {
+    return end_ns_.load(std::memory_order_relaxed) -
+           start_ns_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::vector<IntrusivePtr<T>> data_;
+  SourceOptions options_;
+  std::atomic<int64_t> start_ns_{0};
+  std::atomic<int64_t> end_ns_{0};
+};
+
+// Callback-driven source for tests and examples: `gen` returns tuples in
+// timestamp order and null when exhausted.
+template <typename T>
+class CallbackSourceNode final : public SourceNodeBase {
+ public:
+  using Generator = std::function<IntrusivePtr<T>()>;
+
+  CallbackSourceNode(std::string name, Generator gen)
+      : SourceNodeBase(std::move(name)), gen_(std::move(gen)) {}
+
+  void Run() override {
+    int64_t last_ts = kWatermarkMin;
+    while (IntrusivePtr<T> t = gen_()) {
+      t->id = NextTupleId();
+      t->stimulus = NowNanos();
+      InstrumentSource(mode(), *t);
+      last_ts = t->ts;
+      CountProcessed();
+      if (!EmitTupleAll(t)) break;
+      if (!ForwardWatermark(last_ts)) break;
+    }
+    EmitFlushAll();
+  }
+
+ private:
+  Generator gen_;
+};
+
+}  // namespace genealog
+
+#endif  // GENEALOG_SPE_SOURCE_H_

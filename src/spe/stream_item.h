@@ -1,0 +1,51 @@
+// The unit flowing over a stream between two operator nodes.
+//
+// Watermark semantics: after Watermark(w), every future tuple t on this
+// stream satisfies t.ts >= w. Sources emit watermarks as their (sorted)
+// streams advance; multi-input operators use them to merge deterministically
+// (§2's determinism requirement). Flush marks end-of-stream and implies an
+// infinite watermark.
+//
+// Every node owns a single physical input queue; logical input ports are
+// distinguished by the `port` tag stamped by the producing endpoint. This
+// keeps multi-input nodes deadlock-free in diamond topologies (e.g. Q4's
+// Multiplex -> {Aggregate, Filter} -> Join): the consumer can always drain
+// whichever upstream is ready, while the deterministic merge order is
+// reconstructed from per-port buffers and watermarks, not arrival order.
+#ifndef GENEALOG_SPE_STREAM_ITEM_H_
+#define GENEALOG_SPE_STREAM_ITEM_H_
+
+#include <cstdint>
+
+#include "core/tuple.h"
+
+namespace genealog {
+
+struct StreamItem {
+  enum class Kind : uint8_t { kTuple, kWatermark, kFlush };
+
+  Kind kind = Kind::kFlush;
+  uint16_t port = 0;       // logical input port at the consumer
+  TuplePtr tuple;          // kTuple only
+  int64_t watermark = 0;   // kWatermark only
+
+  static StreamItem MakeTuple(TuplePtr t) {
+    StreamItem item;
+    item.kind = Kind::kTuple;
+    item.tuple = std::move(t);
+    return item;
+  }
+
+  static StreamItem MakeWatermark(int64_t wm) {
+    StreamItem item;
+    item.kind = Kind::kWatermark;
+    item.watermark = wm;
+    return item;
+  }
+
+  static StreamItem MakeFlush() { return StreamItem{}; }
+};
+
+}  // namespace genealog
+
+#endif  // GENEALOG_SPE_STREAM_ITEM_H_

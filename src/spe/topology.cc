@@ -1,0 +1,71 @@
+#include "spe/topology.h"
+
+#include <thread>
+
+#include "common/memory_accounting.h"
+
+namespace genealog {
+
+size_t Topology::Connect(Node* from, Node* to, size_t capacity) {
+  Endpoint e = to->AddInput(capacity);
+  from->AddOutput(e);
+  return e.port;
+}
+
+void Topology::AbortAll() {
+  for (auto& node : nodes_) node->AbortQueues();
+  for (Abortable* resource : abortables_) resource->Abort();
+}
+
+Runner::~Runner() {
+  if (!threads_.empty() && !joined_) {
+    Abort();
+    for (auto& t : threads_) {
+      if (t.joinable()) t.join();
+    }
+  }
+}
+
+void Runner::Start() {
+  for (Topology* topology : topologies_) {
+    for (auto& node : topology->nodes()) {
+      Node* raw = node.get();
+      threads_.emplace_back([this, raw] {
+        mem::SetCurrentInstance(raw->instance_id());
+        try {
+          raw->Run();
+        } catch (...) {
+          {
+            std::lock_guard lock(error_mu_);
+            if (first_error_ == nullptr) first_error_ = std::current_exception();
+          }
+          failed_.store(true, std::memory_order_release);
+          Abort();
+        }
+      });
+    }
+  }
+}
+
+void Runner::Join() {
+  for (auto& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+  joined_ = true;
+  if (failed_.load(std::memory_order_acquire)) {
+    std::lock_guard lock(error_mu_);
+    if (first_error_ != nullptr) std::rethrow_exception(first_error_);
+  }
+}
+
+void Runner::Abort() {
+  for (Topology* topology : topologies_) topology->AbortAll();
+}
+
+void RunToCompletion(Topology& topology) {
+  Runner runner({&topology});
+  runner.Start();
+  runner.Join();
+}
+
+}  // namespace genealog

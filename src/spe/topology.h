@@ -1,0 +1,107 @@
+// Query topology and execution.
+//
+// A Topology owns the operator nodes of one SPE instance and wires streams
+// between them; a Runner executes one or more topologies, one thread per node
+// (the Liebre model), propagating the first failure by aborting all queues.
+#ifndef GENEALOG_SPE_TOPOLOGY_H_
+#define GENEALOG_SPE_TOPOLOGY_H_
+
+#include <atomic>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "spe/node.h"
+
+namespace genealog {
+
+// Anything with an Abort() that unblocks waiters — ByteChannel implements
+// this so failing runs can tear down network waits, not just queues.
+class Abortable {
+ public:
+  virtual ~Abortable() = default;
+  virtual void Abort() = 0;
+};
+
+class Topology {
+ public:
+  explicit Topology(int instance_id = 0, ProvenanceMode mode = ProvenanceMode::kNone)
+      : instance_id_(instance_id), mode_(mode) {}
+
+  int instance_id() const { return instance_id_; }
+  ProvenanceMode mode() const { return mode_; }
+
+  // Constructs a node in this topology; instance id and provenance mode are
+  // inherited. Returns a non-owning pointer valid for the topology's life.
+  template <typename N, typename... Args>
+  N* Add(Args&&... args) {
+    auto node = std::make_unique<N>(std::forward<Args>(args)...);
+    node->set_instance_id(instance_id_);
+    node->set_mode(mode_);
+    N* raw = node.get();
+    nodes_.push_back(std::move(node));
+    return raw;
+  }
+
+  // Wires a stream from `from` to a fresh input port of `to`. The order of
+  // Connect calls defines output indices on `from` (meaningful for Multiplex
+  // and SU) and input ports on `to` (meaningful for Join: 0 = left,
+  // 1 = right; and MU: 0 = derived, 1.. = upstream).
+  // Returns the input port index on `to`.
+  size_t Connect(Node* from, Node* to,
+                 size_t capacity = kDefaultQueueCapacity);
+
+  // Registers an external resource (e.g. a channel a Receive node blocks on)
+  // to be aborted together with the node queues when a run fails.
+  void RegisterAbortable(Abortable* resource) {
+    abortables_.push_back(resource);
+  }
+
+  void AbortAll();
+
+  const std::vector<std::unique_ptr<Node>>& nodes() const { return nodes_; }
+
+ private:
+  int instance_id_;
+  ProvenanceMode mode_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<Abortable*> abortables_;
+};
+
+// Runs topologies to completion. Usage:
+//   Runner runner({&t1, &t2});
+//   runner.Start();
+//   runner.Join();   // rethrows the first node failure, if any
+class Runner {
+ public:
+  explicit Runner(std::vector<Topology*> topologies)
+      : topologies_(std::move(topologies)) {}
+  ~Runner();
+  Runner(const Runner&) = delete;
+  Runner& operator=(const Runner&) = delete;
+
+  void Start();
+  void Join();
+
+  // Cooperative teardown: aborts every queue; nodes unwind promptly.
+  void Abort();
+
+ private:
+  std::vector<Topology*> topologies_;
+  std::vector<std::thread> threads_;
+  std::atomic<bool> failed_{false};
+  std::exception_ptr first_error_;
+  std::mutex error_mu_;
+  bool joined_ = false;
+};
+
+// Convenience: run a single topology to completion, rethrowing failures.
+void RunToCompletion(Topology& topology);
+
+}  // namespace genealog
+
+#endif  // GENEALOG_SPE_TOPOLOGY_H_

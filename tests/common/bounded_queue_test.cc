@@ -1,0 +1,156 @@
+#include "common/bounded_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <thread>
+#include <vector>
+
+namespace genealog {
+namespace {
+
+TEST(BoundedQueueTest, FifoOrder) {
+  BoundedQueue<int> q(8);
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(q.Push(i));
+  for (int i = 0; i < 5; ++i) {
+    auto v = q.Pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+}
+
+TEST(BoundedQueueTest, SizeTracksContents) {
+  BoundedQueue<int> q(4);
+  EXPECT_EQ(q.Size(), 0u);
+  q.Push(1);
+  q.Push(2);
+  EXPECT_EQ(q.Size(), 2u);
+  q.Pop();
+  EXPECT_EQ(q.Size(), 1u);
+}
+
+TEST(BoundedQueueTest, TryPopOnEmptyReturnsNothing) {
+  BoundedQueue<int> q(4);
+  EXPECT_FALSE(q.TryPop().has_value());
+  q.Push(7);
+  auto v = q.TryPop();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 7);
+}
+
+TEST(BoundedQueueTest, PushBlocksAtCapacityUntilPop) {
+  BoundedQueue<int> q(2);
+  ASSERT_TRUE(q.Push(1));
+  ASSERT_TRUE(q.Push(2));
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    q.Push(3);
+    pushed.store(true);
+  });
+  // Give the producer a chance to (incorrectly) complete.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(pushed.load());
+  EXPECT_EQ(*q.Pop(), 1);
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+  EXPECT_EQ(*q.Pop(), 2);
+  EXPECT_EQ(*q.Pop(), 3);
+}
+
+TEST(BoundedQueueTest, PopBlocksUntilPush) {
+  BoundedQueue<int> q(2);
+  std::atomic<int> got{-1};
+  std::thread consumer([&] { got.store(q.Pop().value_or(-2)); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(got.load(), -1);
+  q.Push(42);
+  consumer.join();
+  EXPECT_EQ(got.load(), 42);
+}
+
+TEST(BoundedQueueTest, AbortWakesBlockedConsumer) {
+  BoundedQueue<int> q(2);
+  std::thread consumer([&] {
+    auto v = q.Pop();
+    EXPECT_FALSE(v.has_value());
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  q.Abort();
+  consumer.join();
+}
+
+TEST(BoundedQueueTest, AbortWakesBlockedProducer) {
+  BoundedQueue<int> q(1);
+  ASSERT_TRUE(q.Push(1));
+  std::thread producer([&] { EXPECT_FALSE(q.Push(2)); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  q.Abort();
+  producer.join();
+}
+
+TEST(BoundedQueueTest, AbortedQueueDrainsRemainingItems) {
+  BoundedQueue<int> q(4);
+  q.Push(1);
+  q.Push(2);
+  q.Abort();
+  EXPECT_EQ(q.Pop().value(), 1);
+  EXPECT_EQ(q.Pop().value(), 2);
+  EXPECT_FALSE(q.Pop().has_value());
+  EXPECT_FALSE(q.Push(3));
+}
+
+TEST(BoundedQueueTest, SpscStressPreservesOrderAndCount) {
+  BoundedQueue<int> q(64);
+  constexpr int kItems = 100000;
+  std::thread producer([&] {
+    for (int i = 0; i < kItems; ++i) ASSERT_TRUE(q.Push(i));
+  });
+  int expected = 0;
+  int64_t sum = 0;
+  while (expected < kItems) {
+    auto v = q.Pop();
+    ASSERT_TRUE(v.has_value());
+    ASSERT_EQ(*v, expected);
+    sum += *v;
+    ++expected;
+  }
+  producer.join();
+  EXPECT_EQ(sum, static_cast<int64_t>(kItems) * (kItems - 1) / 2);
+}
+
+TEST(BoundedQueueTest, MpscStressDeliversAllItems) {
+  BoundedQueue<int> q(128);
+  constexpr int kPerProducer = 20000;
+  constexpr int kProducers = 4;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&q, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(q.Push(p * kPerProducer + i));
+      }
+    });
+  }
+  std::vector<int> last_seen(kProducers, -1);
+  for (int n = 0; n < kPerProducer * kProducers; ++n) {
+    auto v = q.Pop();
+    ASSERT_TRUE(v.has_value());
+    const int producer = *v / kPerProducer;
+    const int seq = *v % kPerProducer;
+    // Per-producer FIFO must hold even under MPSC interleaving.
+    ASSERT_GT(seq, last_seen[producer]);
+    last_seen[producer] = seq;
+  }
+  for (auto& t : producers) t.join();
+  EXPECT_FALSE(q.TryPop().has_value());
+}
+
+TEST(BoundedQueueTest, MoveOnlyPayload) {
+  BoundedQueue<std::unique_ptr<int>> q(4);
+  q.Push(std::make_unique<int>(5));
+  auto v = q.Pop();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(**v, 5);
+}
+
+}  // namespace
+}  // namespace genealog

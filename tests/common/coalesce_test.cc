@@ -1,0 +1,133 @@
+// PushCoalesce and the stream-level watermark coalescing built on it.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/bounded_queue.h"
+#include "spe/node.h"
+#include "testing/test_tuples.h"
+
+namespace genealog {
+namespace {
+
+using testing::V;
+
+bool MergeInts(int& tail, const int& incoming) {
+  if (tail < 0 && incoming < 0) {  // negative = "mergeable" marker
+    tail = std::min(tail, incoming);
+    return true;
+  }
+  return false;
+}
+
+TEST(PushCoalesceTest, MergesIntoTail) {
+  BoundedQueue<int> q(8);
+  q.PushCoalesce(-1, MergeInts);
+  q.PushCoalesce(-5, MergeInts);
+  q.PushCoalesce(-2, MergeInts);
+  EXPECT_EQ(q.Size(), 1u);
+  EXPECT_EQ(q.Pop().value(), -5);
+}
+
+TEST(PushCoalesceTest, NonMergeableItemsAppend) {
+  BoundedQueue<int> q(8);
+  q.PushCoalesce(1, MergeInts);
+  q.PushCoalesce(2, MergeInts);
+  q.PushCoalesce(-1, MergeInts);
+  q.PushCoalesce(3, MergeInts);
+  EXPECT_EQ(q.Size(), 4u);
+  EXPECT_EQ(q.Pop().value(), 1);
+}
+
+TEST(PushCoalesceTest, MergeIntoFullQueueDoesNotBlock) {
+  BoundedQueue<int> q(2);
+  q.PushCoalesce(7, MergeInts);
+  q.PushCoalesce(-1, MergeInts);  // tail is mergeable, queue now full
+  // Merging into the tail must succeed immediately despite the full queue.
+  EXPECT_TRUE(q.PushCoalesce(-9, MergeInts));
+  EXPECT_EQ(q.Size(), 2u);
+  EXPECT_EQ(q.Pop().value(), 7);
+  EXPECT_EQ(q.Pop().value(), -9);
+}
+
+TEST(PushCoalesceTest, AbortedQueueRejects) {
+  BoundedQueue<int> q(2);
+  q.Abort();
+  EXPECT_FALSE(q.PushCoalesce(-1, MergeInts));
+}
+
+TEST(EndpointCoalesceTest, ConsecutiveWatermarksCollapse) {
+  auto queue = std::make_unique<StreamQueue>(64);
+  Endpoint e{queue.get(), 0};
+  e.Push(StreamItem::MakeWatermark(5));
+  e.Push(StreamItem::MakeWatermark(9));
+  e.Push(StreamItem::MakeWatermark(7));  // lower: still merged, keeps max
+  EXPECT_EQ(queue->Size(), 1u);
+  auto item = queue->Pop();
+  ASSERT_TRUE(item.has_value());
+  EXPECT_EQ(item->kind, StreamItem::Kind::kWatermark);
+  EXPECT_EQ(item->watermark, 9);
+}
+
+TEST(EndpointCoalesceTest, DifferentPortsDoNotMerge) {
+  auto queue = std::make_unique<StreamQueue>(64);
+  Endpoint a{queue.get(), 0};
+  Endpoint b{queue.get(), 1};
+  a.Push(StreamItem::MakeWatermark(5));
+  b.Push(StreamItem::MakeWatermark(6));
+  EXPECT_EQ(queue->Size(), 2u);
+}
+
+TEST(EndpointCoalesceTest, TuplesInterruptMerging) {
+  auto queue = std::make_unique<StreamQueue>(64);
+  Endpoint e{queue.get(), 0};
+  e.Push(StreamItem::MakeWatermark(5));
+  e.Push(StreamItem::MakeTuple(V(6, 1)));
+  e.Push(StreamItem::MakeWatermark(7));
+  EXPECT_EQ(queue->Size(), 3u);
+  EXPECT_EQ(queue->Pop()->watermark, 5);
+  EXPECT_EQ(queue->Pop()->kind, StreamItem::Kind::kTuple);
+  EXPECT_EQ(queue->Pop()->watermark, 7);
+}
+
+TEST(EndpointCoalesceTest, FlushNeverMerges) {
+  auto queue = std::make_unique<StreamQueue>(64);
+  Endpoint e{queue.get(), 0};
+  e.Push(StreamItem::MakeWatermark(5));
+  e.Push(StreamItem::MakeFlush());
+  EXPECT_EQ(queue->Size(), 2u);
+}
+
+TEST(EndpointCoalesceTest, ConcurrentProducersStayConsistent) {
+  auto queue = std::make_unique<StreamQueue>(4096);
+  constexpr int kPerProducer = 20000;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < 4; ++p) {
+    producers.emplace_back([&queue, p] {
+      Endpoint e{queue.get(), static_cast<uint16_t>(p)};
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(e.Push(StreamItem::MakeWatermark(i)));
+      }
+    });
+  }
+  // Concurrent consumer: per-port watermarks must arrive nondecreasing, and
+  // the final watermark of every port must be delivered (a coalesced tail is
+  // never lost). Pop() blocks, so the consumer simply reads until it has
+  // seen every port's last value.
+  int64_t last_wm[4] = {-1, -1, -1, -1};
+  int ports_finished = 0;
+  while (ports_finished < 4) {
+    auto item = queue->Pop();
+    ASSERT_TRUE(item.has_value());
+    ASSERT_GE(item->watermark, last_wm[item->port]);
+    last_wm[item->port] = item->watermark;
+    if (item->watermark == kPerProducer - 1) ++ports_finished;
+  }
+  for (auto& t : producers) t.join();
+  for (int p = 0; p < 4; ++p) {
+    EXPECT_EQ(last_wm[p], kPerProducer - 1);
+  }
+}
+
+}  // namespace
+}  // namespace genealog

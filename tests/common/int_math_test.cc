@@ -1,0 +1,47 @@
+#include "common/int_math.h"
+
+#include <gtest/gtest.h>
+
+namespace genealog {
+namespace {
+
+TEST(IntMathTest, FloorDivPositive) {
+  EXPECT_EQ(FloorDiv(7, 3), 2);
+  EXPECT_EQ(FloorDiv(6, 3), 2);
+  EXPECT_EQ(FloorDiv(0, 5), 0);
+}
+
+TEST(IntMathTest, FloorDivNegativeRoundsDown) {
+  EXPECT_EQ(FloorDiv(-1, 3), -1);
+  EXPECT_EQ(FloorDiv(-3, 3), -1);
+  EXPECT_EQ(FloorDiv(-4, 3), -2);
+  EXPECT_EQ(FloorDiv(-7, 30), -1);
+}
+
+TEST(IntMathTest, FloorAlign) {
+  EXPECT_EQ(FloorAlign(95, 30), 90);
+  EXPECT_EQ(FloorAlign(90, 30), 90);
+  EXPECT_EQ(FloorAlign(-5, 30), -30);
+  EXPECT_EQ(FloorAlign(0, 30), 0);
+}
+
+TEST(IntMathTest, SatSubClampsAtMin) {
+  EXPECT_EQ(SatSub(INT64_MIN, 1), INT64_MIN);
+  EXPECT_EQ(SatSub(INT64_MIN + 5, 10), INT64_MIN);
+  EXPECT_EQ(SatSub(10, 3), 7);
+}
+
+TEST(IntMathTest, SatSubClampsAtMax) {
+  EXPECT_EQ(SatSub(INT64_MAX, -1), INT64_MAX);
+  EXPECT_EQ(SatSub(5, -INT64_MAX), INT64_MAX);
+}
+
+TEST(IntMathTest, SatAddClamps) {
+  EXPECT_EQ(SatAdd(INT64_MAX, 1), INT64_MAX);
+  EXPECT_EQ(SatAdd(INT64_MIN, -1), INT64_MIN);
+  EXPECT_EQ(SatAdd(2, 3), 5);
+  EXPECT_EQ(SatAdd(-2, -3), -5);
+}
+
+}  // namespace
+}  // namespace genealog

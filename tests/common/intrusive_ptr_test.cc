@@ -1,0 +1,161 @@
+#include "common/intrusive_ptr.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <utility>
+
+namespace genealog {
+namespace {
+
+struct Counted {
+  explicit Counted(int* alive) : alive(alive) { ++*alive; }
+  ~Counted() { --*alive; }
+  void Ref() const { refs.fetch_add(1, std::memory_order_relaxed); }
+  bool Unref() const {
+    return refs.fetch_sub(1, std::memory_order_acq_rel) == 1;
+  }
+  int* alive;
+  mutable std::atomic<int> refs{0};
+};
+
+void intrusive_ref(const Counted* c) noexcept { c->Ref(); }
+void intrusive_unref(const Counted* c) noexcept {
+  if (c->Unref()) delete c;
+}
+
+struct Derived : Counted {
+  using Counted::Counted;
+};
+
+TEST(IntrusivePtrTest, DefaultIsNull) {
+  IntrusivePtr<Counted> p;
+  EXPECT_EQ(p.get(), nullptr);
+  EXPECT_FALSE(p);
+}
+
+TEST(IntrusivePtrTest, AcquiresAndReleases) {
+  int alive = 0;
+  {
+    IntrusivePtr<Counted> p(new Counted(&alive));
+    EXPECT_EQ(alive, 1);
+    EXPECT_EQ(p->refs.load(), 1);
+  }
+  EXPECT_EQ(alive, 0);
+}
+
+TEST(IntrusivePtrTest, CopySharesOwnership) {
+  int alive = 0;
+  IntrusivePtr<Counted> a(new Counted(&alive));
+  {
+    IntrusivePtr<Counted> b = a;
+    EXPECT_EQ(a->refs.load(), 2);
+    EXPECT_EQ(a.get(), b.get());
+  }
+  EXPECT_EQ(a->refs.load(), 1);
+  EXPECT_EQ(alive, 1);
+}
+
+TEST(IntrusivePtrTest, MoveTransfersWithoutRefTraffic) {
+  int alive = 0;
+  IntrusivePtr<Counted> a(new Counted(&alive));
+  Counted* raw = a.get();
+  IntrusivePtr<Counted> b = std::move(a);
+  EXPECT_EQ(b.get(), raw);
+  EXPECT_EQ(a.get(), nullptr);  // NOLINT(bugprone-use-after-move)
+  EXPECT_EQ(b->refs.load(), 1);
+}
+
+TEST(IntrusivePtrTest, CopyAssignReleasesPrevious) {
+  int alive = 0;
+  IntrusivePtr<Counted> a(new Counted(&alive));
+  IntrusivePtr<Counted> b(new Counted(&alive));
+  EXPECT_EQ(alive, 2);
+  b = a;
+  EXPECT_EQ(alive, 1);
+  EXPECT_EQ(a->refs.load(), 2);
+}
+
+TEST(IntrusivePtrTest, SelfAssignIsSafe) {
+  int alive = 0;
+  IntrusivePtr<Counted> a(new Counted(&alive));
+  a = *&a;
+  EXPECT_EQ(alive, 1);
+  EXPECT_EQ(a->refs.load(), 1);
+}
+
+TEST(IntrusivePtrTest, ResetReleases) {
+  int alive = 0;
+  IntrusivePtr<Counted> a(new Counted(&alive));
+  a.reset();
+  EXPECT_EQ(alive, 0);
+  EXPECT_EQ(a.get(), nullptr);
+}
+
+TEST(IntrusivePtrTest, NullptrAssignmentReleases) {
+  int alive = 0;
+  IntrusivePtr<Counted> a(new Counted(&alive));
+  a = nullptr;
+  EXPECT_EQ(alive, 0);
+}
+
+TEST(IntrusivePtrTest, ReleaseRelinquishesOwnership) {
+  int alive = 0;
+  IntrusivePtr<Counted> a(new Counted(&alive));
+  Counted* raw = a.release();
+  EXPECT_EQ(a.get(), nullptr);
+  EXPECT_EQ(alive, 1);
+  EXPECT_EQ(raw->refs.load(), 1);
+  intrusive_unref(raw);
+  EXPECT_EQ(alive, 0);
+}
+
+TEST(IntrusivePtrTest, AdoptWithoutAddRef) {
+  int alive = 0;
+  Counted* raw = new Counted(&alive);
+  intrusive_ref(raw);  // caller-owned reference
+  {
+    IntrusivePtr<Counted> p(raw, /*add_ref=*/false);
+    EXPECT_EQ(p->refs.load(), 1);
+  }
+  EXPECT_EQ(alive, 0);
+}
+
+TEST(IntrusivePtrTest, ConvertingCopyFromDerived) {
+  int alive = 0;
+  IntrusivePtr<Derived> d(new Derived(&alive));
+  IntrusivePtr<Counted> b = d;
+  EXPECT_EQ(b.get(), d.get());
+  EXPECT_EQ(d->refs.load(), 2);
+}
+
+TEST(IntrusivePtrTest, ComparisonOperators) {
+  int alive = 0;
+  IntrusivePtr<Counted> a(new Counted(&alive));
+  IntrusivePtr<Counted> b = a;
+  IntrusivePtr<Counted> c;
+  EXPECT_TRUE(a == b);
+  EXPECT_TRUE(c == nullptr);
+  EXPECT_FALSE(a == nullptr);
+  EXPECT_TRUE(a == a.get());
+}
+
+TEST(IntrusivePtrTest, SwapExchangesPointees) {
+  int alive = 0;
+  IntrusivePtr<Counted> a(new Counted(&alive));
+  IntrusivePtr<Counted> b;
+  Counted* raw = a.get();
+  a.swap(b);
+  EXPECT_EQ(a.get(), nullptr);
+  EXPECT_EQ(b.get(), raw);
+}
+
+TEST(IntrusivePtrTest, HashMatchesRawPointerHash) {
+  int alive = 0;
+  IntrusivePtr<Counted> a(new Counted(&alive));
+  EXPECT_EQ(std::hash<IntrusivePtr<Counted>>()(a),
+            std::hash<Counted*>()(a.get()));
+}
+
+}  // namespace
+}  // namespace genealog

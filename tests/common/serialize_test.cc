@@ -1,0 +1,113 @@
+#include "common/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace genealog {
+namespace {
+
+TEST(SerializeTest, RoundTripsScalars) {
+  ByteWriter w;
+  w.PutU8(0xAB);
+  w.PutU16(0x1234);
+  w.PutU32(0xDEADBEEF);
+  w.PutU64(0x0123456789ABCDEFULL);
+  w.PutI64(-42);
+  w.PutDouble(3.14159);
+
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.GetU8(), 0xAB);
+  EXPECT_EQ(r.GetU16(), 0x1234);
+  EXPECT_EQ(r.GetU32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.GetU64(), 0x0123456789ABCDEFULL);
+  EXPECT_EQ(r.GetI64(), -42);
+  EXPECT_DOUBLE_EQ(r.GetDouble(), 3.14159);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(SerializeTest, RoundTripsExtremeValues) {
+  ByteWriter w;
+  w.PutI64(std::numeric_limits<int64_t>::min());
+  w.PutI64(std::numeric_limits<int64_t>::max());
+  w.PutDouble(std::numeric_limits<double>::infinity());
+  w.PutDouble(-0.0);
+  w.PutDouble(std::numeric_limits<double>::quiet_NaN());
+
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.GetI64(), std::numeric_limits<int64_t>::min());
+  EXPECT_EQ(r.GetI64(), std::numeric_limits<int64_t>::max());
+  EXPECT_TRUE(std::isinf(r.GetDouble()));
+  EXPECT_EQ(std::signbit(r.GetDouble()), true);
+  EXPECT_TRUE(std::isnan(r.GetDouble()));
+}
+
+TEST(SerializeTest, RoundTripsStrings) {
+  ByteWriter w;
+  w.PutString("");
+  w.PutString("hello world");
+  std::string binary("\x00\x01\xFF", 3);
+  w.PutString(binary);
+
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.GetString(), "");
+  EXPECT_EQ(r.GetString(), "hello world");
+  EXPECT_EQ(r.GetString(), binary);
+}
+
+TEST(SerializeTest, RoundTripsRawBytes) {
+  ByteWriter w;
+  const uint8_t data[4] = {1, 2, 3, 4};
+  w.PutBytes(data, 4);
+  ByteReader r(w.bytes());
+  uint8_t out[4] = {};
+  r.GetBytes(out, 4);
+  EXPECT_EQ(out[0], 1);
+  EXPECT_EQ(out[3], 4);
+}
+
+TEST(SerializeTest, ReaderThrowsOnTruncatedScalar) {
+  ByteWriter w;
+  w.PutU16(7);
+  ByteReader r(w.bytes());
+  r.GetU8();
+  EXPECT_THROW(r.GetU64(), std::out_of_range);
+}
+
+TEST(SerializeTest, ReaderThrowsOnTruncatedString) {
+  ByteWriter w;
+  w.PutU32(100);  // claims 100 bytes, delivers none
+  ByteReader r(w.bytes());
+  EXPECT_THROW(r.GetString(), std::out_of_range);
+}
+
+TEST(SerializeTest, ReaderTracksRemaining) {
+  ByteWriter w;
+  w.PutU32(1);
+  w.PutU32(2);
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.remaining(), 8u);
+  r.GetU32();
+  EXPECT_EQ(r.remaining(), 4u);
+  r.GetU32();
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(SerializeTest, TakeBytesMovesBuffer) {
+  ByteWriter w;
+  w.PutU8(9);
+  auto bytes = w.TakeBytes();
+  EXPECT_EQ(bytes.size(), 1u);
+  EXPECT_EQ(w.size(), 0u);
+}
+
+TEST(SerializeTest, ClearResetsWriter) {
+  ByteWriter w;
+  w.PutU64(1);
+  w.Clear();
+  EXPECT_EQ(w.size(), 0u);
+}
+
+}  // namespace
+}  // namespace genealog

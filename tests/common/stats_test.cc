@@ -1,0 +1,104 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace genealog {
+namespace {
+
+TEST(RunStatsTest, EmptyIsZero) {
+  RunStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.ci95(), 0.0);
+}
+
+TEST(RunStatsTest, SingleValue) {
+  RunStats s;
+  s.Add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.mean(), 5.0);
+  EXPECT_EQ(s.min(), 5.0);
+  EXPECT_EQ(s.max(), 5.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunStatsTest, MeanAndVariance) {
+  RunStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance of this classic dataset is 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-9);
+}
+
+TEST(RunStatsTest, Ci95ShrinksWithSamples) {
+  RunStats small;
+  RunStats large;
+  for (int i = 0; i < 10; ++i) small.Add(i % 2 == 0 ? 1.0 : 3.0);
+  for (int i = 0; i < 1000; ++i) large.Add(i % 2 == 0 ? 1.0 : 3.0);
+  EXPECT_GT(small.ci95(), large.ci95());
+  EXPECT_GT(large.ci95(), 0.0);
+}
+
+TEST(RunStatsTest, TracksMinMax) {
+  RunStats s;
+  s.Add(-3);
+  s.Add(10);
+  s.Add(2);
+  EXPECT_EQ(s.min(), -3);
+  EXPECT_EQ(s.max(), 10);
+}
+
+TEST(RunStatsTest, ConstantSeriesHasZeroVariance) {
+  RunStats s;
+  for (int i = 0; i < 100; ++i) s.Add(7.5);
+  EXPECT_NEAR(s.variance(), 0.0, 1e-12);
+  EXPECT_NEAR(s.ci95(), 0.0, 1e-12);
+}
+
+TEST(PercentileTest, EmptyReturnsZero) {
+  EXPECT_EQ(Percentile({}, 50), 0.0);
+}
+
+TEST(PercentileTest, MedianOfOddSet) {
+  EXPECT_DOUBLE_EQ(Percentile({3, 1, 2}, 50), 2.0);
+}
+
+TEST(PercentileTest, InterpolatesBetweenRanks) {
+  EXPECT_DOUBLE_EQ(Percentile({0, 10}, 50), 5.0);
+  EXPECT_DOUBLE_EQ(Percentile({0, 10}, 25), 2.5);
+}
+
+TEST(PercentileTest, ExtremesAreMinMax) {
+  std::vector<double> v{5, 1, 9, 3};
+  EXPECT_DOUBLE_EQ(Percentile(v, 0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 100), 9.0);
+}
+
+TEST(SampleStatsTest, MeanOverAllSamplesNotJustReservoir) {
+  SampleStats s(/*reservoir_capacity=*/10);
+  for (int i = 0; i < 1000; ++i) s.Add(static_cast<double>(i));
+  EXPECT_EQ(s.count(), 1000u);
+  EXPECT_DOUBLE_EQ(s.mean(), 999.0 / 2.0);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 999.0);
+}
+
+TEST(SampleStatsTest, PercentileFromReservoirIsPlausible) {
+  SampleStats s(4096);
+  for (int i = 0; i < 100000; ++i) s.Add(static_cast<double>(i % 1000));
+  const double p50 = s.percentile(50);
+  EXPECT_GT(p50, 350.0);
+  EXPECT_LT(p50, 650.0);
+}
+
+TEST(SampleStatsTest, SmallSampleExactPercentiles) {
+  SampleStats s;
+  for (double x : {1.0, 2.0, 3.0, 4.0, 5.0}) s.Add(x);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 3.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 5.0);
+}
+
+}  // namespace
+}  // namespace genealog

@@ -1,0 +1,154 @@
+#include "core/instrumentation.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_tuples.h"
+
+namespace genealog {
+namespace {
+
+using testing::V;
+using testing::ValueTuple;
+
+TEST(MergeAnnotationsTest, HandlesNullsAndEmpties) {
+  std::vector<uint64_t> a{1, 2};
+  EXPECT_EQ(MergeAnnotations(nullptr, nullptr), std::vector<uint64_t>{});
+  EXPECT_EQ(MergeAnnotations(&a, nullptr), a);
+  EXPECT_EQ(MergeAnnotations(nullptr, &a), a);
+}
+
+TEST(MergeAnnotationsTest, UnionIsSortedAndDeduplicated) {
+  std::vector<uint64_t> a{1, 3, 5};
+  std::vector<uint64_t> b{2, 3, 6};
+  EXPECT_EQ(MergeAnnotations(&a, &b), (std::vector<uint64_t>{1, 2, 3, 5, 6}));
+}
+
+TEST(InstrumentSourceTest, GenealogSetsKindOnly) {
+  auto t = V(1, 1);
+  t->id = 10;
+  InstrumentSource(ProvenanceMode::kGenealog, *t);
+  EXPECT_EQ(t->kind, TupleKind::kSource);
+  EXPECT_EQ(t->u1(), nullptr);
+  EXPECT_EQ(t->baseline_annotation(), nullptr);
+}
+
+TEST(InstrumentSourceTest, BaselineSeedsAnnotationWithOwnId) {
+  auto t = V(1, 1);
+  t->id = 10;
+  InstrumentSource(ProvenanceMode::kBaseline, *t);
+  ASSERT_NE(t->baseline_annotation(), nullptr);
+  EXPECT_EQ(*t->baseline_annotation(), std::vector<uint64_t>{10});
+}
+
+TEST(InstrumentUnaryTest, NoneLeavesMetaUntouched) {
+  auto in = V(1, 1);
+  auto out = V(1, 2);
+  InstrumentUnary(ProvenanceMode::kNone, *out, TupleKind::kMap, *in);
+  EXPECT_EQ(out->kind, TupleKind::kMap);
+  EXPECT_EQ(out->u1(), nullptr);
+}
+
+TEST(InstrumentUnaryTest, GenealogLinksU1) {
+  auto in = V(1, 1);
+  auto out = V(1, 2);
+  InstrumentUnary(ProvenanceMode::kGenealog, *out, TupleKind::kMultiplex, *in);
+  EXPECT_EQ(out->kind, TupleKind::kMultiplex);
+  EXPECT_EQ(out->u1(), in.get());
+  EXPECT_EQ(out->u2(), nullptr);
+}
+
+TEST(InstrumentUnaryTest, BaselineCopiesAnnotation) {
+  auto in = V(1, 1);
+  in->set_baseline_annotation({4, 7});
+  auto out = V(1, 2);
+  InstrumentUnary(ProvenanceMode::kBaseline, *out, TupleKind::kMap, *in);
+  ASSERT_NE(out->baseline_annotation(), nullptr);
+  EXPECT_EQ(*out->baseline_annotation(), (std::vector<uint64_t>{4, 7}));
+  EXPECT_EQ(out->u1(), nullptr);
+}
+
+TEST(InstrumentJoinTest, GenealogOrientsU1ToNewer) {
+  auto older = V(1, 1);
+  auto newer = V(5, 2);
+  auto out = V(5, 3);
+  InstrumentJoin(ProvenanceMode::kGenealog, *out, *newer, *older);
+  EXPECT_EQ(out->kind, TupleKind::kJoin);
+  EXPECT_EQ(out->u1(), newer.get());
+  EXPECT_EQ(out->u2(), older.get());
+}
+
+TEST(InstrumentJoinTest, BaselineMergesBothAnnotations) {
+  auto older = V(1, 1);
+  older->set_baseline_annotation({1, 5});
+  auto newer = V(5, 2);
+  newer->set_baseline_annotation({2, 5});
+  auto out = V(5, 3);
+  InstrumentJoin(ProvenanceMode::kBaseline, *out, *newer, *older);
+  EXPECT_EQ(*out->baseline_annotation(), (std::vector<uint64_t>{1, 2, 5}));
+}
+
+TEST(InstrumentAggregateTest, GenealogLinksWindowChain) {
+  std::vector<IntrusivePtr<ValueTuple>> window{V(1, 1), V(2, 2), V(3, 3)};
+  auto out = V(0, 9);
+  InstrumentAggregate(ProvenanceMode::kGenealog, *out,
+                      std::span<const IntrusivePtr<ValueTuple>>(window));
+  EXPECT_EQ(out->kind, TupleKind::kAggregate);
+  EXPECT_EQ(out->u2(), window.front().get());
+  EXPECT_EQ(out->u1(), window.back().get());
+  EXPECT_EQ(window[0]->next(), window[1].get());
+  EXPECT_EQ(window[1]->next(), window[2].get());
+  EXPECT_EQ(window[2]->next(), nullptr);
+}
+
+TEST(InstrumentAggregateTest, SingleTupleWindowHasU1EqualU2) {
+  std::vector<IntrusivePtr<ValueTuple>> window{V(1, 1)};
+  auto out = V(0, 9);
+  InstrumentAggregate(ProvenanceMode::kGenealog, *out,
+                      std::span<const IntrusivePtr<ValueTuple>>(window));
+  EXPECT_EQ(out->u1(), out->u2());
+  EXPECT_EQ(window[0]->next(), nullptr);
+}
+
+TEST(InstrumentAggregateTest, SlidingRefireRelinksIdempotently) {
+  std::vector<IntrusivePtr<ValueTuple>> tuples{V(1, 1), V(2, 2), V(3, 3),
+                                               V(4, 4)};
+  auto w1 = V(0, 9);
+  std::vector<IntrusivePtr<ValueTuple>> first(tuples.begin(),
+                                              tuples.begin() + 3);
+  InstrumentAggregate(ProvenanceMode::kGenealog, *w1,
+                      std::span<const IntrusivePtr<ValueTuple>>(first));
+  auto w2 = V(0, 10);
+  std::vector<IntrusivePtr<ValueTuple>> second(tuples.begin() + 1,
+                                               tuples.end());
+  InstrumentAggregate(ProvenanceMode::kGenealog, *w2,
+                      std::span<const IntrusivePtr<ValueTuple>>(second));
+  EXPECT_EQ(tuples[0]->next(), tuples[1].get());
+  EXPECT_EQ(tuples[1]->next(), tuples[2].get());
+  EXPECT_EQ(tuples[2]->next(), tuples[3].get());
+  EXPECT_EQ(w1->u2(), tuples[0].get());
+  EXPECT_EQ(w1->u1(), tuples[2].get());
+  EXPECT_EQ(w2->u2(), tuples[1].get());
+  EXPECT_EQ(w2->u1(), tuples[3].get());
+}
+
+TEST(InstrumentAggregateTest, BaselineUnionsAllWindowAnnotations) {
+  std::vector<IntrusivePtr<ValueTuple>> window{V(1, 1), V(2, 2), V(3, 3)};
+  window[0]->set_baseline_annotation({10});
+  window[1]->set_baseline_annotation({11, 12});
+  window[2]->set_baseline_annotation({10, 13});
+  auto out = V(0, 9);
+  InstrumentAggregate(ProvenanceMode::kBaseline, *out,
+                      std::span<const IntrusivePtr<ValueTuple>>(window));
+  EXPECT_EQ(*out->baseline_annotation(),
+            (std::vector<uint64_t>{10, 11, 12, 13}));
+}
+
+TEST(ProvenanceModeTest, Names) {
+  EXPECT_STREQ(ToString(ProvenanceMode::kNone), "NP");
+  EXPECT_STREQ(ToString(ProvenanceMode::kGenealog), "GL");
+  EXPECT_STREQ(ToString(ProvenanceMode::kBaseline), "BL");
+  EXPECT_STREQ(ToString(TupleKind::kAggregate), "AGGREGATE");
+}
+
+}  // namespace
+}  // namespace genealog

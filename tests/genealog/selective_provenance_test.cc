@@ -1,0 +1,192 @@
+// The paper's future-work item (i), implemented as
+// ProvenanceScope::kContributorsOnly: combiners declare the subset of window
+// tuples that explains the output (e.g. only the maximum for max()), so
+// contribution graphs shrink and non-contributing tuples are reclaimed as
+// soon as the window is evicted.
+#include <gtest/gtest.h>
+
+#include "common/memory_accounting.h"
+#include "genealog/su.h"
+#include "genealog/traversal.h"
+#include "spe/aggregate.h"
+#include "spe/sink.h"
+#include "spe/source.h"
+#include "spe/topology.h"
+#include "testing/harness.h"
+#include "testing/test_tuples.h"
+
+namespace genealog {
+namespace {
+
+using testing::Collector;
+using testing::V;
+using testing::ValueTuple;
+
+// A max() aggregate: with kContributorsOnly it declares only the maximal
+// tuple as contributing.
+AggregateCombiner<ValueTuple, ValueTuple, int64_t> MaxCombiner() {
+  return [](const WindowView<ValueTuple, int64_t>& w) {
+    size_t best = 0;
+    for (size_t i = 1; i < w.tuples.size(); ++i) {
+      if (w.tuples[i]->value > w.tuples[best]->value) best = i;
+    }
+    if (w.contributors != nullptr) w.contributors->push_back(best);
+    return MakeTuple<ValueTuple>(0, w.tuples[best]->value);
+  };
+}
+
+std::vector<TuplePtr> RunMaxQuery(ProvenanceScope scope, ProvenanceMode mode) {
+  Topology topo(1, mode);
+  std::vector<IntrusivePtr<ValueTuple>> data;
+  // Window [0,10): values 3,9,5 -> max 9 at ts 4; window [10,20): 7,2 -> 7.
+  data.push_back(V(1, 3));
+  data.push_back(V(4, 9));
+  data.push_back(V(6, 5));
+  data.push_back(V(12, 7));
+  data.push_back(V(15, 2));
+  auto* source = topo.Add<VectorSourceNode<ValueTuple>>("src", std::move(data));
+  AggregateOptions options{10, 10};
+  options.provenance_scope = scope;
+  auto* agg = topo.Add<AggregateNode<ValueTuple, ValueTuple>>(
+      "max", options, [](const ValueTuple&) { return int64_t{0}; },
+      MaxCombiner());
+  std::vector<TuplePtr> outputs;
+  auto* sink = topo.Add<SinkNode>(
+      "sink", [&outputs](const TuplePtr& t) { outputs.push_back(t); });
+  topo.Connect(source, agg);
+  topo.Connect(agg, sink);
+  RunToCompletion(topo);
+  return outputs;
+}
+
+TEST(SelectiveProvenanceTest, ContributorsOnlyLinksJustTheMax) {
+  auto outputs =
+      RunMaxQuery(ProvenanceScope::kContributorsOnly, ProvenanceMode::kGenealog);
+  ASSERT_EQ(outputs.size(), 2u);
+  auto origins = FindProvenance(outputs[0].get());
+  ASSERT_EQ(origins.size(), 1u);
+  EXPECT_EQ(static_cast<ValueTuple*>(origins[0])->value, 9);
+  EXPECT_EQ(origins[0]->ts, 4);
+  origins = FindProvenance(outputs[1].get());
+  ASSERT_EQ(origins.size(), 1u);
+  EXPECT_EQ(static_cast<ValueTuple*>(origins[0])->value, 7);
+}
+
+TEST(SelectiveProvenanceTest, DefaultScopeLinksWholeWindow) {
+  auto outputs =
+      RunMaxQuery(ProvenanceScope::kAllWindowTuples, ProvenanceMode::kGenealog);
+  ASSERT_EQ(outputs.size(), 2u);
+  EXPECT_EQ(FindProvenance(outputs[0].get()).size(), 3u);
+  EXPECT_EQ(FindProvenance(outputs[1].get()).size(), 2u);
+}
+
+TEST(SelectiveProvenanceTest, BaselineRespectsContributorSelection) {
+  auto outputs = RunMaxQuery(ProvenanceScope::kContributorsOnly,
+                             ProvenanceMode::kBaseline);
+  ASSERT_EQ(outputs.size(), 2u);
+  ASSERT_NE(outputs[0]->baseline_annotation(), nullptr);
+  EXPECT_EQ(outputs[0]->baseline_annotation()->size(), 1u);
+}
+
+TEST(SelectiveProvenanceTest, QueryResultsUnchangedBySelection) {
+  auto all = RunMaxQuery(ProvenanceScope::kAllWindowTuples,
+                         ProvenanceMode::kGenealog);
+  auto sel = RunMaxQuery(ProvenanceScope::kContributorsOnly,
+                         ProvenanceMode::kGenealog);
+  ASSERT_EQ(all.size(), sel.size());
+  for (size_t i = 0; i < all.size(); ++i) {
+    EXPECT_EQ(static_cast<ValueTuple&>(*all[i]).value,
+              static_cast<ValueTuple&>(*sel[i]).value);
+    EXPECT_EQ(all[i]->ts, sel[i]->ts);
+  }
+}
+
+TEST(SelectiveProvenanceTest, NonContributingTuplesReclaimedWhileOutputLives) {
+  const int64_t base = mem::LiveTupleCount();
+  std::vector<TuplePtr> held;
+  {
+    Topology topo(1, ProvenanceMode::kGenealog);
+    std::vector<IntrusivePtr<ValueTuple>> data;
+    for (int i = 0; i < 100; ++i) data.push_back(V(i, i % 97));
+    auto* source =
+        topo.Add<VectorSourceNode<ValueTuple>>("src", std::move(data));
+    AggregateOptions options{100, 100};
+    options.provenance_scope = ProvenanceScope::kContributorsOnly;
+    auto* agg = topo.Add<AggregateNode<ValueTuple, ValueTuple>>(
+        "max", options, [](const ValueTuple&) { return int64_t{0}; },
+        MaxCombiner());
+    auto* sink = topo.Add<SinkNode>(
+        "sink", [&held](const TuplePtr& t) { held.push_back(t); });
+    topo.Connect(source, agg);
+    topo.Connect(agg, sink);
+    RunToCompletion(topo);
+  }
+  // One window of 100 tuples, one output: with contributors-only provenance
+  // the output pins exactly 1 source tuple; the other 99 are gone.
+  ASSERT_EQ(held.size(), 1u);
+  EXPECT_EQ(mem::LiveTupleCount() - base, 2);  // output + the max tuple
+  held.clear();
+  EXPECT_EQ(mem::LiveTupleCount() - base, 0);
+}
+
+TEST(SelectiveProvenanceTest, WholeWindowScopePinsEverything) {
+  const int64_t base = mem::LiveTupleCount();
+  std::vector<TuplePtr> held;
+  {
+    Topology topo(1, ProvenanceMode::kGenealog);
+    std::vector<IntrusivePtr<ValueTuple>> data;
+    for (int i = 0; i < 100; ++i) data.push_back(V(i, i % 97));
+    auto* source =
+        topo.Add<VectorSourceNode<ValueTuple>>("src", std::move(data));
+    auto* agg = topo.Add<AggregateNode<ValueTuple, ValueTuple>>(
+        "max", AggregateOptions{100, 100},
+        [](const ValueTuple&) { return int64_t{0}; }, MaxCombiner());
+    auto* sink = topo.Add<SinkNode>(
+        "sink", [&held](const TuplePtr& t) { held.push_back(t); });
+    topo.Connect(source, agg);
+    topo.Connect(agg, sink);
+    RunToCompletion(topo);
+  }
+  EXPECT_EQ(mem::LiveTupleCount() - base, 101);  // output + all 100 sources
+  held.clear();
+  EXPECT_EQ(mem::LiveTupleCount() - base, 0);
+}
+
+TEST(SelectiveProvenanceTest, SlidingWindowsRejected) {
+  Topology topo(1, ProvenanceMode::kGenealog);
+  AggregateOptions options{20, 10};  // sliding
+  options.provenance_scope = ProvenanceScope::kContributorsOnly;
+  auto add_node = [&] {
+    topo.Add<AggregateNode<ValueTuple, ValueTuple>>(
+        "max", options, [](const ValueTuple&) { return int64_t{0}; },
+        MaxCombiner());
+  };
+  EXPECT_THROW(add_node(), std::invalid_argument);
+}
+
+TEST(SelectiveProvenanceTest, EmptySelectionFallsBackToWholeWindow) {
+  // A combiner that never fills `contributors` keeps Def. 3.1 semantics.
+  Topology topo(1, ProvenanceMode::kGenealog);
+  std::vector<IntrusivePtr<ValueTuple>> data{V(1, 3), V(4, 9)};
+  auto* source = topo.Add<VectorSourceNode<ValueTuple>>("src", std::move(data));
+  AggregateOptions options{10, 10};
+  options.provenance_scope = ProvenanceScope::kContributorsOnly;
+  auto* agg = topo.Add<AggregateNode<ValueTuple, ValueTuple>>(
+      "sum", options, [](const ValueTuple&) { return int64_t{0}; },
+      [](const WindowView<ValueTuple, int64_t>& w) {
+        int64_t sum = 0;
+        for (const auto& t : w.tuples) sum += t->value;
+        return MakeTuple<ValueTuple>(0, sum);  // no contributor selection
+      });
+  std::vector<TuplePtr> outputs;
+  auto* sink = topo.Add<SinkNode>(
+      "sink", [&outputs](const TuplePtr& t) { outputs.push_back(t); });
+  topo.Connect(source, agg);
+  topo.Connect(agg, sink);
+  RunToCompletion(topo);
+  ASSERT_EQ(outputs.size(), 1u);
+  EXPECT_EQ(FindProvenance(outputs[0].get()).size(), 2u);
+}
+
+}  // namespace
+}  // namespace genealog

@@ -1,0 +1,252 @@
+#include "genealog/traversal.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "testing/test_tuples.h"
+
+namespace genealog {
+namespace {
+
+using testing::V;
+using testing::ValueTuple;
+
+std::vector<int64_t> ValuesOf(const std::vector<Tuple*>& tuples) {
+  std::vector<int64_t> out;
+  for (Tuple* t : tuples) {
+    out.push_back(static_cast<ValueTuple*>(t)->value);
+  }
+  return out;
+}
+
+TEST(TraversalTest, SourceTupleIsItsOwnProvenance) {
+  auto t = V(1, 42);
+  t->kind = TupleKind::kSource;
+  auto result = FindProvenance(t.get());
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(result[0], t.get());
+}
+
+TEST(TraversalTest, RemoteTupleIsTerminal) {
+  auto t = V(1, 42);
+  t->kind = TupleKind::kRemote;
+  auto result = FindProvenance(t.get());
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(result[0], t.get());
+}
+
+TEST(TraversalTest, NullRootYieldsNothing) {
+  EXPECT_TRUE(FindProvenance(nullptr).empty());
+}
+
+TEST(TraversalTest, MapChainFollowsU1) {
+  auto source = V(0, 1);
+  auto m1 = V(0, 2);
+  m1->kind = TupleKind::kMap;
+  m1->set_u1(source.get());
+  auto m2 = V(0, 3);
+  m2->kind = TupleKind::kMap;
+  m2->set_u1(m1.get());
+  auto result = FindProvenance(m2.get());
+  EXPECT_EQ(ValuesOf(result), (std::vector<int64_t>{1}));
+}
+
+TEST(TraversalTest, MultiplexFollowsU1) {
+  auto source = V(0, 1);
+  auto copy = V(0, 2);
+  copy->kind = TupleKind::kMultiplex;
+  copy->set_u1(source.get());
+  auto result = FindProvenance(copy.get());
+  EXPECT_EQ(ValuesOf(result), (std::vector<int64_t>{1}));
+}
+
+TEST(TraversalTest, JoinFollowsBothBranches) {
+  auto s1 = V(0, 1);
+  auto s2 = V(5, 2);
+  auto j = V(5, 3);
+  j->kind = TupleKind::kJoin;
+  j->set_u1(s2.get());  // newer
+  j->set_u2(s1.get());  // older
+  auto result = FindProvenance(j.get());
+  // BFS order: U1 enqueued before U2.
+  EXPECT_EQ(ValuesOf(result), (std::vector<int64_t>{2, 1}));
+}
+
+TEST(TraversalTest, AggregateWalksNChainFromU2ToU1) {
+  std::vector<IntrusivePtr<ValueTuple>> window{V(1, 1), V(2, 2), V(3, 3),
+                                               V(4, 4)};
+  for (size_t i = 0; i + 1 < window.size(); ++i) {
+    window[i]->try_set_next(window[i + 1].get());
+  }
+  auto agg = V(0, 100);
+  agg->kind = TupleKind::kAggregate;
+  agg->set_u2(window.front().get());
+  agg->set_u1(window.back().get());
+  auto result = FindProvenance(agg.get());
+  EXPECT_EQ(ValuesOf(result), (std::vector<int64_t>{1, 2, 3, 4}));
+}
+
+TEST(TraversalTest, AggregateSingleTupleWindow) {
+  auto only = V(1, 7);
+  auto agg = V(0, 100);
+  agg->kind = TupleKind::kAggregate;
+  agg->set_u2(only.get());
+  agg->set_u1(only.get());
+  auto result = FindProvenance(agg.get());
+  EXPECT_EQ(ValuesOf(result), (std::vector<int64_t>{7}));
+}
+
+TEST(TraversalTest, SingleTupleWindowWithExtendedChainStopsAtU1) {
+  // Regression for a bug in the paper's Listing 1 (found by fuzzing): an
+  // aggregate output over a single-tuple window (U1 == U2) whose tuple later
+  // had N set by an overlapping window must NOT walk past U1 into the rest
+  // of the chain.
+  auto only = V(1, 7);
+  auto later1 = V(2, 8);
+  auto later2 = V(3, 9);
+  only->try_set_next(later1.get());    // set by a later overlapping window
+  later1->try_set_next(later2.get());
+  auto agg = V(0, 100);
+  agg->kind = TupleKind::kAggregate;
+  agg->set_u2(only.get());
+  agg->set_u1(only.get());  // single-tuple window
+  auto result = FindProvenance(agg.get());
+  EXPECT_EQ(ValuesOf(result), (std::vector<int64_t>{7}));
+}
+
+TEST(TraversalTest, AggregateChainStopsAtU1NotChainEnd) {
+  // The chain continues past U1 (a later window linked further), but this
+  // output's window ends at U1.
+  std::vector<IntrusivePtr<ValueTuple>> chain{V(1, 1), V(2, 2), V(3, 3),
+                                              V(4, 4), V(5, 5)};
+  for (size_t i = 0; i + 1 < chain.size(); ++i) {
+    chain[i]->try_set_next(chain[i + 1].get());
+  }
+  auto agg = V(0, 100);
+  agg->kind = TupleKind::kAggregate;
+  agg->set_u2(chain[0].get());
+  agg->set_u1(chain[2].get());  // window = 1..3 only
+  auto result = FindProvenance(agg.get());
+  EXPECT_EQ(ValuesOf(result), (std::vector<int64_t>{1, 2, 3}));
+}
+
+TEST(TraversalTest, DiamondIsDeduplicated) {
+  // Two joins sharing a source: the source appears once.
+  auto shared = V(0, 1);
+  auto other1 = V(1, 2);
+  auto other2 = V(2, 3);
+  auto j1 = V(1, 10);
+  j1->kind = TupleKind::kJoin;
+  j1->set_u1(other1.get());
+  j1->set_u2(shared.get());
+  auto j2 = V(2, 20);
+  j2->kind = TupleKind::kJoin;
+  j2->set_u1(other2.get());
+  j2->set_u2(shared.get());
+  auto top = V(2, 30);
+  top->kind = TupleKind::kJoin;
+  top->set_u1(j2.get());
+  top->set_u2(j1.get());
+  auto result = FindProvenance(top.get());
+  auto values = ValuesOf(result);
+  std::sort(values.begin(), values.end());
+  EXPECT_EQ(values, (std::vector<int64_t>{1, 2, 3}));
+}
+
+TEST(TraversalTest, MixedOperatorGraph) {
+  // source -> map -> \
+  //                   join -> aggregate-of-one
+  // source2 --------> /
+  auto s1 = V(0, 1);
+  auto s2 = V(1, 2);
+  auto m = V(0, 3);
+  m->kind = TupleKind::kMap;
+  m->set_u1(s1.get());
+  auto j = V(1, 4);
+  j->kind = TupleKind::kJoin;
+  j->set_u1(s2.get());
+  j->set_u2(m.get());
+  auto a = V(0, 5);
+  a->kind = TupleKind::kAggregate;
+  a->set_u2(j.get());
+  a->set_u1(j.get());
+  auto values = ValuesOf(FindProvenance(a.get()));
+  std::sort(values.begin(), values.end());
+  EXPECT_EQ(values, (std::vector<int64_t>{1, 2}));
+}
+
+TEST(TraversalTest, RemoteCutsTraversalAtInstanceBoundary) {
+  // An aggregate over REMOTE tuples (received from another instance) stops
+  // at those tuples; their upstream graphs live in the other process.
+  auto r1 = V(1, 1);
+  r1->kind = TupleKind::kRemote;
+  auto r2 = V(2, 2);
+  r2->kind = TupleKind::kRemote;
+  r1->try_set_next(r2.get());
+  auto agg = V(0, 10);
+  agg->kind = TupleKind::kAggregate;
+  agg->set_u2(r1.get());
+  agg->set_u1(r2.get());
+  auto result = FindProvenance(agg.get());
+  EXPECT_EQ(ValuesOf(result), (std::vector<int64_t>{1, 2}));
+  EXPECT_EQ(result[0]->kind, TupleKind::kRemote);
+}
+
+TEST(TraversalTest, BfsVisitsEachNodeOnce) {
+  // A deep ladder of joins over shared nodes: without the visited set this
+  // would be exponential.
+  constexpr int kDepth = 40;
+  std::vector<IntrusivePtr<ValueTuple>> layer;
+  auto a = V(0, 0);
+  auto b = V(0, 1);
+  IntrusivePtr<ValueTuple> left = a;
+  IntrusivePtr<ValueTuple> right = b;
+  for (int i = 0; i < kDepth; ++i) {
+    auto join = V(i, 100 + i);
+    join->kind = TupleKind::kJoin;
+    join->set_u1(left.get());
+    join->set_u2(right.get());
+    left = right;
+    right = join;
+  }
+  auto result = FindProvenance(right.get());
+  auto values = ValuesOf(result);
+  std::sort(values.begin(), values.end());
+  EXPECT_EQ(values, (std::vector<int64_t>{0, 1}));
+}
+
+TEST(TraversalTest, ScratchReuseAcrossCalls) {
+  TraversalScratch scratch;
+  std::vector<Tuple*> result;
+  auto s = V(0, 1);
+  auto m = V(0, 2);
+  m->kind = TupleKind::kMap;
+  m->set_u1(s.get());
+  FindProvenance(m.get(), result, scratch);
+  EXPECT_EQ(result.size(), 1u);
+  result.clear();
+  // Second call must not be polluted by the first's visited set.
+  FindProvenance(m.get(), result, scratch);
+  EXPECT_EQ(result.size(), 1u);
+  EXPECT_EQ(result[0], s.get());
+}
+
+TEST(TraversalTest, LargeAggregateGraphIsLinear) {
+  // Q3-scale: 192 contributing tuples, one AGGREGATE level above.
+  constexpr int kN = 192;
+  std::vector<IntrusivePtr<ValueTuple>> window;
+  for (int i = 0; i < kN; ++i) window.push_back(V(i, i));
+  for (int i = 0; i + 1 < kN; ++i) {
+    window[i]->try_set_next(window[i + 1].get());
+  }
+  auto agg = V(0, 999);
+  agg->kind = TupleKind::kAggregate;
+  agg->set_u2(window.front().get());
+  agg->set_u1(window.back().get());
+  auto result = FindProvenance(agg.get());
+  EXPECT_EQ(result.size(), static_cast<size_t>(kN));
+}
+
+}  // namespace
+}  // namespace genealog

@@ -1,0 +1,180 @@
+#include "lr/linear_road.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "core/type_registry.h"
+
+namespace genealog::lr {
+namespace {
+
+LinearRoadConfig SmallConfig() {
+  LinearRoadConfig config;
+  config.n_cars = 40;
+  config.duration_s = 1800;
+  config.stop_probability = 0.02;
+  config.accident_probability = 0.05;
+  config.seed = 7;
+  return config;
+}
+
+TEST(LinearRoadGeneratorTest, ReportsAreTimestampSorted) {
+  auto data = GenerateLinearRoad(SmallConfig());
+  ASSERT_FALSE(data.reports.empty());
+  for (size_t i = 1; i < data.reports.size(); ++i) {
+    EXPECT_LE(data.reports[i - 1]->ts, data.reports[i]->ts);
+  }
+}
+
+TEST(LinearRoadGeneratorTest, EveryCarReportsEveryPeriod) {
+  auto config = SmallConfig();
+  auto data = GenerateLinearRoad(config);
+  std::map<int64_t, std::vector<int64_t>> ts_by_car;
+  for (const auto& r : data.reports) ts_by_car[r->car_id].push_back(r->ts);
+  EXPECT_EQ(ts_by_car.size(), static_cast<size_t>(config.n_cars));
+  for (const auto& [car, ts_list] : ts_by_car) {
+    for (size_t i = 1; i < ts_list.size(); ++i) {
+      EXPECT_EQ(ts_list[i] - ts_list[i - 1], config.report_period_s)
+          << "car " << car;
+    }
+  }
+}
+
+TEST(LinearRoadGeneratorTest, DeterministicForSameSeed) {
+  auto a = GenerateLinearRoad(SmallConfig());
+  auto b = GenerateLinearRoad(SmallConfig());
+  ASSERT_EQ(a.reports.size(), b.reports.size());
+  for (size_t i = 0; i < a.reports.size(); ++i) {
+    EXPECT_EQ(a.reports[i]->ts, b.reports[i]->ts);
+    EXPECT_EQ(a.reports[i]->car_id, b.reports[i]->car_id);
+    EXPECT_EQ(a.reports[i]->speed, b.reports[i]->speed);
+    EXPECT_EQ(a.reports[i]->pos, b.reports[i]->pos);
+  }
+  EXPECT_EQ(a.planted_stops.size(), b.planted_stops.size());
+}
+
+TEST(LinearRoadGeneratorTest, DifferentSeedsDiffer) {
+  auto config = SmallConfig();
+  auto a = GenerateLinearRoad(config);
+  config.seed = 8;
+  auto b = GenerateLinearRoad(config);
+  bool differs = a.reports.size() != b.reports.size();
+  for (size_t i = 0; !differs && i < a.reports.size(); ++i) {
+    differs = a.reports[i]->speed != b.reports[i]->speed ||
+              a.reports[i]->pos != b.reports[i]->pos;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(LinearRoadGeneratorTest, PlantedStopsProduceZeroSpeedRuns) {
+  auto config = SmallConfig();
+  auto data = GenerateLinearRoad(config);
+  ASSERT_FALSE(data.planted_stops.empty());
+  // Index reports by (car, ts).
+  std::map<std::pair<int64_t, int64_t>, const PositionReport*> by_car_ts;
+  for (const auto& r : data.reports) by_car_ts[{r->car_id, r->ts}] = r.get();
+  for (const auto& stop : data.planted_stops) {
+    for (int k = 0; k < stop.n_reports; ++k) {
+      const int64_t ts = stop.first_report_ts + k * config.report_period_s;
+      if (ts >= config.duration_s) break;  // stop truncated by trace end
+      auto it = by_car_ts.find({stop.car_id, ts});
+      ASSERT_NE(it, by_car_ts.end());
+      EXPECT_EQ(it->second->speed, 0.0);
+      EXPECT_EQ(it->second->pos, stop.pos);
+    }
+  }
+}
+
+TEST(LinearRoadGeneratorTest, MovingCarsAdvance) {
+  auto data = GenerateLinearRoad(SmallConfig());
+  // Pick a car's consecutive moving reports: position must change.
+  int moving_transitions = 0;
+  std::map<int64_t, const PositionReport*> last_by_car;
+  for (const auto& r : data.reports) {
+    auto it = last_by_car.find(r->car_id);
+    if (it != last_by_car.end() && it->second->speed > 0 && r->speed > 0) {
+      EXPECT_NE(it->second->pos, r->pos);
+      ++moving_transitions;
+    }
+    last_by_car[r->car_id] = r.get();
+  }
+  EXPECT_GT(moving_transitions, 100);
+}
+
+TEST(LinearRoadGeneratorTest, SerializationRoundTrip) {
+  auto data = GenerateLinearRoad(SmallConfig());
+  const auto& r = data.reports.front();
+  ByteWriter w;
+  SerializeTuple(*r, w);
+  ByteReader reader(w.bytes());
+  TuplePtr back = DeserializeTuple(reader);
+  const auto& pr = static_cast<const PositionReport&>(*back);
+  EXPECT_EQ(pr.car_id, r->car_id);
+  EXPECT_EQ(pr.speed, r->speed);
+  EXPECT_EQ(pr.pos, r->pos);
+}
+
+TEST(ReferenceStoppedCarsTest, DetectsHandCraftedStop) {
+  std::vector<IntrusivePtr<PositionReport>> reports;
+  // Car 1 stopped at pos 5 for 4 reports starting ts=30.
+  for (int k = 0; k < 4; ++k) {
+    reports.push_back(MakeTuple<PositionReport>(30 + 30 * k, 1, 0.0, 5));
+  }
+  // Car 2 moving.
+  for (int k = 0; k < 4; ++k) {
+    reports.push_back(
+        MakeTuple<PositionReport>(30 + 30 * k, 2, 20.0, 100 + k));
+  }
+  std::sort(reports.begin(), reports.end(),
+            [](const auto& a, const auto& b) { return a->ts < b->ts; });
+  auto events = ReferenceStoppedCars(reports, 120, 30, 4);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].window_start, 30);
+  EXPECT_EQ(events[0].car_id, 1);
+  EXPECT_EQ(events[0].pos, 5);
+}
+
+TEST(ReferenceStoppedCarsTest, RequiresSinglePosition) {
+  std::vector<IntrusivePtr<PositionReport>> reports;
+  // 4 zero-speed reports but at two positions: no event.
+  reports.push_back(MakeTuple<PositionReport>(0, 1, 0.0, 5));
+  reports.push_back(MakeTuple<PositionReport>(30, 1, 0.0, 5));
+  reports.push_back(MakeTuple<PositionReport>(60, 1, 0.0, 6));
+  reports.push_back(MakeTuple<PositionReport>(90, 1, 0.0, 6));
+  EXPECT_TRUE(ReferenceStoppedCars(reports, 120, 30, 4).empty());
+}
+
+TEST(ReferenceStoppedCarsTest, LongerStopYieldsSlidingEvents) {
+  std::vector<IntrusivePtr<PositionReport>> reports;
+  // 6 consecutive zero reports -> windows with exactly 4 zeros: 3 events.
+  for (int k = 0; k < 6; ++k) {
+    reports.push_back(MakeTuple<PositionReport>(30 * k, 1, 0.0, 5));
+  }
+  auto events = ReferenceStoppedCars(reports, 120, 30, 4);
+  EXPECT_EQ(events.size(), 3u);
+}
+
+TEST(ReferenceAccidentsTest, TwoCarsSamePositionSameWindow) {
+  std::vector<ReferenceStoppedEvent> stopped{
+      {30, 1, 5}, {30, 2, 5}, {30, 3, 9}, {60, 1, 5}};
+  auto accidents = ReferenceAccidents(stopped);
+  ASSERT_EQ(accidents.size(), 1u);
+  EXPECT_EQ(accidents[0].window_start, 30);
+  EXPECT_EQ(accidents[0].pos, 5);
+  EXPECT_EQ(accidents[0].car_count, 2);
+}
+
+TEST(ReferenceAccidentsTest, GeneratorAccidentsAreDetected) {
+  auto config = SmallConfig();
+  config.accident_probability = 0.2;  // force several collisions
+  auto data = GenerateLinearRoad(config);
+  auto stopped = ReferenceStoppedCars(data.reports, 120, 30, 4);
+  auto accidents = ReferenceAccidents(stopped);
+  EXPECT_FALSE(accidents.empty());
+}
+
+}  // namespace
+}  // namespace genealog::lr

@@ -1,0 +1,163 @@
+// Aggregate internal-state behaviours that the semantic sweeps don't pin
+// down: group-state reclamation for idle keys, key re-initialization after
+// gaps, scale (many keys), and empty-input robustness.
+#include <gtest/gtest.h>
+
+#include "common/memory_accounting.h"
+#include "spe/aggregate.h"
+#include "spe/sink.h"
+#include "spe/source.h"
+#include "spe/topology.h"
+#include "testing/harness.h"
+#include "testing/test_tuples.h"
+
+namespace genealog {
+namespace {
+
+using testing::Collector;
+using testing::KeyedTuple;
+using testing::V;
+using testing::ValueTuple;
+
+AggregateCombiner<KeyedTuple, KeyedTuple, int64_t> KeyedCount() {
+  return [](const WindowView<KeyedTuple, int64_t>& w) {
+    return MakeTuple<KeyedTuple>(0, w.key,
+                                 static_cast<double>(w.tuples.size()));
+  };
+}
+
+TEST(AggregateStateTest, IdleKeyStateDoesNotPinTuples) {
+  // Key 7 appears once, then never again; other keys keep the stream going.
+  // The key-7 window fires and its state (and tuple) must be dropped.
+  const int64_t base = mem::LiveTupleCount();
+  {
+    Topology topo;
+    std::vector<IntrusivePtr<KeyedTuple>> data;
+    data.push_back(MakeTuple<KeyedTuple>(1, 7, 1.0));
+    for (int64_t ts = 2; ts < 1000; ++ts) {
+      data.push_back(MakeTuple<KeyedTuple>(ts, ts % 3, 1.0));
+    }
+    auto* source =
+        topo.Add<VectorSourceNode<KeyedTuple>>("src", std::move(data));
+    auto* agg = topo.Add<AggregateNode<KeyedTuple, KeyedTuple>>(
+        "agg", AggregateOptions{10, 10},
+        [](const KeyedTuple& t) { return t.key; }, KeyedCount());
+    int64_t live_late = 0;
+    auto* sink = topo.Add<SinkNode>("sink", [&](const TuplePtr& t) {
+      if (t->ts > 900) live_late = mem::LiveTupleCount() - base;
+    });
+    topo.Connect(source, agg);
+    topo.Connect(agg, sink);
+    RunToCompletion(topo);
+    // Late in the run, live tuples are the data vector + in-flight windows,
+    // NOT the whole stream: far below 2x data size.
+    EXPECT_GT(live_late, 0);
+    EXPECT_LT(live_late, 1400);
+  }
+  EXPECT_EQ(mem::LiveTupleCount() - base, 0);
+}
+
+TEST(AggregateStateTest, KeyReinitializesAfterLongGap) {
+  // Key 1 appears at ts 5, then again at ts 1000: two windows, no artifacts
+  // from the stale group state in between.
+  Topology topo;
+  std::vector<IntrusivePtr<KeyedTuple>> data;
+  data.push_back(MakeTuple<KeyedTuple>(5, 1, 1.0));
+  data.push_back(MakeTuple<KeyedTuple>(500, 2, 1.0));  // advances watermark
+  data.push_back(MakeTuple<KeyedTuple>(1000, 1, 1.0));
+  auto* source = topo.Add<VectorSourceNode<KeyedTuple>>("src", std::move(data));
+  auto* agg = topo.Add<AggregateNode<KeyedTuple, KeyedTuple>>(
+      "agg", AggregateOptions{10, 10},
+      [](const KeyedTuple& t) { return t.key; }, KeyedCount());
+  Collector collector;
+  auto* sink = collector.AttachSink(topo);
+  topo.Connect(source, agg);
+  topo.Connect(agg, sink);
+  RunToCompletion(topo);
+
+  ASSERT_EQ(collector.tuples().size(), 3u);
+  EXPECT_EQ(collector.tuples()[0]->ts, 0);     // key 1, window [0,10)
+  EXPECT_EQ(collector.tuples()[1]->ts, 500);   // key 2
+  EXPECT_EQ(collector.tuples()[2]->ts, 1000);  // key 1 again
+  EXPECT_DOUBLE_EQ(collector.at<KeyedTuple>(0).value, 1.0);
+  EXPECT_DOUBLE_EQ(collector.at<KeyedTuple>(2).value, 1.0);
+}
+
+TEST(AggregateStateTest, ManyKeysAllFire) {
+  constexpr int kKeys = 2000;
+  Topology topo;
+  std::vector<IntrusivePtr<KeyedTuple>> data;
+  for (int k = 0; k < kKeys; ++k) {
+    data.push_back(MakeTuple<KeyedTuple>(1, k, 1.0));
+  }
+  auto* source = topo.Add<VectorSourceNode<KeyedTuple>>("src", std::move(data));
+  auto* agg = topo.Add<AggregateNode<KeyedTuple, KeyedTuple>>(
+      "agg", AggregateOptions{10, 10},
+      [](const KeyedTuple& t) { return t.key; }, KeyedCount());
+  Collector collector;
+  auto* sink = collector.AttachSink(topo);
+  topo.Connect(source, agg);
+  topo.Connect(agg, sink);
+  RunToCompletion(topo);
+
+  ASSERT_EQ(collector.tuples().size(), static_cast<size_t>(kKeys));
+  // Same-window firings are ordered by key.
+  for (size_t i = 0; i < collector.tuples().size(); ++i) {
+    EXPECT_EQ(collector.at<KeyedTuple>(i).key, static_cast<int64_t>(i));
+  }
+}
+
+TEST(AggregateStateTest, EmptyInputJustFlushes) {
+  Topology topo;
+  auto* source = topo.Add<VectorSourceNode<KeyedTuple>>(
+      "src", std::vector<IntrusivePtr<KeyedTuple>>{});
+  auto* agg = topo.Add<AggregateNode<KeyedTuple, KeyedTuple>>(
+      "agg", AggregateOptions{10, 10},
+      [](const KeyedTuple& t) { return t.key; }, KeyedCount());
+  Collector collector;
+  auto* sink = collector.AttachSink(topo);
+  topo.Connect(source, agg);
+  topo.Connect(agg, sink);
+  RunToCompletion(topo);
+  EXPECT_TRUE(collector.tuples().empty());
+}
+
+TEST(AggregateStateTest, SingleTupleStream) {
+  Topology topo;
+  std::vector<IntrusivePtr<KeyedTuple>> data{MakeTuple<KeyedTuple>(42, 1, 5.0)};
+  auto* source = topo.Add<VectorSourceNode<KeyedTuple>>("src", std::move(data));
+  auto* agg = topo.Add<AggregateNode<KeyedTuple, KeyedTuple>>(
+      "agg", AggregateOptions{10, 10},
+      [](const KeyedTuple& t) { return t.key; }, KeyedCount());
+  Collector collector;
+  auto* sink = collector.AttachSink(topo);
+  topo.Connect(source, agg);
+  topo.Connect(agg, sink);
+  RunToCompletion(topo);
+  ASSERT_EQ(collector.tuples().size(), 1u);
+  EXPECT_EQ(collector.tuples()[0]->ts, 40);  // window [40,50)
+}
+
+TEST(AggregateStateTest, NegativeTimestampsSupported) {
+  Topology topo;
+  std::vector<IntrusivePtr<KeyedTuple>> data;
+  data.push_back(MakeTuple<KeyedTuple>(-25, 1, 1.0));
+  data.push_back(MakeTuple<KeyedTuple>(-22, 1, 1.0));
+  data.push_back(MakeTuple<KeyedTuple>(-5, 1, 1.0));
+  auto* source = topo.Add<VectorSourceNode<KeyedTuple>>("src", std::move(data));
+  auto* agg = topo.Add<AggregateNode<KeyedTuple, KeyedTuple>>(
+      "agg", AggregateOptions{10, 10},
+      [](const KeyedTuple& t) { return t.key; }, KeyedCount());
+  Collector collector;
+  auto* sink = collector.AttachSink(topo);
+  topo.Connect(source, agg);
+  topo.Connect(agg, sink);
+  RunToCompletion(topo);
+  ASSERT_EQ(collector.tuples().size(), 2u);
+  EXPECT_EQ(collector.tuples()[0]->ts, -30);  // window [-30,-20)
+  EXPECT_DOUBLE_EQ(collector.at<KeyedTuple>(0).value, 2.0);
+  EXPECT_EQ(collector.tuples()[1]->ts, -10);  // window [-10,0)
+}
+
+}  // namespace
+}  // namespace genealog

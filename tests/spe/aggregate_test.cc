@@ -1,0 +1,294 @@
+#include "spe/aggregate.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/int_math.h"
+#include "common/rng.h"
+#include "spe/sink.h"
+#include "spe/source.h"
+#include "spe/stateless.h"
+#include "spe/topology.h"
+#include "testing/harness.h"
+#include "testing/test_tuples.h"
+
+namespace genealog {
+namespace {
+
+using testing::Collector;
+using testing::KeyedTuple;
+using testing::V;
+using testing::ValueTuple;
+
+// Sums `value` over the window into a ValueTuple.
+AggregateCombiner<ValueTuple, ValueTuple, int64_t> SumCombiner() {
+  return [](const WindowView<ValueTuple, int64_t>& w) {
+    int64_t sum = 0;
+    for (const auto& t : w.tuples) sum += t->value;
+    return MakeTuple<ValueTuple>(0, sum);
+  };
+}
+
+struct AggOutput {
+  int64_t ts;
+  int64_t value;
+  bool operator==(const AggOutput&) const = default;
+};
+
+std::vector<AggOutput> RunAggregate(
+    std::vector<IntrusivePtr<ValueTuple>> input, AggregateOptions options,
+    std::function<int64_t(const ValueTuple&)> key_fn =
+        [](const ValueTuple&) { return 0; },
+    ProvenanceMode mode = ProvenanceMode::kNone,
+    std::vector<TuplePtr>* raw_out = nullptr) {
+  Topology topo(0, mode);
+  auto* source =
+      topo.Add<VectorSourceNode<ValueTuple>>("src", std::move(input));
+  auto* agg = topo.Add<AggregateNode<ValueTuple, ValueTuple>>(
+      "agg", options, std::move(key_fn), SumCombiner());
+  Collector collector;
+  auto* sink = collector.AttachSink(topo);
+  topo.Connect(source, agg);
+  topo.Connect(agg, sink);
+  RunToCompletion(topo);
+
+  std::vector<AggOutput> out;
+  for (const auto& t : collector.tuples()) {
+    out.push_back({t->ts, static_cast<const ValueTuple&>(*t).value});
+    if (raw_out != nullptr) raw_out->push_back(t);
+  }
+  return out;
+}
+
+std::vector<IntrusivePtr<ValueTuple>> Values(
+    std::initializer_list<std::pair<int64_t, int64_t>> items) {
+  std::vector<IntrusivePtr<ValueTuple>> out;
+  for (auto [ts, v] : items) out.push_back(V(ts, v));
+  return out;
+}
+
+TEST(AggregateTest, TumblingWindowSums) {
+  // Windows [0,10), [10,20), [20,30).
+  auto out = RunAggregate(Values({{1, 1}, {5, 2}, {11, 3}, {19, 4}, {25, 5}}),
+                          {10, 10});
+  EXPECT_EQ(out, (std::vector<AggOutput>{{0, 3}, {10, 7}, {20, 5}}));
+}
+
+TEST(AggregateTest, EmptyWindowsProduceNothing) {
+  // Gap between ts 5 and ts 45: windows [10,20), [20,30), [30,40) are empty.
+  auto out = RunAggregate(Values({{5, 1}, {45, 2}}), {10, 10});
+  EXPECT_EQ(out, (std::vector<AggOutput>{{0, 1}, {40, 2}}));
+}
+
+TEST(AggregateTest, SlidingWindowOverlap) {
+  // WS=120, WA=30 (Q1's parameters): a tuple at ts=65 belongs to windows
+  // starting at -30, 0, 30, 60.
+  auto out = RunAggregate(Values({{65, 1}}), {120, 30});
+  EXPECT_EQ(out, (std::vector<AggOutput>{{-30, 1}, {0, 1}, {30, 1}, {60, 1}}));
+}
+
+TEST(AggregateTest, SlidingWindowPartialSums) {
+  // WS=20, WA=10; tuples at 5,15,25 with values 1,2,4.
+  // [-10,10): 1; [0,20): 3; [10,30): 6; [20,40): 4.
+  auto out = RunAggregate(Values({{5, 1}, {15, 2}, {25, 4}}), {20, 10});
+  EXPECT_EQ(out,
+            (std::vector<AggOutput>{{-10, 1}, {0, 3}, {10, 6}, {20, 4}}));
+}
+
+TEST(AggregateTest, EmitAtWindowEnd) {
+  auto out = RunAggregate(Values({{1, 1}, {5, 2}}),
+                          {10, 10, WindowBounds::kLeftClosedRightOpen,
+                           EmitAt::kWindowEnd});
+  EXPECT_EQ(out, (std::vector<AggOutput>{{10, 3}}));
+}
+
+TEST(AggregateTest, LeftOpenRightClosedBounds) {
+  // (0,10] contains ts 1..10; (10,20] contains 11..20. A tuple at exactly 10
+  // belongs to the first window, a tuple at exactly 0 to the (-10,0] window.
+  auto out = RunAggregate(Values({{0, 1}, {10, 2}, {11, 4}, {20, 8}}),
+                          {10, 10, WindowBounds::kLeftOpenRightClosed,
+                           EmitAt::kWindowEnd});
+  EXPECT_EQ(out, (std::vector<AggOutput>{{0, 1}, {10, 2}, {20, 12}}));
+}
+
+TEST(AggregateTest, GroupByKeysFireInKeyOrder) {
+  Topology topo;
+  std::vector<IntrusivePtr<KeyedTuple>> input;
+  input.push_back(MakeTuple<KeyedTuple>(1, 2, 10.0));  // key 2
+  input.push_back(MakeTuple<KeyedTuple>(2, 1, 1.0));   // key 1
+  input.push_back(MakeTuple<KeyedTuple>(3, 1, 2.0));
+  input.push_back(MakeTuple<KeyedTuple>(12, 2, 5.0));  // next window
+  auto* source =
+      topo.Add<VectorSourceNode<KeyedTuple>>("src", std::move(input));
+  auto* agg = topo.Add<AggregateNode<KeyedTuple, KeyedTuple>>(
+      "agg", AggregateOptions{10, 10},
+      [](const KeyedTuple& t) { return t.key; },
+      [](const WindowView<KeyedTuple, int64_t>& w) {
+        double sum = 0;
+        for (const auto& t : w.tuples) sum += t->value;
+        return MakeTuple<KeyedTuple>(0, w.key, sum);
+      });
+  Collector collector;
+  auto* sink = collector.AttachSink(topo);
+  topo.Connect(source, agg);
+  topo.Connect(agg, sink);
+  RunToCompletion(topo);
+
+  ASSERT_EQ(collector.tuples().size(), 3u);
+  // Window [0,10): key 1 before key 2; then window [10,20): key 2.
+  EXPECT_EQ(collector.at<KeyedTuple>(0).key, 1);
+  EXPECT_DOUBLE_EQ(collector.at<KeyedTuple>(0).value, 3.0);
+  EXPECT_EQ(collector.at<KeyedTuple>(1).key, 2);
+  EXPECT_DOUBLE_EQ(collector.at<KeyedTuple>(1).value, 10.0);
+  EXPECT_EQ(collector.at<KeyedTuple>(2).key, 2);
+  EXPECT_DOUBLE_EQ(collector.at<KeyedTuple>(2).value, 5.0);
+}
+
+TEST(AggregateTest, OutputIsTimestampSorted) {
+  SplitMix64 rng(99);
+  std::vector<IntrusivePtr<ValueTuple>> input;
+  int64_t ts = 0;
+  for (int i = 0; i < 500; ++i) {
+    ts += rng.UniformInt(0, 7);
+    input.push_back(V(ts, rng.UniformInt(0, 100)));
+  }
+  auto out = RunAggregate(std::move(input), {40, 10});
+  for (size_t i = 1; i < out.size(); ++i) {
+    EXPECT_LE(out[i - 1].ts, out[i].ts);
+  }
+}
+
+TEST(AggregateTest, GenealogMetaSpansWindow) {
+  std::vector<TuplePtr> raw;
+  RunAggregate(Values({{1, 1}, {2, 2}, {3, 3}, {15, 4}}), {10, 10},
+               [](const ValueTuple&) { return 0; }, ProvenanceMode::kGenealog,
+               &raw);
+  ASSERT_EQ(raw.size(), 2u);
+  const TuplePtr& first = raw[0];
+  EXPECT_EQ(first->kind, TupleKind::kAggregate);
+  ASSERT_NE(first->u1(), nullptr);
+  ASSERT_NE(first->u2(), nullptr);
+  EXPECT_EQ(static_cast<ValueTuple*>(first->u2())->value, 1);  // earliest
+  EXPECT_EQ(static_cast<ValueTuple*>(first->u1())->value, 3);  // latest
+  // N-chain: u2 -> .. -> u1.
+  EXPECT_EQ(first->u2()->next()->next(), first->u1());
+}
+
+TEST(AggregateTest, BaselineAnnotationUnionsWindow) {
+  std::vector<TuplePtr> raw;
+  RunAggregate(Values({{1, 1}, {2, 2}, {3, 3}}), {10, 10},
+               [](const ValueTuple&) { return 0; }, ProvenanceMode::kBaseline,
+               &raw);
+  ASSERT_EQ(raw.size(), 1u);
+  ASSERT_NE(raw[0]->baseline_annotation(), nullptr);
+  EXPECT_EQ(raw[0]->baseline_annotation()->size(), 3u);  // three source ids
+}
+
+TEST(AggregateTest, StimulusIsMaxOfWindow) {
+  std::vector<TuplePtr> raw;
+  RunAggregate(Values({{1, 1}, {2, 2}}), {10, 10},
+               [](const ValueTuple&) { return 0; }, ProvenanceMode::kNone,
+               &raw);
+  ASSERT_EQ(raw.size(), 1u);
+  EXPECT_GT(raw[0]->stimulus, 0);
+}
+
+TEST(AggregateTest, FlushFiresPendingWindows) {
+  // Without a later tuple to advance the watermark, only flush can close the
+  // last window.
+  auto out = RunAggregate(Values({{5, 42}}), {10, 10});
+  EXPECT_EQ(out, (std::vector<AggOutput>{{0, 42}}));
+}
+
+TEST(AggregateTest, CombinerReturningNullSuppressesOutput) {
+  Topology topo;
+  auto* source = topo.Add<VectorSourceNode<ValueTuple>>(
+      "src", Values({{1, 1}, {11, 2}}));
+  auto* agg = topo.Add<AggregateNode<ValueTuple, ValueTuple>>(
+      "agg", AggregateOptions{10, 10},
+      [](const ValueTuple&) { return int64_t{0}; },
+      [](const WindowView<ValueTuple, int64_t>& w) -> IntrusivePtr<ValueTuple> {
+        if (w.tuples.front()->value == 1) return nullptr;  // suppress first
+        return MakeTuple<ValueTuple>(0, w.tuples.front()->value);
+      });
+  Collector collector;
+  auto* sink = collector.AttachSink(topo);
+  topo.Connect(source, agg);
+  topo.Connect(agg, sink);
+  RunToCompletion(topo);
+  ASSERT_EQ(collector.tuples().size(), 1u);
+  EXPECT_EQ(collector.at<ValueTuple>(0).value, 2);
+}
+
+// --- property sweep: engine output equals a brute-force window evaluation ---
+
+struct SweepParam {
+  int64_t ws;
+  int64_t wa;
+  WindowBounds bounds;
+  EmitAt emit_at;
+};
+
+class AggregateSweepTest : public ::testing::TestWithParam<SweepParam> {};
+
+std::vector<AggOutput> BruteForce(
+    const std::vector<IntrusivePtr<ValueTuple>>& input,
+    const SweepParam& p) {
+  if (input.empty()) return {};
+  const bool lcro = p.bounds == WindowBounds::kLeftClosedRightOpen;
+  int64_t min_ts = input.front()->ts;
+  int64_t max_ts = input.back()->ts;
+  std::vector<AggOutput> out;
+  for (int64_t start = FloorAlign(min_ts - p.ws - p.wa, p.wa);
+       start <= max_ts + p.wa; start += p.wa) {
+    int64_t sum = 0;
+    bool any = false;
+    for (const auto& t : input) {
+      const bool in_window = lcro
+                                 ? t->ts >= start && t->ts < start + p.ws
+                                 : t->ts > start && t->ts <= start + p.ws;
+      if (in_window) {
+        sum += t->value;
+        any = true;
+      }
+    }
+    if (any) {
+      out.push_back({p.emit_at == EmitAt::kWindowStart ? start : start + p.ws,
+                     sum});
+    }
+  }
+  return out;
+}
+
+TEST_P(AggregateSweepTest, MatchesBruteForce) {
+  const SweepParam p = GetParam();
+  SplitMix64 rng(p.ws * 1000003 + p.wa);
+  std::vector<IntrusivePtr<ValueTuple>> input;
+  int64_t ts = -17;  // exercise negative timestamps too
+  for (int i = 0; i < 300; ++i) {
+    ts += rng.UniformInt(0, 5);
+    input.push_back(V(ts, rng.UniformInt(1, 9)));
+  }
+  auto expected = BruteForce(input, p);
+  auto actual = RunAggregate(std::move(input),
+                             {p.ws, p.wa, p.bounds, p.emit_at});
+  EXPECT_EQ(actual, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WindowShapes, AggregateSweepTest,
+    ::testing::Values(
+        SweepParam{10, 10, WindowBounds::kLeftClosedRightOpen, EmitAt::kWindowStart},
+        SweepParam{10, 10, WindowBounds::kLeftOpenRightClosed, EmitAt::kWindowEnd},
+        SweepParam{20, 5, WindowBounds::kLeftClosedRightOpen, EmitAt::kWindowStart},
+        SweepParam{20, 5, WindowBounds::kLeftOpenRightClosed, EmitAt::kWindowStart},
+        SweepParam{7, 3, WindowBounds::kLeftClosedRightOpen, EmitAt::kWindowEnd},
+        SweepParam{1, 1, WindowBounds::kLeftClosedRightOpen, EmitAt::kWindowStart},
+        SweepParam{120, 30, WindowBounds::kLeftClosedRightOpen, EmitAt::kWindowStart},
+        SweepParam{24, 24, WindowBounds::kLeftClosedRightOpen, EmitAt::kWindowEnd},
+        SweepParam{5, 8, WindowBounds::kLeftClosedRightOpen, EmitAt::kWindowStart},
+        SweepParam{5, 8, WindowBounds::kLeftOpenRightClosed, EmitAt::kWindowEnd}));
+
+}  // namespace
+}  // namespace genealog

@@ -1,0 +1,157 @@
+#include "spe/chain.h"
+
+#include <gtest/gtest.h>
+
+#include "spe/sink.h"
+#include "spe/source.h"
+#include "spe/topology.h"
+#include "testing/harness.h"
+#include "testing/test_tuples.h"
+
+namespace genealog {
+namespace {
+
+using testing::Collector;
+using testing::V;
+using testing::ValueTuple;
+
+std::vector<IntrusivePtr<ValueTuple>> Numbers(int n) {
+  std::vector<IntrusivePtr<ValueTuple>> out;
+  for (int i = 0; i < n; ++i) out.push_back(V(i, i));
+  return out;
+}
+
+std::vector<int64_t> ValuesOf(const Collector& c) {
+  std::vector<int64_t> out;
+  for (const auto& t : c.tuples()) {
+    out.push_back(static_cast<const ValueTuple&>(*t).value);
+  }
+  return out;
+}
+
+// The paper's own example: three consecutive Filters in one thread.
+TEST(ChainNodeTest, ThreeFiltersEquivalentToThreeNodes) {
+  auto run_chained = [](ProvenanceMode mode) {
+    Topology topo(0, mode);
+    auto* source = topo.Add<VectorSourceNode<ValueTuple>>("src", Numbers(120));
+    auto* chain =
+        ChainBuilder("filters")
+            .Filter<ValueTuple>([](const ValueTuple& t) { return t.value % 2 == 0; })
+            .Filter<ValueTuple>([](const ValueTuple& t) { return t.value % 3 == 0; })
+            .Filter<ValueTuple>([](const ValueTuple& t) { return t.value % 5 == 0; })
+            .AddTo(topo);
+    Collector c;
+    auto* sink = c.AttachSink(topo);
+    topo.Connect(source, chain);
+    topo.Connect(chain, sink);
+    RunToCompletion(topo);
+    return ValuesOf(c);
+  };
+  auto run_separate = [](ProvenanceMode mode) {
+    Topology topo(0, mode);
+    auto* source = topo.Add<VectorSourceNode<ValueTuple>>("src", Numbers(120));
+    auto* f1 = topo.Add<FilterNode<ValueTuple>>(
+        "f1", [](const ValueTuple& t) { return t.value % 2 == 0; });
+    auto* f2 = topo.Add<FilterNode<ValueTuple>>(
+        "f2", [](const ValueTuple& t) { return t.value % 3 == 0; });
+    auto* f3 = topo.Add<FilterNode<ValueTuple>>(
+        "f3", [](const ValueTuple& t) { return t.value % 5 == 0; });
+    Collector c;
+    auto* sink = c.AttachSink(topo);
+    topo.Connect(source, f1);
+    topo.Connect(f1, f2);
+    topo.Connect(f2, f3);
+    topo.Connect(f3, sink);
+    RunToCompletion(topo);
+    return ValuesOf(c);
+  };
+  for (ProvenanceMode mode :
+       {ProvenanceMode::kNone, ProvenanceMode::kGenealog,
+        ProvenanceMode::kBaseline}) {
+    auto chained = run_chained(mode);
+    EXPECT_EQ(chained, run_separate(mode));
+    EXPECT_EQ(chained, (std::vector<int64_t>{0, 30, 60, 90}));
+  }
+}
+
+TEST(ChainNodeTest, MapStageInstrumentsLikeMapNode) {
+  Topology topo(0, ProvenanceMode::kGenealog);
+  auto* source = topo.Add<VectorSourceNode<ValueTuple>>("src", Numbers(4));
+  auto* chain =
+      ChainBuilder("chain")
+          .Map<ValueTuple, ValueTuple>(
+              [](const ValueTuple& in, MapCollector<ValueTuple>& out) {
+                out.Emit(MakeTuple<ValueTuple>(0, in.value * 10));
+              })
+          .Filter<ValueTuple>([](const ValueTuple& t) { return t.value >= 20; })
+          .AddTo(topo);
+  Collector c;
+  auto* sink = c.AttachSink(topo);
+  topo.Connect(source, chain);
+  topo.Connect(chain, sink);
+  RunToCompletion(topo);
+
+  ASSERT_EQ(c.tuples().size(), 2u);  // values 20, 30
+  for (const auto& t : c.tuples()) {
+    EXPECT_EQ(t->kind, TupleKind::kMap);
+    ASSERT_NE(t->u1(), nullptr);
+    EXPECT_EQ(t->u1()->kind, TupleKind::kSource);
+    EXPECT_NE(t->id, 0u);
+  }
+  EXPECT_EQ(c.tuples()[0]->ts, 2);  // ts contract preserved through the chain
+}
+
+TEST(ChainNodeTest, MapFanOutWithinChain) {
+  Topology topo;
+  auto* source = topo.Add<VectorSourceNode<ValueTuple>>("src", Numbers(3));
+  auto* chain =
+      ChainBuilder("chain")
+          .Map<ValueTuple, ValueTuple>(
+              [](const ValueTuple& in, MapCollector<ValueTuple>& out) {
+                for (int64_t k = 0; k < in.value; ++k) {
+                  out.Emit(MakeTuple<ValueTuple>(0, in.value));
+                }
+              })
+          .AddTo(topo);
+  Collector c;
+  auto* sink = c.AttachSink(topo);
+  topo.Connect(source, chain);
+  topo.Connect(chain, sink);
+  RunToCompletion(topo);
+  EXPECT_EQ(c.tuples().size(), 3u);  // 0 + 1 + 2
+}
+
+TEST(ChainNodeTest, EmptyChainForwards) {
+  Topology topo;
+  auto* source = topo.Add<VectorSourceNode<ValueTuple>>("src", Numbers(5));
+  auto* chain = ChainBuilder("empty").AddTo(topo);
+  Collector c;
+  auto* sink = c.AttachSink(topo);
+  topo.Connect(source, chain);
+  topo.Connect(chain, sink);
+  RunToCompletion(topo);
+  EXPECT_EQ(c.tuples().size(), 5u);
+}
+
+TEST(ChainNodeTest, WatermarksFlowThroughChain) {
+  // A chain that drops everything must still forward watermarks (it is a
+  // SingleInputNode, so the default OnWatermark applies).
+  Topology topo;
+  auto* a = topo.Add<VectorSourceNode<ValueTuple>>("a", Numbers(20));
+  auto* b = topo.Add<VectorSourceNode<ValueTuple>>("b", Numbers(20));
+  auto* chain = ChainBuilder("drop")
+                    .Filter<ValueTuple>([](const ValueTuple&) { return false; })
+                    .AddTo(topo);
+  auto* merge = topo.Add<UnionNode>("union");
+  Collector c;
+  auto* sink = c.AttachSink(topo);
+  topo.Connect(a, chain);
+  topo.Connect(chain, merge);
+  topo.Connect(b, merge);
+  topo.Connect(merge, sink);
+  RunToCompletion(topo);
+  EXPECT_EQ(c.tuples().size(), 20u);
+}
+
+}  // namespace
+}  // namespace genealog

@@ -1,0 +1,127 @@
+// §2's determinism requirement: query output must be a pure function of the
+// input data, unaffected by thread scheduling, queue interleavings, or the
+// latency of individual operators. These tests run the same topologies many
+// times and demand bit-identical output sequences.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "spe/aggregate.h"
+#include "spe/join.h"
+#include "spe/sink.h"
+#include "spe/source.h"
+#include "spe/stateless.h"
+#include "spe/topology.h"
+#include "testing/harness.h"
+#include "testing/test_tuples.h"
+
+namespace genealog {
+namespace {
+
+using testing::Collector;
+using testing::KeyedTuple;
+using testing::ValueTuple;
+
+std::vector<IntrusivePtr<KeyedTuple>> RandomKeyed(uint64_t seed, int n) {
+  SplitMix64 rng(seed);
+  std::vector<IntrusivePtr<KeyedTuple>> out;
+  int64_t ts = 0;
+  for (int i = 0; i < n; ++i) {
+    ts += rng.UniformInt(0, 2);  // many timestamp ties
+    out.push_back(MakeTuple<KeyedTuple>(ts, rng.UniformInt(0, 4),
+                                        static_cast<double>(i)));
+  }
+  return out;
+}
+
+// The Q4 shape: Multiplex -> {Aggregate, Filter} -> Join. A diamond with a
+// slow (windowed) branch and a fast branch is the hardest case for
+// deterministic merging.
+std::vector<std::tuple<int64_t, int64_t, double>> RunDiamond(uint64_t seed) {
+  Topology topo;
+  auto* source =
+      topo.Add<VectorSourceNode<KeyedTuple>>("src", RandomKeyed(seed, 400));
+  auto* mux = topo.Add<MultiplexNode>("mux");
+  auto* agg = topo.Add<AggregateNode<KeyedTuple, KeyedTuple>>(
+      "agg", AggregateOptions{10, 10},
+      [](const KeyedTuple& t) { return t.key; },
+      [](const WindowView<KeyedTuple, int64_t>& w) {
+        double sum = 0;
+        for (const auto& t : w.tuples) sum += t->value;
+        return MakeTuple<KeyedTuple>(0, w.key, sum);
+      });
+  auto* filter = topo.Add<FilterNode<KeyedTuple>>(
+      "f", [](const KeyedTuple& t) { return t.ts % 10 == 0; });
+  auto* join = topo.Add<JoinNode<KeyedTuple, KeyedTuple, KeyedTuple>>(
+      "join", JoinOptions{10},
+      [](const KeyedTuple& l, const KeyedTuple& r) { return l.key == r.key; },
+      [](const KeyedTuple& l, const KeyedTuple& r) {
+        return MakeTuple<KeyedTuple>(0, l.key, l.value * 1000 + r.value);
+      });
+  Collector collector;
+  auto* sink = collector.AttachSink(topo);
+  topo.Connect(source, mux);
+  topo.Connect(mux, agg);
+  topo.Connect(mux, filter);
+  topo.Connect(agg, join);     // port 0
+  topo.Connect(filter, join);  // port 1
+  topo.Connect(join, sink);
+  RunToCompletion(topo);
+
+  std::vector<std::tuple<int64_t, int64_t, double>> out;
+  for (const auto& t : collector.tuples()) {
+    const auto& k = static_cast<const KeyedTuple&>(*t);
+    out.emplace_back(t->ts, k.key, k.value);
+  }
+  return out;
+}
+
+TEST(DeterminismTest, DiamondTopologyIsRunInvariant) {
+  const auto reference = RunDiamond(7);
+  ASSERT_FALSE(reference.empty());
+  for (int run = 0; run < 15; ++run) {
+    EXPECT_EQ(RunDiamond(7), reference) << "run " << run;
+  }
+}
+
+std::vector<std::pair<int64_t, double>> RunUnionChain(uint64_t seed) {
+  Topology topo;
+  auto* a = topo.Add<VectorSourceNode<KeyedTuple>>("a", RandomKeyed(seed, 300));
+  auto* b =
+      topo.Add<VectorSourceNode<KeyedTuple>>("b", RandomKeyed(seed + 1, 300));
+  auto* c =
+      topo.Add<VectorSourceNode<KeyedTuple>>("c", RandomKeyed(seed + 2, 300));
+  auto* u1 = topo.Add<UnionNode>("u1");
+  auto* u2 = topo.Add<UnionNode>("u2");
+  Collector collector;
+  auto* sink = collector.AttachSink(topo);
+  topo.Connect(a, u1);
+  topo.Connect(b, u1);
+  topo.Connect(u1, u2);
+  topo.Connect(c, u2);
+  topo.Connect(u2, sink);
+  RunToCompletion(topo);
+
+  std::vector<std::pair<int64_t, double>> out;
+  for (const auto& t : collector.tuples()) {
+    out.emplace_back(t->ts, static_cast<const KeyedTuple&>(*t).value);
+  }
+  return out;
+}
+
+TEST(DeterminismTest, CascadedUnionsAreRunInvariant) {
+  const auto reference = RunUnionChain(11);
+  ASSERT_EQ(reference.size(), 900u);
+  for (int run = 0; run < 10; ++run) {
+    EXPECT_EQ(RunUnionChain(11), reference) << "run " << run;
+  }
+}
+
+TEST(DeterminismTest, MergedStreamIsSorted) {
+  const auto out = RunUnionChain(13);
+  for (size_t i = 1; i < out.size(); ++i) {
+    EXPECT_LE(out[i - 1].first, out[i].first);
+  }
+}
+
+}  // namespace
+}  // namespace genealog

@@ -1,0 +1,108 @@
+// Parameterized Join property sweep: for random two-stream workloads and a
+// range of window sizes, the engine's join must produce exactly the pairs a
+// brute-force evaluation finds — |l.ts - r.ts| <= WS and predicate — with
+// sorted output and correct GL meta-attributes on every output tuple.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "common/rng.h"
+#include "spe/join.h"
+#include "spe/sink.h"
+#include "spe/source.h"
+#include "spe/topology.h"
+#include "testing/harness.h"
+#include "testing/test_tuples.h"
+
+namespace genealog {
+namespace {
+
+using testing::Collector;
+using testing::KeyedTuple;
+
+struct JoinSweepParam {
+  int64_t ws;
+  int n_keys;
+  int max_gap;  // max ts increment between consecutive tuples
+  uint64_t seed;
+};
+
+class JoinSweepTest : public ::testing::TestWithParam<JoinSweepParam> {};
+
+std::vector<IntrusivePtr<KeyedTuple>> RandomStream(uint64_t seed, int n,
+                                                   int n_keys, int max_gap) {
+  SplitMix64 rng(seed);
+  std::vector<IntrusivePtr<KeyedTuple>> out;
+  int64_t ts = 0;
+  for (int i = 0; i < n; ++i) {
+    ts += rng.UniformInt(0, max_gap);
+    out.push_back(MakeTuple<KeyedTuple>(ts, rng.UniformInt(0, n_keys - 1),
+                                        static_cast<double>(i)));
+  }
+  return out;
+}
+
+TEST_P(JoinSweepTest, MatchesBruteForceExactly) {
+  const JoinSweepParam p = GetParam();
+  auto left = RandomStream(p.seed, 120, p.n_keys, p.max_gap);
+  auto right = RandomStream(p.seed + 1, 120, p.n_keys, p.max_gap);
+
+  // Brute force: multiset of (l.value, r.value) pairs.
+  std::map<std::pair<double, double>, int> expected;
+  for (const auto& l : left) {
+    for (const auto& r : right) {
+      if (l->key == r->key && std::abs(l->ts - r->ts) <= p.ws) {
+        ++expected[{l->value, r->value}];
+      }
+    }
+  }
+
+  Topology topo(0, ProvenanceMode::kGenealog);
+  auto* l = topo.Add<VectorSourceNode<KeyedTuple>>("l", std::move(left));
+  auto* r = topo.Add<VectorSourceNode<KeyedTuple>>("r", std::move(right));
+  auto* join = topo.Add<JoinNode<KeyedTuple, KeyedTuple, KeyedTuple>>(
+      "join", JoinOptions{p.ws},
+      [](const KeyedTuple& a, const KeyedTuple& b) { return a.key == b.key; },
+      [](const KeyedTuple& a, const KeyedTuple& b) {
+        return MakeTuple<KeyedTuple>(0, a.key, a.value * 1000 + b.value);
+      });
+  Collector collector;
+  auto* sink = collector.AttachSink(topo);
+  topo.Connect(l, join);
+  topo.Connect(r, join);
+  topo.Connect(join, sink);
+  RunToCompletion(topo);
+
+  std::map<std::pair<double, double>, int> actual;
+  int64_t last_ts = kWatermarkMin;
+  for (const auto& t : collector.tuples()) {
+    const auto& k = static_cast<const KeyedTuple&>(*t);
+    const double l_value = std::floor(k.value / 1000);
+    const double r_value = k.value - l_value * 1000;
+    ++actual[{l_value, r_value}];
+    // Sorted output.
+    EXPECT_GE(t->ts, last_ts);
+    last_ts = t->ts;
+    // GL meta: u1 newer, u2 older, both set.
+    ASSERT_NE(t->u1(), nullptr);
+    ASSERT_NE(t->u2(), nullptr);
+    EXPECT_GE(t->u1()->ts, t->u2()->ts);
+    EXPECT_EQ(t->ts, t->u1()->ts);
+  }
+  EXPECT_EQ(actual, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WindowsAndKeySpaces, JoinSweepTest,
+    ::testing::Values(JoinSweepParam{0, 2, 2, 100},
+                      JoinSweepParam{1, 2, 2, 101},
+                      JoinSweepParam{5, 4, 3, 102},
+                      JoinSweepParam{10, 1, 1, 103},
+                      JoinSweepParam{24, 8, 5, 104},
+                      JoinSweepParam{100, 3, 2, 105},
+                      JoinSweepParam{3, 16, 4, 106},
+                      JoinSweepParam{7, 2, 9, 107}));
+
+}  // namespace
+}  // namespace genealog

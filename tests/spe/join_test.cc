@@ -1,0 +1,205 @@
+#include "spe/join.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "spe/sink.h"
+#include "spe/source.h"
+#include "spe/topology.h"
+#include "testing/harness.h"
+#include "testing/test_tuples.h"
+
+namespace genealog {
+namespace {
+
+using testing::Collector;
+using testing::KeyedTuple;
+using testing::V;
+using testing::ValueTuple;
+
+std::vector<IntrusivePtr<KeyedTuple>> Keyed(
+    std::initializer_list<std::tuple<int64_t, int64_t, double>> items) {
+  std::vector<IntrusivePtr<KeyedTuple>> out;
+  for (auto [ts, key, value] : items) {
+    out.push_back(MakeTuple<KeyedTuple>(ts, key, value));
+  }
+  return out;
+}
+
+// Joins two KeyedTuple streams on key; output value = l.value + r.value.
+struct JoinRun {
+  Collector collector;
+  std::vector<TuplePtr> outputs;
+};
+
+std::vector<std::tuple<int64_t, int64_t, double>> RunJoin(
+    std::vector<IntrusivePtr<KeyedTuple>> left,
+    std::vector<IntrusivePtr<KeyedTuple>> right, int64_t ws,
+    ProvenanceMode mode = ProvenanceMode::kNone,
+    std::vector<TuplePtr>* raw = nullptr) {
+  Topology topo(0, mode);
+  auto* l = topo.Add<VectorSourceNode<KeyedTuple>>("left", std::move(left));
+  auto* r = topo.Add<VectorSourceNode<KeyedTuple>>("right", std::move(right));
+  auto* join = topo.Add<JoinNode<KeyedTuple, KeyedTuple, KeyedTuple>>(
+      "join", JoinOptions{ws},
+      [](const KeyedTuple& a, const KeyedTuple& b) { return a.key == b.key; },
+      [](const KeyedTuple& a, const KeyedTuple& b) {
+        return MakeTuple<KeyedTuple>(0, a.key, a.value + b.value);
+      });
+  Collector collector;
+  auto* sink = collector.AttachSink(topo);
+  topo.Connect(l, join);   // port 0 = left
+  topo.Connect(r, join);   // port 1 = right
+  topo.Connect(join, sink);
+  RunToCompletion(topo);
+
+  std::vector<std::tuple<int64_t, int64_t, double>> out;
+  for (const auto& t : collector.tuples()) {
+    const auto& k = static_cast<const KeyedTuple&>(*t);
+    out.emplace_back(t->ts, k.key, k.value);
+    if (raw != nullptr) raw->push_back(t);
+  }
+  return out;
+}
+
+TEST(JoinTest, MatchesPairsWithinWindow) {
+  auto out = RunJoin(Keyed({{10, 1, 1.0}}), Keyed({{12, 1, 2.0}}), 5);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], std::make_tuple(int64_t{12}, int64_t{1}, 3.0));
+}
+
+TEST(JoinTest, RespectsWindowBoundInclusive) {
+  // |10 - 15| = 5 = WS: inclusive per Def. 3.1 (|tL.ts - tR.ts| <= WS).
+  auto out = RunJoin(Keyed({{10, 1, 1.0}}), Keyed({{15, 1, 2.0}}), 5);
+  EXPECT_EQ(out.size(), 1u);
+}
+
+TEST(JoinTest, RejectsPairsBeyondWindow) {
+  auto out = RunJoin(Keyed({{10, 1, 1.0}}), Keyed({{16, 1, 2.0}}), 5);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(JoinTest, PredicateFilters) {
+  auto out = RunJoin(Keyed({{10, 1, 1.0}}), Keyed({{11, 2, 2.0}}), 5);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(JoinTest, MatchesInBothArrivalOrders) {
+  // Left tuple older than right and vice versa.
+  auto out = RunJoin(Keyed({{10, 1, 1.0}, {20, 2, 1.0}}),
+                     Keyed({{12, 1, 2.0}, {18, 2, 2.0}}), 5);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(std::get<0>(out[0]), 12);  // ts = max of pair
+  EXPECT_EQ(std::get<0>(out[1]), 20);
+}
+
+TEST(JoinTest, OneToManyMatches) {
+  auto out = RunJoin(Keyed({{10, 1, 1.0}}),
+                     Keyed({{8, 1, 2.0}, {11, 1, 4.0}, {14, 1, 8.0}}), 5);
+  ASSERT_EQ(out.size(), 3u);
+  // Output timestamps are the max of each pair and nondecreasing.
+  EXPECT_EQ(std::get<0>(out[0]), 10);
+  EXPECT_EQ(std::get<0>(out[1]), 11);
+  EXPECT_EQ(std::get<0>(out[2]), 14);
+}
+
+TEST(JoinTest, OutputTimestampsSorted) {
+  SplitMix64 rng(5);
+  std::vector<IntrusivePtr<KeyedTuple>> left;
+  std::vector<IntrusivePtr<KeyedTuple>> right;
+  int64_t lts = 0;
+  int64_t rts = 0;
+  for (int i = 0; i < 200; ++i) {
+    lts += rng.UniformInt(0, 3);
+    rts += rng.UniformInt(0, 3);
+    left.push_back(MakeTuple<KeyedTuple>(lts, rng.UniformInt(0, 3), 1.0));
+    right.push_back(MakeTuple<KeyedTuple>(rts, rng.UniformInt(0, 3), 2.0));
+  }
+  auto out = RunJoin(std::move(left), std::move(right), 10);
+  for (size_t i = 1; i < out.size(); ++i) {
+    EXPECT_LE(std::get<0>(out[i - 1]), std::get<0>(out[i]));
+  }
+}
+
+TEST(JoinTest, MatchesBruteForce) {
+  SplitMix64 rng(17);
+  std::vector<IntrusivePtr<KeyedTuple>> left;
+  std::vector<IntrusivePtr<KeyedTuple>> right;
+  int64_t lts = 0;
+  int64_t rts = 0;
+  for (int i = 0; i < 150; ++i) {
+    lts += rng.UniformInt(0, 4);
+    rts += rng.UniformInt(0, 4);
+    left.push_back(MakeTuple<KeyedTuple>(lts, rng.UniformInt(0, 2), 1.0));
+    right.push_back(MakeTuple<KeyedTuple>(rts, rng.UniformInt(0, 2), 2.0));
+  }
+  size_t expected = 0;
+  for (const auto& l : left) {
+    for (const auto& r : right) {
+      if (l->key == r->key && std::abs(l->ts - r->ts) <= 7) ++expected;
+    }
+  }
+  auto out = RunJoin(std::move(left), std::move(right), 7);
+  EXPECT_EQ(out.size(), expected);
+}
+
+TEST(JoinTest, GenealogOrientsU1ToNewerInput) {
+  std::vector<TuplePtr> raw;
+  RunJoin(Keyed({{10, 1, 1.0}}), Keyed({{12, 1, 2.0}}), 5,
+          ProvenanceMode::kGenealog, &raw);
+  ASSERT_EQ(raw.size(), 1u);
+  EXPECT_EQ(raw[0]->kind, TupleKind::kJoin);
+  ASSERT_NE(raw[0]->u1(), nullptr);
+  ASSERT_NE(raw[0]->u2(), nullptr);
+  EXPECT_EQ(raw[0]->u1()->ts, 12);  // newer
+  EXPECT_EQ(raw[0]->u2()->ts, 10);  // older
+}
+
+TEST(JoinTest, BaselineMergesAnnotations) {
+  std::vector<TuplePtr> raw;
+  RunJoin(Keyed({{10, 1, 1.0}}), Keyed({{12, 1, 2.0}}), 5,
+          ProvenanceMode::kBaseline, &raw);
+  ASSERT_EQ(raw.size(), 1u);
+  ASSERT_NE(raw[0]->baseline_annotation(), nullptr);
+  EXPECT_EQ(raw[0]->baseline_annotation()->size(), 2u);
+}
+
+TEST(JoinTest, SelfPairsAcrossStreamsWithEqualTimestamps) {
+  // Q4's pattern: both sides carry a tuple at the same ts and key.
+  auto out = RunJoin(Keyed({{24, 7, 100.0}}), Keyed({{24, 7, 300.0}}), 1);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], std::make_tuple(int64_t{24}, int64_t{7}, 400.0));
+}
+
+TEST(JoinTest, StimulusIsMaxOfPair) {
+  std::vector<TuplePtr> raw;
+  RunJoin(Keyed({{10, 1, 1.0}}), Keyed({{12, 1, 2.0}}), 5,
+          ProvenanceMode::kNone, &raw);
+  ASSERT_EQ(raw.size(), 1u);
+  EXPECT_GT(raw[0]->stimulus, 0);
+}
+
+// Purge correctness: a tuple must remain matchable exactly while the merged
+// watermark allows a future partner within WS.
+TEST(JoinTest, LateArrivingPartnerAtWindowEdgeStillMatches) {
+  std::vector<IntrusivePtr<KeyedTuple>> left = Keyed({{0, 1, 1.0}});
+  std::vector<IntrusivePtr<KeyedTuple>> right;
+  // Many right tuples advance the watermark; the last one at ts=WS still
+  // matches the left tuple at ts=0.
+  for (int64_t ts = 1; ts <= 10; ++ts) {
+    right.push_back(MakeTuple<KeyedTuple>(ts, 2, 0.0));  // non-matching key
+  }
+  right.push_back(MakeTuple<KeyedTuple>(10, 1, 2.0));  // |10-0| = WS
+  auto out = RunJoin(std::move(left), std::move(right), 10);
+  ASSERT_EQ(out.size(), 1u);
+}
+
+TEST(JoinTest, ZeroWindowJoinsEqualTimestampsOnly) {
+  auto out = RunJoin(Keyed({{5, 1, 1.0}, {6, 1, 1.0}}),
+                     Keyed({{5, 1, 2.0}, {7, 1, 2.0}}), 0);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(std::get<0>(out[0]), 5);
+}
+
+}  // namespace
+}  // namespace genealog

@@ -1,0 +1,182 @@
+#include "spe/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "common/rng.h"
+#include "genealog/traversal.h"
+#include "spe/sink.h"
+#include "spe/source.h"
+#include "spe/topology.h"
+#include "testing/harness.h"
+#include "testing/test_tuples.h"
+
+namespace genealog {
+namespace {
+
+using testing::Collector;
+using testing::KeyedTuple;
+
+std::vector<IntrusivePtr<KeyedTuple>> RandomKeyed(uint64_t seed, int n,
+                                                  int n_keys) {
+  SplitMix64 rng(seed);
+  std::vector<IntrusivePtr<KeyedTuple>> out;
+  int64_t ts = 0;
+  for (int i = 0; i < n; ++i) {
+    ts += rng.UniformInt(0, 2);
+    out.push_back(MakeTuple<KeyedTuple>(ts, rng.UniformInt(0, n_keys - 1),
+                                        1.0));
+  }
+  return out;
+}
+
+AggregateCombiner<KeyedTuple, KeyedTuple, int64_t> CountPerKey() {
+  return [](const WindowView<KeyedTuple, int64_t>& w) {
+    return MakeTuple<KeyedTuple>(0, w.key,
+                                 static_cast<double>(w.tuples.size()));
+  };
+}
+
+struct Row {
+  int64_t ts;
+  int64_t key;
+  double value;
+  bool operator==(const Row&) const = default;
+  auto operator<=>(const Row&) const = default;
+};
+
+std::vector<Row> RunCountQuery(int parallelism, ProvenanceMode mode,
+                               std::vector<TuplePtr>* raw = nullptr) {
+  Topology topo(0, mode);
+  auto* source =
+      topo.Add<VectorSourceNode<KeyedTuple>>("src", RandomKeyed(3, 600, 16));
+  Collector c;
+  auto* sink = c.AttachSink(topo);
+  if (parallelism == 0) {  // single dedicated aggregate, the reference
+    auto* agg = topo.Add<AggregateNode<KeyedTuple, KeyedTuple>>(
+        "agg", AggregateOptions{10, 10},
+        [](const KeyedTuple& t) { return t.key; }, CountPerKey());
+    topo.Connect(source, agg);
+    topo.Connect(agg, sink);
+  } else {
+    ParallelStage stage = AddParallelAggregate<KeyedTuple, KeyedTuple>(
+        topo, "par", parallelism, AggregateOptions{10, 10},
+        [](const KeyedTuple& t) { return t.key; }, CountPerKey());
+    topo.Connect(source, stage.entry);
+    topo.Connect(stage.exit, sink);
+  }
+  RunToCompletion(topo);
+  std::vector<Row> rows;
+  for (const auto& t : c.tuples()) {
+    const auto& k = static_cast<const KeyedTuple&>(*t);
+    rows.push_back(Row{t->ts, k.key, k.value});
+    if (raw != nullptr) raw->push_back(t);
+  }
+  return rows;
+}
+
+class ParallelAggregateTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParallelAggregateTest, SameResultsAsSingleInstance) {
+  auto reference = RunCountQuery(0, ProvenanceMode::kNone);
+  auto parallel = RunCountQuery(GetParam(), ProvenanceMode::kNone);
+  ASSERT_FALSE(reference.empty());
+  // The merged order interleaves partitions; compare canonically.
+  std::sort(reference.begin(), reference.end());
+  std::sort(parallel.begin(), parallel.end());
+  EXPECT_EQ(parallel, reference);
+}
+
+TEST_P(ParallelAggregateTest, RunsAreDeterministic) {
+  auto first = RunCountQuery(GetParam(), ProvenanceMode::kNone);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(RunCountQuery(GetParam(), ProvenanceMode::kNone), first);
+  }
+}
+
+TEST_P(ParallelAggregateTest, OutputIsTimestampSorted) {
+  auto rows = RunCountQuery(GetParam(), ProvenanceMode::kNone);
+  for (size_t i = 1; i < rows.size(); ++i) {
+    EXPECT_LE(rows[i - 1].ts, rows[i].ts);
+  }
+}
+
+TEST_P(ParallelAggregateTest, ProvenanceWorksInsidePartitions) {
+  std::vector<TuplePtr> raw;
+  RunCountQuery(GetParam(), ProvenanceMode::kGenealog, &raw);
+  ASSERT_FALSE(raw.empty());
+  for (const TuplePtr& out : raw) {
+    const auto origins = FindProvenance(out.get());
+    // Count aggregates: provenance size equals the counted value, and all
+    // origins carry the output's key.
+    EXPECT_EQ(static_cast<double>(origins.size()),
+              static_cast<const KeyedTuple&>(*out).value);
+    for (Tuple* origin : origins) {
+      EXPECT_EQ(origin->kind, TupleKind::kSource);
+      EXPECT_EQ(static_cast<KeyedTuple*>(origin)->key,
+                static_cast<const KeyedTuple&>(*out).key);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Parallelism, ParallelAggregateTest,
+                         ::testing::Values(1, 2, 3, 4, 8));
+
+TEST(KeyPartitionTest, EachKeyStaysOnOnePartition) {
+  Topology topo;
+  auto* source =
+      topo.Add<VectorSourceNode<KeyedTuple>>("src", RandomKeyed(9, 300, 12));
+  auto* partition = topo.Add<KeyPartitionNode<KeyedTuple>>(
+      "part", [](const KeyedTuple& t) { return static_cast<uint64_t>(t.key); });
+  Collector c0;
+  Collector c1;
+  Collector c2;
+  auto* s0 = c0.AttachSink(topo, "s0");
+  auto* s1 = c1.AttachSink(topo, "s1");
+  auto* s2 = c2.AttachSink(topo, "s2");
+  topo.Connect(source, partition);
+  topo.Connect(partition, s0);
+  topo.Connect(partition, s1);
+  topo.Connect(partition, s2);
+  RunToCompletion(topo);
+
+  std::map<int64_t, int> partition_of;
+  size_t total = 0;
+  int idx = 0;
+  for (const Collector* c : {&c0, &c1, &c2}) {
+    for (const auto& t : c->tuples()) {
+      const int64_t key = static_cast<const KeyedTuple&>(*t).key;
+      auto [it, inserted] = partition_of.emplace(key, idx);
+      EXPECT_EQ(it->second, idx) << "key " << key << " crossed partitions";
+      ++total;
+    }
+    ++idx;
+  }
+  EXPECT_EQ(total, 300u);
+  // With 12 keys over 3 partitions, no partition should be empty.
+  EXPECT_GT(c0.tuples().size(), 0u);
+  EXPECT_GT(c1.tuples().size(), 0u);
+  EXPECT_GT(c2.tuples().size(), 0u);
+}
+
+TEST(KeyPartitionTest, ForwardsWithoutCopying) {
+  Topology topo;
+  std::vector<IntrusivePtr<KeyedTuple>> data{MakeTuple<KeyedTuple>(1, 5, 1.0)};
+  auto* source = topo.Add<VectorSourceNode<KeyedTuple>>("src", std::move(data));
+  auto* partition = topo.Add<KeyPartitionNode<KeyedTuple>>(
+      "part", [](const KeyedTuple& t) { return static_cast<uint64_t>(t.key); });
+  Collector c;
+  auto* sink = c.AttachSink(topo);
+  topo.Connect(source, partition);
+  topo.Connect(partition, sink);
+  RunToCompletion(topo);
+  ASSERT_EQ(c.tuples().size(), 1u);
+  // Forwarded, not copied: still a SOURCE tuple with no meta.
+  EXPECT_EQ(c.tuples()[0]->kind, TupleKind::kSource);
+  EXPECT_EQ(c.tuples()[0]->u1(), nullptr);
+}
+
+}  // namespace
+}  // namespace genealog

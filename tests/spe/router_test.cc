@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include "spe/sink.h"
+#include "spe/source.h"
+#include "spe/stateless.h"
+#include "spe/topology.h"
+#include "testing/harness.h"
+#include "testing/test_tuples.h"
+
+namespace genealog {
+namespace {
+
+using testing::Collector;
+using testing::V;
+using testing::ValueTuple;
+
+std::vector<IntrusivePtr<ValueTuple>> Numbers(int n) {
+  std::vector<IntrusivePtr<ValueTuple>> out;
+  for (int i = 0; i < n; ++i) out.push_back(V(i, i));
+  return out;
+}
+
+TEST(RouterNodeTest, RoutesByCondition) {
+  Topology topo;
+  auto* source = topo.Add<VectorSourceNode<ValueTuple>>("src", Numbers(10));
+  auto* router = topo.Add<RouterNode<ValueTuple>>(
+      "router",
+      std::vector<RouterNode<ValueTuple>::Condition>{
+          [](const ValueTuple& t) { return t.value % 2 == 0; },
+          [](const ValueTuple& t) { return t.value % 3 == 0; },
+      });
+  Collector even;
+  Collector triple;
+  auto* sink_even = even.AttachSink(topo, "even");
+  auto* sink_triple = triple.AttachSink(topo, "triple");
+  topo.Connect(source, router);
+  topo.Connect(router, sink_even);
+  topo.Connect(router, sink_triple);
+  RunToCompletion(topo);
+
+  EXPECT_EQ(even.tuples().size(), 5u);    // 0 2 4 6 8
+  EXPECT_EQ(triple.tuples().size(), 4u);  // 0 3 6 9
+  EXPECT_EQ(even.at<ValueTuple>(1).value, 2);
+  EXPECT_EQ(triple.at<ValueTuple>(1).value, 3);
+}
+
+TEST(RouterNodeTest, OverlappingConditionsCopyToBoth) {
+  Topology topo;
+  auto* source = topo.Add<VectorSourceNode<ValueTuple>>("src", Numbers(7));
+  auto* router = topo.Add<RouterNode<ValueTuple>>(
+      "router",
+      std::vector<RouterNode<ValueTuple>::Condition>{
+          [](const ValueTuple& t) { return t.value >= 0; },  // everything
+          [](const ValueTuple& t) { return t.value >= 0; },  // everything
+      });
+  Collector a;
+  Collector b;
+  auto* sink_a = a.AttachSink(topo, "a");
+  auto* sink_b = b.AttachSink(topo, "b");
+  topo.Connect(source, router);
+  topo.Connect(router, sink_a);
+  topo.Connect(router, sink_b);
+  RunToCompletion(topo);
+
+  ASSERT_EQ(a.tuples().size(), 7u);
+  ASSERT_EQ(b.tuples().size(), 7u);
+  // Copies, not the same objects; ids preserved (multiplex-copy semantics).
+  EXPECT_NE(a.tuples()[0].get(), b.tuples()[0].get());
+  EXPECT_EQ(a.tuples()[0]->id, b.tuples()[0]->id);
+}
+
+TEST(RouterNodeTest, DroppedBranchStillGetsWatermarks) {
+  // A router branch whose condition never fires must not stall a downstream
+  // merge: watermarks flow regardless.
+  Topology topo;
+  auto* source = topo.Add<VectorSourceNode<ValueTuple>>("src", Numbers(20));
+  auto* router = topo.Add<RouterNode<ValueTuple>>(
+      "router",
+      std::vector<RouterNode<ValueTuple>::Condition>{
+          [](const ValueTuple&) { return true; },
+          [](const ValueTuple&) { return false; },  // never
+      });
+  auto* merge = topo.Add<UnionNode>("union");
+  Collector collector;
+  auto* sink = collector.AttachSink(topo);
+  topo.Connect(source, router);
+  topo.Connect(router, merge);
+  topo.Connect(router, merge);
+  topo.Connect(merge, sink);
+  RunToCompletion(topo);
+  EXPECT_EQ(collector.tuples().size(), 20u);
+}
+
+// §2's claim, verified: the router is semantically the composition of a
+// Multiplex with one Filter per output — including under GL provenance.
+TEST(RouterNodeTest, EquivalentToMultiplexPlusFilters) {
+  auto run_router = [](ProvenanceMode mode) {
+    Topology topo(0, mode);
+    auto* source = topo.Add<VectorSourceNode<ValueTuple>>("src", Numbers(30));
+    auto* router = topo.Add<RouterNode<ValueTuple>>(
+        "router",
+        std::vector<RouterNode<ValueTuple>::Condition>{
+            [](const ValueTuple& t) { return t.value % 2 == 0; },
+            [](const ValueTuple& t) { return t.value % 5 == 0; },
+        });
+    Collector a;
+    Collector b;
+    auto* sink_a = a.AttachSink(topo, "a");
+    auto* sink_b = b.AttachSink(topo, "b");
+    topo.Connect(source, router);
+    topo.Connect(router, sink_a);
+    topo.Connect(router, sink_b);
+    RunToCompletion(topo);
+    std::vector<std::vector<int64_t>> out(2);
+    for (const auto& t : a.tuples()) out[0].push_back(static_cast<const ValueTuple&>(*t).value);
+    for (const auto& t : b.tuples()) out[1].push_back(static_cast<const ValueTuple&>(*t).value);
+    return out;
+  };
+
+  auto run_composed = [](ProvenanceMode mode) {
+    Topology topo(0, mode);
+    auto* source = topo.Add<VectorSourceNode<ValueTuple>>("src", Numbers(30));
+    auto* mux = topo.Add<MultiplexNode>("mux");
+    auto* f_even = topo.Add<FilterNode<ValueTuple>>(
+        "f.even", [](const ValueTuple& t) { return t.value % 2 == 0; });
+    auto* f_five = topo.Add<FilterNode<ValueTuple>>(
+        "f.five", [](const ValueTuple& t) { return t.value % 5 == 0; });
+    Collector a;
+    Collector b;
+    auto* sink_a = a.AttachSink(topo, "a");
+    auto* sink_b = b.AttachSink(topo, "b");
+    topo.Connect(source, mux);
+    topo.Connect(mux, f_even);
+    topo.Connect(mux, f_five);
+    topo.Connect(f_even, sink_a);
+    topo.Connect(f_five, sink_b);
+    RunToCompletion(topo);
+    std::vector<std::vector<int64_t>> out(2);
+    for (const auto& t : a.tuples()) out[0].push_back(static_cast<const ValueTuple&>(*t).value);
+    for (const auto& t : b.tuples()) out[1].push_back(static_cast<const ValueTuple&>(*t).value);
+    return out;
+  };
+
+  for (ProvenanceMode mode :
+       {ProvenanceMode::kNone, ProvenanceMode::kGenealog,
+        ProvenanceMode::kBaseline}) {
+    EXPECT_EQ(run_router(mode), run_composed(mode))
+        << "mode " << ToString(mode);
+  }
+}
+
+TEST(RouterNodeTest, GenealogCopiesLinkBackToInput) {
+  Topology topo(0, ProvenanceMode::kGenealog);
+  auto* source = topo.Add<VectorSourceNode<ValueTuple>>("src", Numbers(3));
+  auto* router = topo.Add<RouterNode<ValueTuple>>(
+      "router", std::vector<RouterNode<ValueTuple>::Condition>{
+                    [](const ValueTuple&) { return true; }});
+  Collector collector;
+  auto* sink = collector.AttachSink(topo);
+  topo.Connect(source, router);
+  topo.Connect(router, sink);
+  RunToCompletion(topo);
+
+  ASSERT_EQ(collector.tuples().size(), 3u);
+  for (const auto& t : collector.tuples()) {
+    EXPECT_EQ(t->kind, TupleKind::kMultiplex);
+    ASSERT_NE(t->u1(), nullptr);
+    EXPECT_EQ(t->u1()->kind, TupleKind::kSource);
+  }
+}
+
+}  // namespace
+}  // namespace genealog

@@ -1,0 +1,350 @@
+#include "spe/stateless.h"
+
+#include <gtest/gtest.h>
+
+#include "spe/sink.h"
+#include "spe/source.h"
+#include "spe/topology.h"
+#include "testing/harness.h"
+#include "testing/test_tuples.h"
+
+namespace genealog {
+namespace {
+
+using testing::Collector;
+using testing::V;
+using testing::ValueTuple;
+
+std::vector<IntrusivePtr<ValueTuple>> Values(
+    std::initializer_list<std::pair<int64_t, int64_t>> items) {
+  std::vector<IntrusivePtr<ValueTuple>> out;
+  for (auto [ts, v] : items) out.push_back(V(ts, v));
+  return out;
+}
+
+TEST(MapNodeTest, OneToOneTransform) {
+  Topology topo;
+  auto* source = topo.Add<VectorSourceNode<ValueTuple>>(
+      "src", Values({{1, 10}, {2, 20}, {3, 30}}));
+  auto* map = topo.Add<MapNode<ValueTuple, ValueTuple>>(
+      "double", [](const ValueTuple& in, MapCollector<ValueTuple>& out) {
+        out.Emit(MakeTuple<ValueTuple>(0, in.value * 2));
+      });
+  Collector collector;
+  auto* sink = collector.AttachSink(topo);
+  topo.Connect(source, map);
+  topo.Connect(map, sink);
+  RunToCompletion(topo);
+
+  ASSERT_EQ(collector.tuples().size(), 3u);
+  EXPECT_EQ(collector.at<ValueTuple>(0).value, 20);
+  EXPECT_EQ(collector.at<ValueTuple>(2).value, 60);
+}
+
+TEST(MapNodeTest, EnforcesTimestampContract) {
+  Topology topo;
+  auto* source =
+      topo.Add<VectorSourceNode<ValueTuple>>("src", Values({{7, 1}}));
+  auto* map = topo.Add<MapNode<ValueTuple, ValueTuple>>(
+      "map", [](const ValueTuple& in, MapCollector<ValueTuple>& out) {
+        out.Emit(MakeTuple<ValueTuple>(9999, in.value));  // ts is overwritten
+      });
+  Collector collector;
+  auto* sink = collector.AttachSink(topo);
+  topo.Connect(source, map);
+  topo.Connect(map, sink);
+  RunToCompletion(topo);
+  ASSERT_EQ(collector.tuples().size(), 1u);
+  EXPECT_EQ(collector.tuples()[0]->ts, 7);
+}
+
+TEST(MapNodeTest, OneToManyAndZero) {
+  Topology topo;
+  auto* source = topo.Add<VectorSourceNode<ValueTuple>>(
+      "src", Values({{1, 2}, {2, 0}, {3, 3}}));
+  // Emit `value` copies of each tuple.
+  auto* map = topo.Add<MapNode<ValueTuple, ValueTuple>>(
+      "fanout", [](const ValueTuple& in, MapCollector<ValueTuple>& out) {
+        for (int64_t i = 0; i < in.value; ++i) {
+          out.Emit(MakeTuple<ValueTuple>(0, in.value));
+        }
+      });
+  Collector collector;
+  auto* sink = collector.AttachSink(topo);
+  topo.Connect(source, map);
+  topo.Connect(map, sink);
+  RunToCompletion(topo);
+  EXPECT_EQ(collector.tuples().size(), 5u);  // 2 + 0 + 3
+}
+
+TEST(MapNodeTest, GenealogModeLinksU1AndAssignsIds) {
+  Topology topo(/*instance_id=*/0, ProvenanceMode::kGenealog);
+  auto* source =
+      topo.Add<VectorSourceNode<ValueTuple>>("src", Values({{1, 5}}));
+  auto* map = topo.Add<MapNode<ValueTuple, ValueTuple>>(
+      "map", [](const ValueTuple& in, MapCollector<ValueTuple>& out) {
+        out.Emit(MakeTuple<ValueTuple>(0, in.value + 1));
+      });
+  Collector collector;
+  auto* sink = collector.AttachSink(topo);
+  topo.Connect(source, map);
+  topo.Connect(map, sink);
+  RunToCompletion(topo);
+
+  ASSERT_EQ(collector.tuples().size(), 1u);
+  const TuplePtr& out = collector.tuples()[0];
+  EXPECT_EQ(out->kind, TupleKind::kMap);
+  ASSERT_NE(out->u1(), nullptr);
+  EXPECT_EQ(out->u1()->kind, TupleKind::kSource);
+  EXPECT_EQ(static_cast<ValueTuple*>(out->u1())->value, 5);
+  EXPECT_NE(out->id, 0u);
+  EXPECT_NE(out->id, out->u1()->id);
+}
+
+TEST(FilterNodeTest, ForwardsMatchingTuplesUnchanged) {
+  Topology topo(0, ProvenanceMode::kGenealog);
+  auto* source = topo.Add<VectorSourceNode<ValueTuple>>(
+      "src", Values({{1, 1}, {2, 2}, {3, 3}, {4, 4}}));
+  auto* filter = topo.Add<FilterNode<ValueTuple>>(
+      "even", [](const ValueTuple& t) { return t.value % 2 == 0; });
+  Collector collector;
+  auto* sink = collector.AttachSink(topo);
+  topo.Connect(source, filter);
+  topo.Connect(filter, sink);
+  RunToCompletion(topo);
+
+  ASSERT_EQ(collector.tuples().size(), 2u);
+  EXPECT_EQ(collector.at<ValueTuple>(0).value, 2);
+  EXPECT_EQ(collector.at<ValueTuple>(1).value, 4);
+  // Filter forwards, it does not create: tuples are still SOURCE tuples with
+  // no meta-attributes set (§4.1: no instrumentation for Filter).
+  EXPECT_EQ(collector.tuples()[0]->kind, TupleKind::kSource);
+  EXPECT_EQ(collector.tuples()[0]->u1(), nullptr);
+}
+
+TEST(FilterNodeTest, ForwardsWatermarksWhileDropping) {
+  // A filter that drops everything must still let watermarks through,
+  // otherwise downstream merges would stall. Verified via a Union that needs
+  // the dropped branch's watermark to release the other branch's tuples.
+  Topology topo;
+  auto* left = topo.Add<VectorSourceNode<ValueTuple>>(
+      "left", Values({{1, 1}, {5, 2}, {9, 3}}));
+  auto* right = topo.Add<VectorSourceNode<ValueTuple>>(
+      "right", Values({{2, 10}, {6, 20}, {10, 30}}));
+  auto* drop_all = topo.Add<FilterNode<ValueTuple>>(
+      "drop", [](const ValueTuple&) { return false; });
+  auto* merge = topo.Add<UnionNode>("union");
+  Collector collector;
+  auto* sink = collector.AttachSink(topo);
+  topo.Connect(left, merge);
+  topo.Connect(right, drop_all);
+  topo.Connect(drop_all, merge);
+  topo.Connect(merge, sink);
+  RunToCompletion(topo);
+  EXPECT_EQ(collector.tuples().size(), 3u);
+}
+
+TEST(MultiplexNodeTest, CopiesToEveryOutput) {
+  Topology topo;
+  auto* source =
+      topo.Add<VectorSourceNode<ValueTuple>>("src", Values({{1, 7}, {2, 8}}));
+  auto* mux = topo.Add<MultiplexNode>("mux");
+  Collector a;
+  Collector b;
+  auto* sink_a = a.AttachSink(topo, "a");
+  auto* sink_b = b.AttachSink(topo, "b");
+  topo.Connect(source, mux);
+  topo.Connect(mux, sink_a);
+  topo.Connect(mux, sink_b);
+  RunToCompletion(topo);
+
+  ASSERT_EQ(a.tuples().size(), 2u);
+  ASSERT_EQ(b.tuples().size(), 2u);
+  EXPECT_EQ(a.at<ValueTuple>(0).value, 7);
+  EXPECT_EQ(b.at<ValueTuple>(0).value, 7);
+  // Copies are distinct objects sharing the input's id.
+  EXPECT_NE(a.tuples()[0].get(), b.tuples()[0].get());
+  EXPECT_EQ(a.tuples()[0]->id, b.tuples()[0]->id);
+}
+
+TEST(MultiplexNodeTest, GenealogCopiesPointBackViaU1) {
+  Topology topo(0, ProvenanceMode::kGenealog);
+  auto* source =
+      topo.Add<VectorSourceNode<ValueTuple>>("src", Values({{1, 7}}));
+  auto* mux = topo.Add<MultiplexNode>("mux");
+  Collector a;
+  Collector b;
+  auto* sink_a = a.AttachSink(topo, "a");
+  auto* sink_b = b.AttachSink(topo, "b");
+  topo.Connect(source, mux);
+  topo.Connect(mux, sink_a);
+  topo.Connect(mux, sink_b);
+  RunToCompletion(topo);
+
+  EXPECT_EQ(a.tuples()[0]->kind, TupleKind::kMultiplex);
+  EXPECT_EQ(b.tuples()[0]->kind, TupleKind::kMultiplex);
+  // Both copies point to the same input tuple.
+  EXPECT_EQ(a.tuples()[0]->u1(), b.tuples()[0]->u1());
+  EXPECT_EQ(a.tuples()[0]->u1()->kind, TupleKind::kSource);
+}
+
+TEST(MultiplexNodeTest, BaselineCopiesAnnotation) {
+  Topology topo(0, ProvenanceMode::kBaseline);
+  auto* source =
+      topo.Add<VectorSourceNode<ValueTuple>>("src", Values({{1, 7}}));
+  auto* mux = topo.Add<MultiplexNode>("mux");
+  Collector a;
+  auto* sink_a = a.AttachSink(topo, "a");
+  topo.Connect(source, mux);
+  topo.Connect(mux, sink_a);
+  RunToCompletion(topo);
+
+  ASSERT_NE(a.tuples()[0]->baseline_annotation(), nullptr);
+  EXPECT_EQ(a.tuples()[0]->baseline_annotation()->size(), 1u);
+}
+
+TEST(UnionNodeTest, MergesSortedStreamsSorted) {
+  Topology topo;
+  auto* left = topo.Add<VectorSourceNode<ValueTuple>>(
+      "left", Values({{1, 1}, {4, 2}, {7, 3}}));
+  auto* right = topo.Add<VectorSourceNode<ValueTuple>>(
+      "right", Values({{2, 10}, {3, 20}, {8, 30}}));
+  auto* merge = topo.Add<UnionNode>("union");
+  Collector collector;
+  auto* sink = collector.AttachSink(topo);
+  topo.Connect(left, merge);
+  topo.Connect(right, merge);
+  topo.Connect(merge, sink);
+  RunToCompletion(topo);
+
+  EXPECT_EQ(collector.Timestamps(), (std::vector<int64_t>{1, 2, 3, 4, 7, 8}));
+}
+
+TEST(UnionNodeTest, TieBreaksByPortIndex) {
+  for (int run = 0; run < 10; ++run) {
+    Topology topo;
+    auto* left = topo.Add<VectorSourceNode<ValueTuple>>(
+        "left", Values({{5, 1}, {10, 1}}));
+    auto* right = topo.Add<VectorSourceNode<ValueTuple>>(
+        "right", Values({{5, 2}, {10, 2}}));
+    auto* merge = topo.Add<UnionNode>("union");
+    Collector collector;
+    auto* sink = collector.AttachSink(topo);
+    topo.Connect(left, merge);   // port 0
+    topo.Connect(right, merge);  // port 1
+    topo.Connect(merge, sink);
+    RunToCompletion(topo);
+
+    ASSERT_EQ(collector.tuples().size(), 4u);
+    // Equal timestamps: port 0 before port 1, on every run.
+    EXPECT_EQ(collector.at<ValueTuple>(0).value, 1);
+    EXPECT_EQ(collector.at<ValueTuple>(1).value, 2);
+    EXPECT_EQ(collector.at<ValueTuple>(2).value, 1);
+    EXPECT_EQ(collector.at<ValueTuple>(3).value, 2);
+  }
+}
+
+TEST(UnionNodeTest, ThreeWayMerge) {
+  Topology topo;
+  auto* a = topo.Add<VectorSourceNode<ValueTuple>>("a", Values({{3, 1}}));
+  auto* b = topo.Add<VectorSourceNode<ValueTuple>>("b", Values({{1, 2}}));
+  auto* c = topo.Add<VectorSourceNode<ValueTuple>>("c", Values({{2, 3}}));
+  auto* merge = topo.Add<UnionNode>("union");
+  Collector collector;
+  auto* sink = collector.AttachSink(topo);
+  topo.Connect(a, merge);
+  topo.Connect(b, merge);
+  topo.Connect(c, merge);
+  topo.Connect(merge, sink);
+  RunToCompletion(topo);
+  EXPECT_EQ(collector.Timestamps(), (std::vector<int64_t>{1, 2, 3}));
+}
+
+TEST(UnionNodeTest, EmptyInputStreamDoesNotStallOthers) {
+  Topology topo;
+  auto* a = topo.Add<VectorSourceNode<ValueTuple>>("a", Values({{1, 1}, {2, 2}}));
+  auto* b = topo.Add<VectorSourceNode<ValueTuple>>(
+      "b", std::vector<IntrusivePtr<ValueTuple>>{});
+  auto* merge = topo.Add<UnionNode>("union");
+  Collector collector;
+  auto* sink = collector.AttachSink(topo);
+  topo.Connect(a, merge);
+  topo.Connect(b, merge);
+  topo.Connect(merge, sink);
+  RunToCompletion(topo);
+  EXPECT_EQ(collector.tuples().size(), 2u);
+}
+
+TEST(SourceTest, AssignsUniqueIdsAndStimulus) {
+  Topology topo;
+  auto* source = topo.Add<VectorSourceNode<ValueTuple>>(
+      "src", Values({{1, 1}, {2, 2}, {3, 3}}));
+  Collector collector;
+  auto* sink = collector.AttachSink(topo);
+  topo.Connect(source, sink);
+  RunToCompletion(topo);
+
+  ASSERT_EQ(collector.tuples().size(), 3u);
+  EXPECT_NE(collector.tuples()[0]->id, collector.tuples()[1]->id);
+  EXPECT_GT(collector.tuples()[0]->stimulus, 0);
+  EXPECT_EQ(collector.tuples()[0]->kind, TupleKind::kSource);
+  EXPECT_GT(source->active_ns(), 0);
+  EXPECT_EQ(source->tuples_processed(), 3u);
+}
+
+TEST(SourceTest, ReplaysWithTimestampShift) {
+  Topology topo;
+  SourceOptions options;
+  options.replays = 3;
+  options.replay_ts_shift = 100;
+  auto* source = topo.Add<VectorSourceNode<ValueTuple>>(
+      "src", Values({{1, 1}, {2, 2}}), options);
+  Collector collector;
+  auto* sink = collector.AttachSink(topo);
+  topo.Connect(source, sink);
+  RunToCompletion(topo);
+
+  EXPECT_EQ(collector.Timestamps(),
+            (std::vector<int64_t>{1, 2, 101, 102, 201, 202}));
+}
+
+TEST(SourceTest, StopFlagEndsEmissionEarly) {
+  Topology topo;
+  std::atomic<bool> stop{false};
+  SourceOptions options;
+  options.stop = &stop;
+  options.replays = 1000000;  // would run ~forever without the flag
+  options.replay_ts_shift = 10;
+  auto* source = topo.Add<VectorSourceNode<ValueTuple>>(
+      "src", Values({{1, 1}, {2, 2}}), options);
+  Collector collector;
+  auto* sink = collector.AttachSink(topo);
+  topo.Connect(source, sink);
+
+  Runner runner({&topo});
+  runner.Start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  stop.store(true);
+  runner.Join();
+  EXPECT_GT(collector.tuples().size(), 0u);
+}
+
+TEST(SourceTest, RateLimitThrottlesEmission) {
+  Topology topo;
+  SourceOptions options;
+  options.max_rate_tps = 100;  // 10 tuples should take ~100 ms
+  auto* source = topo.Add<VectorSourceNode<ValueTuple>>(
+      "src",
+      Values({{1, 1}, {2, 1}, {3, 1}, {4, 1}, {5, 1},
+              {6, 1}, {7, 1}, {8, 1}, {9, 1}, {10, 1}}),
+      options);
+  Collector collector;
+  auto* sink = collector.AttachSink(topo);
+  topo.Connect(source, sink);
+  RunToCompletion(topo);
+  EXPECT_EQ(collector.tuples().size(), 10u);
+  EXPECT_GT(source->active_ns(), 80'000'000);  // >= ~80 ms
+}
+
+}  // namespace
+}  // namespace genealog

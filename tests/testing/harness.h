@@ -1,0 +1,43 @@
+// Test harness helpers: run small topologies and collect their outputs.
+#ifndef GENEALOG_TESTS_TESTING_HARNESS_H_
+#define GENEALOG_TESTS_TESTING_HARNESS_H_
+
+#include <string>
+#include <vector>
+
+#include "spe/sink.h"
+#include "spe/source.h"
+#include "spe/topology.h"
+
+namespace genealog::testing {
+
+// Collects every tuple reaching the sink. The consumer runs on the single
+// sink thread; read the vector only after Runner::Join().
+class Collector {
+ public:
+  SinkNode* AttachSink(Topology& topology, const std::string& name = "sink") {
+    return topology.Add<SinkNode>(
+        name, [this](const TuplePtr& t) { tuples_.push_back(t); });
+  }
+
+  const std::vector<TuplePtr>& tuples() const { return tuples_; }
+
+  template <typename T>
+  const T& at(size_t i) const {
+    return static_cast<const T&>(*tuples_[i]);
+  }
+
+  std::vector<int64_t> Timestamps() const {
+    std::vector<int64_t> out;
+    out.reserve(tuples_.size());
+    for (const auto& t : tuples_) out.push_back(t->ts);
+    return out;
+  }
+
+ private:
+  std::vector<TuplePtr> tuples_;
+};
+
+}  // namespace genealog::testing
+
+#endif  // GENEALOG_TESTS_TESTING_HARNESS_H_

@@ -1,0 +1,61 @@
+// Shared schema types for tests: a minimal value tuple and a two-field tuple.
+#ifndef GENEALOG_TESTS_TESTING_TEST_TUPLES_H_
+#define GENEALOG_TESTS_TESTING_TEST_TUPLES_H_
+
+#include <string>
+
+#include "core/tuple_crtp.h"
+
+namespace genealog::testing {
+
+struct ValueTuple final : TupleCrtp<ValueTuple, 0x7001> {
+  static constexpr const char* kTypeName = "test.Value";
+
+  ValueTuple(int64_t ts, int64_t value) : TupleCrtp(ts), value(value) {}
+
+  int64_t value;
+
+  const char* type_name() const override { return kTypeName; }
+  void SerializePayload(ByteWriter& w) const override { w.PutI64(value); }
+  static TuplePtr Deserialize(ByteReader& r, int64_t ts) {
+    const int64_t value = r.GetI64();
+    return MakeTuple<ValueTuple>(ts, value);
+  }
+  std::string DebugPayload() const override { return std::to_string(value); }
+};
+
+GENEALOG_REGISTER_TUPLE(ValueTuple);
+
+struct KeyedTuple final : TupleCrtp<KeyedTuple, 0x7002> {
+  static constexpr const char* kTypeName = "test.Keyed";
+
+  KeyedTuple(int64_t ts, int64_t key, double value)
+      : TupleCrtp(ts), key(key), value(value) {}
+
+  int64_t key;
+  double value;
+
+  const char* type_name() const override { return kTypeName; }
+  void SerializePayload(ByteWriter& w) const override {
+    w.PutI64(key);
+    w.PutDouble(value);
+  }
+  static TuplePtr Deserialize(ByteReader& r, int64_t ts) {
+    const int64_t key = r.GetI64();
+    const double value = r.GetDouble();
+    return MakeTuple<KeyedTuple>(ts, key, value);
+  }
+  std::string DebugPayload() const override {
+    return std::to_string(key) + ":" + std::to_string(value);
+  }
+};
+
+GENEALOG_REGISTER_TUPLE(KeyedTuple);
+
+inline IntrusivePtr<ValueTuple> V(int64_t ts, int64_t value) {
+  return MakeTuple<ValueTuple>(ts, value);
+}
+
+}  // namespace genealog::testing
+
+#endif  // GENEALOG_TESTS_TESTING_TEST_TUPLES_H_

@@ -1,0 +1,233 @@
+// Command-line driver for the four evaluation queries: build any
+// (query, provenance mode, deployment) configuration, run it over a
+// generated workload, and report alerts, provenance, and run metrics.
+//
+//   genealog_query --query q2 --mode gl --print-provenance
+//   genealog_query --query q3 --mode bl --distributed --tcp
+//   genealog_query --query q1 --mode gl --provenance-file prov.bin --replays 5
+//
+// Flags:
+//   --query q1|q2|q3|q4      (required)
+//   --mode np|gl|bl          (default gl)
+//   --distributed            3-instance deployment (Figures 7/9C/10C/11C)
+//   --tcp                    TCP loopback channels (with --distributed)
+//   --composed               Figure-5B/8 standard-operator unfolders
+//   --replays N              stream the dataset N times (default 1)
+//   --rate TPS               throttle the source (default: unthrottled)
+//   --cars N / --meters N    workload size (defaults 80 / 60)
+//   --duration S / --days D  workload span (defaults 3600 s / 14 days)
+//   --seed S                 workload seed (default 42)
+//   --provenance-file PATH   persist provenance records to disk
+//   --print-alerts           print every sink tuple
+//   --print-provenance       print every provenance record
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "queries/queries.h"
+
+namespace {
+
+using namespace genealog;
+
+struct CliOptions {
+  std::string query;
+  ProvenanceMode mode = ProvenanceMode::kGenealog;
+  bool distributed = false;
+  bool tcp = false;
+  bool composed = false;
+  int replays = 1;
+  double rate = 0;
+  int cars = 80;
+  int meters = 60;
+  int64_t duration_s = 3600;
+  int days = 14;
+  uint64_t seed = 42;
+  std::string provenance_file;
+  bool print_alerts = false;
+  bool print_provenance = false;
+};
+
+[[noreturn]] void Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --query q1|q2|q3|q4 [--mode np|gl|bl] "
+               "[--distributed] [--tcp] [--composed] [--replays N] "
+               "[--rate TPS] [--cars N] [--meters N] [--duration S] "
+               "[--days D] [--seed S] [--provenance-file PATH] "
+               "[--print-alerts] [--print-provenance]\n",
+               argv0);
+  std::exit(2);
+}
+
+CliOptions ParseArgs(int argc, char** argv) {
+  CliOptions options;
+  auto next_value = [&](int& i) -> const char* {
+    if (i + 1 >= argc) Usage(argv[0]);
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--query") {
+      options.query = next_value(i);
+    } else if (arg == "--mode") {
+      const std::string mode = next_value(i);
+      if (mode == "np") {
+        options.mode = ProvenanceMode::kNone;
+      } else if (mode == "gl") {
+        options.mode = ProvenanceMode::kGenealog;
+      } else if (mode == "bl") {
+        options.mode = ProvenanceMode::kBaseline;
+      } else {
+        Usage(argv[0]);
+      }
+    } else if (arg == "--distributed") {
+      options.distributed = true;
+    } else if (arg == "--tcp") {
+      options.tcp = true;
+    } else if (arg == "--composed") {
+      options.composed = true;
+    } else if (arg == "--replays") {
+      options.replays = std::atoi(next_value(i));
+    } else if (arg == "--rate") {
+      options.rate = std::atof(next_value(i));
+    } else if (arg == "--cars") {
+      options.cars = std::atoi(next_value(i));
+    } else if (arg == "--meters") {
+      options.meters = std::atoi(next_value(i));
+    } else if (arg == "--duration") {
+      options.duration_s = std::atol(next_value(i));
+    } else if (arg == "--days") {
+      options.days = std::atoi(next_value(i));
+    } else if (arg == "--seed") {
+      options.seed = std::strtoull(next_value(i), nullptr, 10);
+    } else if (arg == "--provenance-file") {
+      options.provenance_file = next_value(i);
+    } else if (arg == "--print-alerts") {
+      options.print_alerts = true;
+    } else if (arg == "--print-provenance") {
+      options.print_provenance = true;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      Usage(argv[0]);
+    }
+  }
+  if (options.query != "q1" && options.query != "q2" && options.query != "q3" &&
+      options.query != "q4") {
+    Usage(argv[0]);
+  }
+  return options;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliOptions cli = ParseArgs(argc, argv);
+  const bool is_lr = cli.query == "q1" || cli.query == "q2";
+
+  queries::QueryBuildOptions options;
+  options.mode = cli.mode;
+  options.distributed = cli.distributed;
+  options.use_tcp = cli.tcp;
+  options.composed_unfolders = cli.composed;
+  options.provenance_file = cli.provenance_file;
+  options.source.replays = cli.replays;
+  options.source.max_rate_tps = cli.rate;
+  if (cli.print_alerts) {
+    options.sink_consumer = [](const TuplePtr& t) {
+      std::printf("ALERT ts=%lld %s\n", static_cast<long long>(t->ts),
+                  t->DebugPayload().c_str());
+    };
+  }
+  if (cli.print_provenance) {
+    options.provenance_consumer = [](const ProvenanceRecord& r) {
+      std::printf("PROVENANCE of ts=%lld %s (%zu sources)\n",
+                  static_cast<long long>(r.derived_ts),
+                  r.derived->DebugPayload().c_str(), r.origins.size());
+      for (const TuplePtr& origin : r.origins) {
+        std::printf("  <- ts=%lld %s\n", static_cast<long long>(origin->ts),
+                    origin->DebugPayload().c_str());
+      }
+    };
+  }
+
+  queries::BuiltQuery query = [&] {
+    if (is_lr) {
+      lr::LinearRoadConfig config;
+      config.n_cars = cli.cars;
+      config.duration_s = cli.duration_s;
+      config.stop_probability = 0.01;
+      config.accident_probability = 0.03;
+      config.forced_accident_ticks = {10};
+      config.seed = cli.seed;
+      options.source.replay_ts_shift = config.duration_s;
+      auto data = lr::GenerateLinearRoad(config);
+      std::printf("workload: %zu position reports x%d replays\n",
+                  data.reports.size(), cli.replays);
+      return cli.query == "q1" ? queries::BuildQ1(data, std::move(options))
+                               : queries::BuildQ2(data, std::move(options));
+    }
+    sg::SmartGridConfig config;
+    config.n_meters = cli.meters;
+    config.n_days = cli.days;
+    config.blackout_probability = 0.1;
+    config.forced_blackout_days = {cli.days / 2};
+    config.blackout_meters = 8;
+    config.anomaly_probability = 0.01;
+    config.seed = cli.seed;
+    options.source.replay_ts_shift = static_cast<int64_t>(config.n_days) * 24;
+    auto data = sg::GenerateSmartGrid(config);
+    std::printf("workload: %zu meter readings x%d replays\n",
+                data.readings.size(), cli.replays);
+    return cli.query == "q3" ? queries::BuildQ3(data, std::move(options))
+                             : queries::BuildQ4(data, std::move(options));
+  }();
+
+  std::printf("running %s mode=%s deployment=%s...\n\n", cli.query.c_str(),
+              ToString(cli.mode),
+              cli.distributed ? (cli.tcp ? "distributed/tcp" : "distributed")
+                              : "intra-process");
+  query.Run();
+
+  const double seconds =
+      static_cast<double>(query.source->active_ns()) / 1e9;
+  std::printf("\n--- run summary -------------------------------------------\n");
+  std::printf("source tuples     %llu (%.2f s, %.0f t/s)\n",
+              static_cast<unsigned long long>(query.source->tuples_processed()),
+              seconds,
+              seconds > 0
+                  ? static_cast<double>(query.source->tuples_processed()) /
+                        seconds
+                  : 0.0);
+  std::printf("sink tuples       %llu (mean latency %.2f ms)\n",
+              static_cast<unsigned long long>(query.sink->count()),
+              query.sink->mean_latency_ms());
+  if (query.provenance_sink != nullptr) {
+    std::printf("provenance        %llu records, %.1f sources each, %llu bytes\n",
+                static_cast<unsigned long long>(query.provenance_sink->records()),
+                query.provenance_sink->mean_origins_per_record(),
+                static_cast<unsigned long long>(
+                    query.provenance_sink->bytes_written()));
+  }
+  if (query.baseline_resolver != nullptr) {
+    std::printf(
+        "provenance (BL)   %llu records, %.1f sources each, %llu bytes, "
+        "store peak %zu tuples\n",
+        static_cast<unsigned long long>(query.baseline_resolver->records()),
+        query.baseline_resolver->mean_origins_per_record(),
+        static_cast<unsigned long long>(
+            query.baseline_resolver->bytes_written()),
+        query.baseline_resolver->store_peak_size());
+  }
+  if (!query.channels.empty()) {
+    std::printf("network           %llu bytes across %d instances\n",
+                static_cast<unsigned long long>(query.network_bytes()),
+                query.n_instances);
+  }
+  for (SuNode* su : query.su_nodes) {
+    std::printf("traversal (%s, instance %d): %.4f ms avg over %llu graphs\n",
+                su->name().c_str(), su->instance_id(), su->mean_traversal_ms(),
+                static_cast<unsigned long long>(su->traversal_count()));
+  }
+  return 0;
+}
