@@ -17,8 +17,8 @@ int Main() {
   const BenchEnv env = ReadBenchEnv();
   std::printf(
       "GeneaLog reproduction — Figure 12 (intra-process provenance)\n"
-      "reps=%d scale=%.2f replays=%d\n\n",
-      env.reps, env.scale, env.replays);
+      "reps=%d scale=%.2f replays=%d batch_size=%zu\n\n",
+      env.reps, env.scale, env.replays, env.batch_size);
 
   const LrWorkload lr = MakeLrWorkload(env.scale);
   const SgWorkload sg = MakeSgWorkload(env.scale);
@@ -31,6 +31,7 @@ int Main() {
                                    ProvenanceMode::kGenealog,
                                    ProvenanceMode::kBaseline};
   std::vector<metrics::QueryVariantResult> rows;
+  std::vector<BenchJsonRow> json_rows;
 
   auto RunQuery = [&](const std::string& name, auto builder, const auto& data,
                       int64_t span, uint64_t source_bytes) {
@@ -38,12 +39,18 @@ int Main() {
       QueryFactory factory = [&data, mode, builder, span, &env] {
         queries::QueryBuildOptions options;
         options.mode = mode;
+        options.batch_size = env.batch_size;
         ApplyReplays(options, env.replays, span);
         return builder(data, std::move(options));
       };
+      std::vector<CellMetrics> raw;
       rows.push_back(
           AggregateCell(name, VariantName(mode), factory, env.reps,
-                        source_bytes * static_cast<uint64_t>(env.replays)));
+                        source_bytes * static_cast<uint64_t>(env.replays),
+                        &raw));
+      json_rows.push_back(BenchJsonRow{name, VariantName(mode), "intra",
+                                       env.batch_size, env.reps,
+                                       MeanCells(raw)});
       std::printf("  done %s/%s\n", name.c_str(), VariantName(mode));
       std::fflush(stdout);
     }
@@ -63,6 +70,7 @@ int Main() {
       "Expected shape (paper): GL within ~4-14%% of NP on throughput/latency\n"
       "with small memory overhead; BL an order of magnitude slower with\n"
       "runaway memory (its store retains the whole source stream).\n");
+  WriteBenchJson("fig12_intra", env, json_rows);
   return 0;
 }
 

@@ -32,6 +32,7 @@ int Main() {
                                    ProvenanceMode::kGenealog,
                                    ProvenanceMode::kBaseline};
   std::vector<metrics::QueryVariantResult> rows;
+  std::vector<BenchJsonRow> json_rows;
 
   auto RunQuery = [&](const std::string& name, auto builder, const auto& data,
                       int64_t span, uint64_t source_bytes) {
@@ -41,12 +42,18 @@ int Main() {
         options.mode = mode;
         options.distributed = true;
         options.use_tcp = use_tcp;
+        options.batch_size = env.batch_size;
         ApplyReplays(options, env.replays, span);
         return builder(data, std::move(options));
       };
+      std::vector<CellMetrics> raw;
       rows.push_back(
           AggregateCell(name, VariantName(mode), factory, env.reps,
-                        source_bytes * static_cast<uint64_t>(env.replays)));
+                        source_bytes * static_cast<uint64_t>(env.replays),
+                        &raw));
+      json_rows.push_back(BenchJsonRow{name, VariantName(mode), "dist",
+                                       env.batch_size, env.reps,
+                                       MeanCells(raw)});
       std::printf("  done %s/%s\n", name.c_str(), VariantName(mode));
       std::fflush(stdout);
     }
@@ -83,6 +90,7 @@ int Main() {
       "adds memory; BL additionally ships the entire source stream to the\n"
       "provenance node and collapses under the serialization cost.\n");
   std::printf("%s\n", metrics::RenderProvenanceVolumeTable(rows).c_str());
+  WriteBenchJson("fig13_inter", env, json_rows);
   return 0;
 }
 

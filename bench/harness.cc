@@ -1,6 +1,7 @@
 #include "bench/harness.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 
 #include "common/memory_accounting.h"
@@ -19,6 +20,12 @@ BenchEnv ReadBenchEnv() {
   }
   if (const char* replays = std::getenv("GENEALOG_BENCH_REPLAYS")) {
     env.replays = std::max(1, std::atoi(replays));
+  }
+  if (const char* batch = std::getenv("GENEALOG_BATCH_SIZE")) {
+    env.batch_size = static_cast<size_t>(std::max(1, std::atoi(batch)));
+  }
+  if (const char* dir = std::getenv("GENEALOG_BENCH_JSON_DIR")) {
+    env.json_dir = dir;
   }
   return env;
 }
@@ -74,8 +81,11 @@ CellMetrics RunCell(const QueryFactory& factory) {
     cell.throughput_tps = static_cast<double>(q.source->tuples_processed()) /
                           (static_cast<double>(active_ns) / 1e9);
   }
-  cell.latency_ms = q.sink->latency_samples() > 0 ? q.sink->mean_latency_ms()
-                                                  : 0.0;
+  if (q.sink->latency_samples() > 0) {
+    cell.latency_ms = q.sink->mean_latency_ms();
+    cell.latency_p50_ms = q.sink->latency_percentile_ms(50);
+    cell.latency_p99_ms = q.sink->latency_percentile_ms(99);
+  }
 
   constexpr double kMb = 1024.0 * 1024.0;
   for (int instance = 1; instance <= q.n_instances; ++instance) {
@@ -163,5 +173,71 @@ metrics::QueryVariantResult AggregateCell(const std::string& query,
 }
 
 const char* VariantName(ProvenanceMode mode) { return ToString(mode); }
+
+CellMetrics MeanCells(const std::vector<CellMetrics>& cells) {
+  CellMetrics mean;
+  if (cells.empty()) return mean;
+  const double n = static_cast<double>(cells.size());
+  uint64_t sink_tuples = 0;
+  uint64_t provenance_records = 0;
+  uint64_t provenance_bytes = 0;
+  uint64_t network_bytes = 0;
+  for (const CellMetrics& c : cells) {
+    mean.throughput_tps += c.throughput_tps / n;
+    mean.latency_ms += c.latency_ms / n;
+    mean.latency_p50_ms += c.latency_p50_ms / n;
+    mean.latency_p99_ms += c.latency_p99_ms / n;
+    mean.avg_mem_mb += c.avg_mem_mb / n;
+    mean.max_mem_mb += c.max_mem_mb / n;
+    mean.mean_origins += c.mean_origins / n;
+    sink_tuples += c.sink_tuples;
+    provenance_records += c.provenance_records;
+    provenance_bytes += c.provenance_bytes;
+    network_bytes += c.network_bytes;
+  }
+  mean.sink_tuples = sink_tuples / cells.size();
+  mean.provenance_records = provenance_records / cells.size();
+  mean.provenance_bytes = provenance_bytes / cells.size();
+  mean.network_bytes = network_bytes / cells.size();
+  return mean;
+}
+
+void WriteBenchJson(const std::string& bench, const BenchEnv& env,
+                    const std::vector<BenchJsonRow>& rows) {
+  if (env.json_dir.empty()) return;
+  const std::string path = env.json_dir + "/BENCH_" + bench + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "WriteBenchJson: cannot open %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f,
+               "{\n  \"bench\": \"%s\",\n  \"reps\": %d,\n"
+               "  \"scale\": %g,\n  \"replays\": %d,\n  \"rows\": [\n",
+               bench.c_str(), env.reps, env.scale, env.replays);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const BenchJsonRow& r = rows[i];
+    std::fprintf(
+        f,
+        "    {\"query\": \"%s\", \"variant\": \"%s\", \"deployment\": \"%s\", "
+        "\"batch_size\": %zu, \"reps\": %d, "
+        "\"throughput_tps\": %.1f, \"latency_ms\": %.4f, "
+        "\"latency_p50_ms\": %.4f, \"latency_p99_ms\": %.4f, "
+        "\"avg_mem_mb\": %.2f, \"max_mem_mb\": %.2f, "
+        "\"sink_tuples\": %llu, \"provenance_records\": %llu, "
+        "\"provenance_bytes\": %llu, \"network_bytes\": %llu}%s\n",
+        r.query.c_str(), r.variant.c_str(), r.deployment.c_str(), r.batch_size,
+        r.reps, r.mean.throughput_tps, r.mean.latency_ms, r.mean.latency_p50_ms,
+        r.mean.latency_p99_ms, r.mean.avg_mem_mb, r.mean.max_mem_mb,
+        static_cast<unsigned long long>(r.mean.sink_tuples),
+        static_cast<unsigned long long>(r.mean.provenance_records),
+        static_cast<unsigned long long>(r.mean.provenance_bytes),
+        static_cast<unsigned long long>(r.mean.network_bytes),
+        i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
 
 }  // namespace genealog::bench

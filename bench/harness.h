@@ -8,6 +8,10 @@
 //   GENEALOG_BENCH_REPLAYS  dataset replays per run (default 20) — each run
 //                           streams replays × dataset tuples, giving seconds
 //                           of steady state per measurement
+//   GENEALOG_BATCH_SIZE     stream batch size for every edge (default 1,
+//                           the unbatched data plane)
+//   GENEALOG_BENCH_JSON_DIR directory for machine-readable BENCH_*.json
+//                           result files (default ".", empty disables)
 #ifndef GENEALOG_BENCH_HARNESS_H_
 #define GENEALOG_BENCH_HARNESS_H_
 
@@ -23,6 +27,8 @@ struct BenchEnv {
   int reps = 3;
   double scale = 1.0;
   int replays = 12;
+  size_t batch_size = 1;
+  std::string json_dir = ".";
 };
 BenchEnv ReadBenchEnv();
 
@@ -65,6 +71,8 @@ uint64_t SerializedBytes(const std::vector<IntrusivePtr<T>>& data) {
 struct CellMetrics {
   double throughput_tps = 0;
   double latency_ms = 0;
+  double latency_p50_ms = 0;
+  double latency_p99_ms = 0;
   double avg_mem_mb = 0;   // sum over instances
   double max_mem_mb = 0;
   std::vector<double> per_instance_avg_mb;
@@ -91,6 +99,27 @@ metrics::QueryVariantResult AggregateCell(const std::string& query,
                                           std::vector<CellMetrics>* raw = nullptr);
 
 const char* VariantName(ProvenanceMode mode);
+
+// --- machine-readable results ------------------------------------------------
+// One row of a BENCH_*.json file: a (query, variant) cell averaged over its
+// repetitions, tagged with the batch size and deployment it ran under.
+struct BenchJsonRow {
+  std::string query;
+  std::string variant;     // NP / GL / BL
+  std::string deployment;  // intra / dist / micro
+  size_t batch_size = 1;
+  int reps = 1;
+  CellMetrics mean;  // per-field mean over the repetitions
+};
+
+// Per-field mean over repeated cells (empty input yields zeros).
+CellMetrics MeanCells(const std::vector<CellMetrics>& cells);
+
+// Writes `<json_dir>/BENCH_<bench>.json` recording the environment and every
+// row, so the perf trajectory across PRs can be tracked by tooling. No-op
+// when json_dir is empty.
+void WriteBenchJson(const std::string& bench, const BenchEnv& env,
+                    const std::vector<BenchJsonRow>& rows);
 
 }  // namespace genealog::bench
 

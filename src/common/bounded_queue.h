@@ -1,10 +1,13 @@
-// Bounded blocking queue used as the stream between two operator threads.
+// Bounded blocking queue — the generic building block behind the in-memory
+// byte channels (frame queues) and anything else that needs a simple
+// mutex+condvar stream between two threads. The operator-to-operator streams
+// of the SPE use the batch-aware BatchQueue (spe/batch_queue.h) instead.
 //
-// Streams in the topology are single-producer/single-consumer; a plain
-// mutex+condvar queue is simple, safe, and fast enough (the reproduced system,
-// Liebre, also uses simple blocking queues between operator threads).
-// Back-pressure is provided by the capacity bound: producers block when a
-// downstream operator is slower.
+// Back-pressure is provided by the capacity bound: producers block when the
+// consumer is slower. The busy-path cost is kept low the same way as in
+// BatchQueue: waiter counts let the active side skip condvar notifies
+// entirely when nobody sleeps, so an uncontended push or pop is one lock
+// round-trip and no syscalls.
 #ifndef GENEALOG_COMMON_BOUNDED_QUEUE_H_
 #define GENEALOG_COMMON_BOUNDED_QUEUE_H_
 
@@ -27,11 +30,10 @@ class BoundedQueue {
   // Blocks while full. Returns false if the queue was aborted.
   bool Push(T item) {
     std::unique_lock lock(mu_);
-    not_full_.wait(lock, [&] { return items_.size() < capacity_ || aborted_; });
+    WaitNotFull(lock);
     if (aborted_) return false;
     items_.push_back(std::move(item));
-    lock.unlock();
-    not_empty_.notify_one();
+    NotifyConsumers(lock);
     return true;
   }
 
@@ -44,32 +46,32 @@ class BoundedQueue {
     std::unique_lock lock(mu_);
     if (aborted_) return false;
     if (!items_.empty() && try_merge(items_.back(), item)) {
-      lock.unlock();
-      not_empty_.notify_one();
+      NotifyConsumers(lock);
       return true;
     }
-    not_full_.wait(lock, [&] { return items_.size() < capacity_ || aborted_; });
+    WaitNotFull(lock);
     if (aborted_) return false;
     if (!items_.empty() && try_merge(items_.back(), item)) {
-      lock.unlock();
-      not_empty_.notify_one();
+      NotifyConsumers(lock);
       return true;
     }
     items_.push_back(std::move(item));
-    lock.unlock();
-    not_empty_.notify_one();
+    NotifyConsumers(lock);
     return true;
   }
 
   // Blocks while empty. Returns nullopt once aborted and drained.
   std::optional<T> Pop() {
     std::unique_lock lock(mu_);
-    not_empty_.wait(lock, [&] { return !items_.empty() || aborted_; });
+    if (items_.empty() && !aborted_) {
+      ++waiting_consumers_;
+      not_empty_.wait(lock, [&] { return !items_.empty() || aborted_; });
+      --waiting_consumers_;
+    }
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
-    lock.unlock();
-    not_full_.notify_one();
+    NotifyProducers(lock);
     return item;
   }
 
@@ -79,8 +81,7 @@ class BoundedQueue {
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
-    lock.unlock();
-    not_full_.notify_one();
+    NotifyProducers(lock);
     return item;
   }
 
@@ -103,11 +104,33 @@ class BoundedQueue {
   size_t capacity() const { return capacity_; }
 
  private:
+  void WaitNotFull(std::unique_lock<std::mutex>& lock) {
+    if (items_.size() < capacity_ || aborted_) return;
+    ++waiting_producers_;
+    not_full_.wait(lock, [&] { return items_.size() < capacity_ || aborted_; });
+    --waiting_producers_;
+  }
+
+  // Notify-if-waiting: waiter counts are maintained under mu_, so a thread
+  // between its predicate check and its wait is always observed here.
+  void NotifyConsumers(std::unique_lock<std::mutex>& lock) {
+    const bool wake = waiting_consumers_ > 0;
+    lock.unlock();
+    if (wake) not_empty_.notify_one();
+  }
+  void NotifyProducers(std::unique_lock<std::mutex>& lock) {
+    const bool wake = waiting_producers_ > 0;
+    lock.unlock();
+    if (wake) not_full_.notify_one();
+  }
+
   const size_t capacity_;
   mutable std::mutex mu_;
   std::condition_variable not_full_;
   std::condition_variable not_empty_;
   std::deque<T> items_;
+  size_t waiting_producers_ = 0;
+  size_t waiting_consumers_ = 0;
   bool aborted_ = false;
 };
 

@@ -24,7 +24,7 @@ void UnfoldInto(const TuplePtr& derived, std::vector<Tuple*>& origins,
 
 void SuNode::OnTuple(TuplePtr t) {
   // SO: the delivering stream passes through unchanged.
-  if (!EmitTo(0, StreamItem::MakeTuple(t))) return;
+  if (!EmitTupleTo(0, t)) return;
 
   // U: one unfolded tuple per originating tuple. The traversal itself is the
   // per-sink-tuple cost the paper studies in Figure 14.
@@ -49,7 +49,7 @@ void SuNode::OnTuple(TuplePtr t) {
     u->origin_id = o->id;
     u->origin_ts = o->ts;
     u->origin_kind = o->kind;
-    if (!EmitTo(1, StreamItem::MakeTuple(std::move(u)))) return;
+    if (!EmitTupleTo(1, std::move(u))) return;
   }
 }
 

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "spe/stream_batch.h"
+
 namespace genealog {
 
 std::vector<uint8_t> EncodeTupleFrame(const Tuple& t, bool remotify) {
@@ -28,6 +30,22 @@ std::vector<uint8_t> EncodeFlushFrame() {
   return w.TakeBytes();
 }
 
+std::vector<uint8_t> EncodeBatchFrame(std::span<const TuplePtr> tuples,
+                                      int64_t watermark, bool remotify) {
+  ByteWriter w;
+  w.PutU8(static_cast<uint8_t>(FrameKind::kBatch));
+  w.PutU32(static_cast<uint32_t>(tuples.size()));
+  for (const TuplePtr& t : tuples) {
+    if (remotify) {
+      SerializeTupleForSend(*t, w);
+    } else {
+      SerializeTuple(*t, w);
+    }
+  }
+  w.PutI64(watermark);
+  return w.TakeBytes();
+}
+
 DecodedFrame DecodeFrame(const std::vector<uint8_t>& frame) {
   ByteReader r(frame);
   DecodedFrame out;
@@ -41,6 +59,15 @@ DecodedFrame DecodeFrame(const std::vector<uint8_t>& frame) {
       break;
     case FrameKind::kFlush:
       break;
+    case FrameKind::kBatch: {
+      const uint32_t count = r.GetU32();
+      out.tuples.reserve(count);
+      for (uint32_t i = 0; i < count; ++i) {
+        out.tuples.push_back(DeserializeTuple(r));
+      }
+      out.watermark = r.GetI64();
+      break;
+    }
     default:
       throw std::runtime_error("unknown frame kind");
   }

@@ -1,12 +1,15 @@
 // Wire frames for Send/Receive channels.
 //
-// A frame is one self-contained message: a serialized tuple, a watermark, or
-// a flush (end-of-stream). Channels transport frames as opaque byte blobs;
-// the TCP transport adds a u32 length prefix per frame.
+// A frame is one self-contained message: a serialized tuple, a chunk of
+// tuples plus an optional trailing watermark (the batched data plane's
+// unit), a watermark, or a flush (end-of-stream). Channels transport frames
+// as opaque byte blobs; the TCP transport adds a u32 length prefix per
+// frame.
 #ifndef GENEALOG_NET_FRAME_H_
 #define GENEALOG_NET_FRAME_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "core/type_registry.h"
@@ -17,6 +20,10 @@ enum class FrameKind : uint8_t {
   kTuple = 1,
   kWatermark = 2,
   kFlush = 3,
+  // A StreamBatch: u32 tuple count, the tuples, and an i64 high-watermark
+  // (INT64_MIN when the batch carries none). One frame per batch keeps the
+  // per-message framing and syscall costs amortized across the chunk.
+  kBatch = 4,
 };
 
 // Serializes a tuple frame. With `remotify` set (the instrumented Send, §4.1)
@@ -25,11 +32,16 @@ enum class FrameKind : uint8_t {
 std::vector<uint8_t> EncodeTupleFrame(const Tuple& t, bool remotify);
 std::vector<uint8_t> EncodeWatermarkFrame(int64_t wm);
 std::vector<uint8_t> EncodeFlushFrame();
+// Serializes `tuples` plus the batch watermark (pass kNoWatermark for none)
+// as one frame. Remotification is applied per tuple as in EncodeTupleFrame.
+std::vector<uint8_t> EncodeBatchFrame(std::span<const TuplePtr> tuples,
+                                      int64_t watermark, bool remotify);
 
 struct DecodedFrame {
   FrameKind kind = FrameKind::kFlush;
-  TuplePtr tuple;          // kTuple
-  int64_t watermark = 0;   // kWatermark
+  TuplePtr tuple;                // kTuple
+  std::vector<TuplePtr> tuples;  // kBatch
+  int64_t watermark = 0;         // kWatermark / kBatch (kNoWatermark = none)
 };
 
 // Throws std::runtime_error / std::out_of_range on malformed input.

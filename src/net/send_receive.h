@@ -4,6 +4,13 @@
 // objects on the receiving side. The instrumented Send writes kind = REMOTE
 // on the wire unless the tuple is a SOURCE tuple (§4.1), which is how each
 // process can locally distinguish tuples produced at other instances.
+//
+// The batched data plane crosses the wire batch-at-a-time: Send serializes
+// each input StreamBatch as a single frame (legacy per-item frames when the
+// batch degenerates to one event, so a batch-size-1 deployment is
+// byte-identical to the unbatched engine), and Receive replays a decoded
+// batch tuple-by-tuple into its outputs, where the endpoint re-chunks to the
+// receiving instance's batch knob.
 #ifndef GENEALOG_NET_SEND_RECEIVE_H_
 #define GENEALOG_NET_SEND_RECEIVE_H_
 
@@ -23,6 +30,24 @@ class SendNode final : public SingleInputNode {
       : SingleInputNode(std::move(name)), channel_(channel) {}
 
  protected:
+  void OnBatch(StreamBatch& batch) override {
+    if (batch.tuples.size() > 1) {
+      channel_->SendFrame(EncodeBatchFrame(
+          std::span<const TuplePtr>(batch.tuples.data(), batch.tuples.size()),
+          batch.watermark, /*remotify=*/true));
+      return;
+    }
+    // Degenerate batches travel as the legacy per-event frames, so a
+    // batch-size-1 deployment puts the seed's exact frame sequence on the
+    // wire.
+    if (batch.tuples.size() == 1) {
+      channel_->SendFrame(EncodeTupleFrame(*batch.tuples[0], /*remotify=*/true));
+    }
+    if (batch.has_watermark()) {
+      channel_->SendFrame(EncodeWatermarkFrame(batch.watermark));
+    }
+  }
+
   void OnTuple(TuplePtr t) override {
     channel_->SendFrame(EncodeTupleFrame(*t, /*remotify=*/true));
   }
@@ -53,6 +78,16 @@ class ReceiveNode final : public Node {
         case FrameKind::kTuple:
           CountProcessed();
           if (!EmitTupleAll(decoded.tuple)) return;
+          break;
+        case FrameKind::kBatch:
+          CountProcessed(decoded.tuples.size());
+          for (TuplePtr& t : decoded.tuples) {
+            if (!EmitTupleAll(t)) return;
+          }
+          if (decoded.watermark != kNoWatermark &&
+              !ForwardWatermark(decoded.watermark)) {
+            return;
+          }
           break;
         case FrameKind::kWatermark:
           if (!ForwardWatermark(decoded.watermark)) return;

@@ -35,6 +35,9 @@ namespace genealog::queries {
 struct QueryBuildOptions {
   ProvenanceMode mode = ProvenanceMode::kNone;
   bool distributed = false;
+  // Stream batch size for every edge of every instance (1 = unbatched
+  // item-at-a-time handover, the seed data plane).
+  size_t batch_size = 1;
   // Transport for distributed deployments: TCP loopback when true, in-memory
   // serializing channels otherwise.
   bool use_tcp = false;

@@ -27,6 +27,7 @@ BaselineResolverOptions MakeResolverOptions(const QuerySpec& spec,
 void AssembleIntra(const QuerySpec& spec, BuiltQuery& q) {
   auto topology =
       std::make_unique<Topology>(/*instance_id=*/1, q.options.mode);
+  topology->set_default_batch_size(q.options.batch_size);
   Topology& topo = *topology;
 
   SourceNodeBase* source = spec.make_source(topo, q.options.source);
@@ -84,6 +85,8 @@ void AssembleIntra(const QuerySpec& spec, BuiltQuery& q) {
 void AssembleDistributed(const QuerySpec& spec, BuiltQuery& q) {
   auto topo1 = std::make_unique<Topology>(1, q.options.mode);
   auto topo2 = std::make_unique<Topology>(2, q.options.mode);
+  topo1->set_default_batch_size(q.options.batch_size);
+  topo2->set_default_batch_size(q.options.batch_size);
   std::unique_ptr<Topology> topo3;
 
   SourceNodeBase* source = spec.make_source(*topo1, q.options.source);
@@ -122,6 +125,7 @@ void AssembleDistributed(const QuerySpec& spec, BuiltQuery& q) {
     }
     case ProvenanceMode::kGenealog: {
       topo3 = std::make_unique<Topology>(3, q.options.mode);
+      topo3->set_default_batch_size(q.options.batch_size);
       auto* psink = topo3->Add<ProvenanceSinkNode>(
           "K2", MakeProvenanceSinkOptions(spec, q.options));
       q.provenance_sink = psink;
@@ -161,6 +165,7 @@ void AssembleDistributed(const QuerySpec& spec, BuiltQuery& q) {
     }
     case ProvenanceMode::kBaseline: {
       topo3 = std::make_unique<Topology>(3, q.options.mode);
+      topo3->set_default_batch_size(q.options.batch_size);
       auto* resolver = topo3->Add<BaselineResolverNode>(
           "bl.resolver", MakeResolverOptions(spec, q.options));
       q.baseline_resolver = resolver;

@@ -173,6 +173,7 @@ class AggregateNode final : public SingleInputNode {
 
   void FireDue(int64_t wm) {
     while (!heap_.empty() && heap_.top().fire_at <= wm) {
+      const int64_t fire_at = heap_.top().fire_at;
       const Key key = heap_.top().key;
       heap_.pop();
       auto it = groups_.find(key);
@@ -186,6 +187,16 @@ class AggregateNode final : public SingleInputNode {
             std::max(g.next_start, FirstWindowStart(g.tuples.front()->ts));
       }
       if (FireThreshold(g.next_start) > wm) {
+        heap_.push(HeapEntry{FireThreshold(g.next_start), key});
+        continue;
+      }
+      // Fast-forwarding moved the group's due point: re-queue at the new
+      // (fire_at, key) position instead of firing out of order. Without
+      // this, the global firing order depends on how far each incoming
+      // watermark jumps — fine-grained watermarks never hit the case, but a
+      // coalesced (batched) stream does, and the output order must be
+      // identical for both.
+      if (FireThreshold(g.next_start) != fire_at) {
         heap_.push(HeapEntry{FireThreshold(g.next_start), key});
         continue;
       }

@@ -1,0 +1,193 @@
+// Bounded blocking queue of StreamBatches — the physical stream between
+// operator threads.
+//
+// Three things distinguish it from the generic BoundedQueue:
+//
+//  * Weight-based capacity: the bound counts queued *tuples* (control-only
+//    batches weigh 1), so the back-pressure a slow consumer exerts is
+//    independent of the batch knob.
+//  * Batch-aware coalescing: a pushed batch merges into the queue's tail
+//    batch when both come from the same port and the combined tuple count
+//    stays within the producer's batch size. Under load, small batches grow
+//    toward the knob at the queue tail, so a saturated consumer pays one
+//    lock round-trip per chunk instead of per tuple. Control-only batches
+//    (watermark advances, flush) always merge — the batched form of the
+//    seed's watermark coalescing, which keeps watermark-dominated streams
+//    (high fan-out partitioners, selective filters) from flooding queues.
+//  * A lighter fast path for the dominant single-producer case: waiter
+//    counts let the busy side skip condvar notifies entirely (no syscalls
+//    when nobody sleeps), and PopMany drains the whole backlog under one
+//    lock so the consumer amortizes its round-trips over the burst.
+#ifndef GENEALOG_SPE_BATCH_QUEUE_H_
+#define GENEALOG_SPE_BATCH_QUEUE_H_
+
+#include <algorithm>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "spe/stream_batch.h"
+
+namespace genealog {
+
+class BatchQueue {
+ public:
+  explicit BatchQueue(size_t capacity) : capacity_(capacity) {}
+
+  BatchQueue(const BatchQueue&) = delete;
+  BatchQueue& operator=(const BatchQueue&) = delete;
+
+  // Pushes one batch, coalescing into the tail when possible. `max_coalesce`
+  // caps the tuple count of a merged tail (the producing endpoint's batch
+  // size). Blocks while the weight bound is exceeded; returns false if the
+  // queue was aborted.
+  bool Push(StreamBatch batch, size_t max_coalesce) {
+    std::unique_lock lock(mu_);
+    if (aborted_) return false;
+    // Control-only batches merge without consuming weight, even into a full
+    // queue — exactly like the seed's watermark coalescing.
+    if (TryCoalesce(batch, max_coalesce)) {
+      NotifyConsumer(lock);
+      return true;
+    }
+    const size_t w = batch.weight();
+    if (weight_ + w > capacity_ && !items_.empty()) {
+      ++waiting_producers_;
+      not_full_.wait(lock, [&] {
+        return weight_ + w <= capacity_ || items_.empty() || aborted_;
+      });
+      --waiting_producers_;
+      if (aborted_) return false;
+      // The tail may have changed while blocked; retry the merge.
+      if (TryCoalesce(batch, max_coalesce)) {
+        NotifyConsumer(lock);
+        return true;
+      }
+    }
+    weight_ += batch.weight();
+    items_.push_back(std::move(batch));
+    NotifyConsumer(lock);
+    return true;
+  }
+
+  // Blocks while empty. Returns nullopt once aborted and drained.
+  std::optional<StreamBatch> Pop() {
+    std::unique_lock lock(mu_);
+    WaitNotEmpty(lock);
+    if (items_.empty()) return std::nullopt;
+    StreamBatch batch = std::move(items_.front());
+    items_.pop_front();
+    weight_ -= batch.weight();
+    NotifyProducers(lock);
+    return batch;
+  }
+
+  // Drains every queued batch into `out` under one lock, blocking while
+  // empty. Returns false once aborted and drained.
+  bool PopMany(std::vector<StreamBatch>& out) {
+    std::unique_lock lock(mu_);
+    WaitNotEmpty(lock);
+    if (items_.empty()) return false;
+    while (!items_.empty()) {
+      out.push_back(std::move(items_.front()));
+      items_.pop_front();
+    }
+    weight_ = 0;
+    NotifyProducers(lock);
+    return true;
+  }
+
+  // Non-blocking pop, for draining in tests.
+  std::optional<StreamBatch> TryPop() {
+    std::unique_lock lock(mu_);
+    if (items_.empty()) return std::nullopt;
+    StreamBatch batch = std::move(items_.front());
+    items_.pop_front();
+    weight_ -= batch.weight();
+    NotifyProducers(lock);
+    return batch;
+  }
+
+  // Wakes all waiters; subsequent Push fails, Pop drains remaining batches
+  // then reports end. Used to tear a topology down on error.
+  void Abort() {
+    {
+      std::lock_guard lock(mu_);
+      aborted_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  // Queued batches / queued weight (tuples; control-only batches count 1).
+  size_t Size() const {
+    std::lock_guard lock(mu_);
+    return items_.size();
+  }
+  size_t Weight() const {
+    std::lock_guard lock(mu_);
+    return weight_;
+  }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  // Merges `batch` into the tail if stream order and the caps allow it.
+  // Caller holds the lock.
+  bool TryCoalesce(StreamBatch& batch, size_t max_coalesce) {
+    if (items_.empty()) return false;
+    StreamBatch& tail = items_.back();
+    if (tail.port != batch.port || tail.flush) return false;
+    if (!batch.tuples.empty()) {
+      if (tail.tuples.size() + batch.tuples.size() > max_coalesce) return false;
+      const size_t old_weight = tail.weight();
+      const size_t new_weight = tail.tuples.size() + batch.tuples.size();
+      if (weight_ - old_weight + new_weight > capacity_) return false;
+      tail.tuples.AppendMoved(batch.tuples);
+      weight_ += new_weight - old_weight;
+    }
+    // Deferring the tail's watermark past the appended tuples is safe: those
+    // tuples already satisfy ts >= watermark (sorted-stream contract), see
+    // stream_batch.h.
+    tail.watermark = std::max(tail.watermark, batch.watermark);
+    tail.flush = tail.flush || batch.flush;
+    return true;
+  }
+
+  void WaitNotEmpty(std::unique_lock<std::mutex>& lock) {
+    if (!items_.empty() || aborted_) return;
+    ++waiting_consumers_;
+    not_empty_.wait(lock, [&] { return !items_.empty() || aborted_; });
+    --waiting_consumers_;
+  }
+
+  // Notify-if-waiting: the waiter counts are maintained under mu_, so a
+  // consumer between its empty-check and its wait is always observed here.
+  void NotifyConsumer(std::unique_lock<std::mutex>& lock) {
+    const bool wake = waiting_consumers_ > 0;
+    lock.unlock();
+    if (wake) not_empty_.notify_one();
+  }
+  void NotifyProducers(std::unique_lock<std::mutex>& lock) {
+    const bool wake = waiting_producers_ > 0;
+    lock.unlock();
+    if (wake) not_full_.notify_all();
+  }
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<StreamBatch> items_;
+  size_t weight_ = 0;
+  size_t waiting_producers_ = 0;
+  size_t waiting_consumers_ = 0;
+  bool aborted_ = false;
+};
+
+}  // namespace genealog
+
+#endif  // GENEALOG_SPE_BATCH_QUEUE_H_

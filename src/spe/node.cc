@@ -25,8 +25,8 @@ void Node::AbortQueues() {
 }
 
 bool Node::EmitTupleAll(const TuplePtr& t) {
-  for (const Endpoint& e : outputs_) {
-    if (!e.Push(StreamItem::MakeTuple(t))) return false;
+  for (Endpoint& e : outputs_) {
+    if (!e.PushTuple(t)) return false;
   }
   return true;
 }
@@ -34,35 +34,58 @@ bool Node::EmitTupleAll(const TuplePtr& t) {
 bool Node::ForwardWatermark(int64_t wm) {
   if (wm <= last_forwarded_wm_ || wm == kWatermarkMax) return true;
   last_forwarded_wm_ = wm;
-  for (const Endpoint& e : outputs_) {
-    if (!e.Push(StreamItem::MakeWatermark(wm))) return false;
+  for (Endpoint& e : outputs_) {
+    if (!e.PushWatermark(wm)) return false;
   }
   return true;
 }
 
 void Node::EmitFlushAll() {
-  for (const Endpoint& e : outputs_) {
-    e.Push(StreamItem::MakeFlush());
+  for (Endpoint& e : outputs_) {
+    e.PushFlush();
   }
+}
+
+bool Node::ForwardBatchAll(StreamBatch&& batch) {
+  if (batch.has_watermark()) {
+    if (batch.watermark <= last_forwarded_wm_ ||
+        batch.watermark == kWatermarkMax) {
+      batch.watermark = kNoWatermark;
+    } else {
+      last_forwarded_wm_ = batch.watermark;
+    }
+  }
+  if (batch.tuples.empty() && !batch.has_watermark()) return true;
+  if (outputs_.size() == 1) {
+    return outputs_[0].ForwardBatch(std::move(batch));
+  }
+  for (Endpoint& e : outputs_) {
+    for (const TuplePtr& t : batch.tuples) {
+      if (!e.PushTuple(t)) return false;
+    }
+    if (batch.has_watermark() && !e.PushWatermark(batch.watermark)) {
+      return false;
+    }
+  }
+  return true;
 }
 
 void SingleInputNode::Run() {
   StreamQueue* in = input_queue();
+  std::vector<StreamBatch> burst;
   for (;;) {
-    std::optional<StreamItem> item = in->Pop();
-    if (!item.has_value()) return;  // aborted
-    switch (item->kind) {
-      case StreamItem::Kind::kTuple:
-        CountProcessed();
-        OnTuple(std::move(item->tuple));
-        break;
-      case StreamItem::Kind::kWatermark:
-        OnWatermark(item->watermark);
-        break;
-      case StreamItem::Kind::kFlush:
+    burst.clear();
+    if (!in->PopMany(burst)) return;  // aborted
+    for (StreamBatch& batch : burst) {
+      CountProcessed(batch.tuples.size());
+      const bool flush = batch.flush;
+      batch.flush = false;  // Run owns end-of-stream, OnBatch never sees it
+      OnBatch(batch);
+      if (flush) {
         OnFlush();
         EmitFlushAll();
         return;
+      }
     }
   }
 }
@@ -104,28 +127,30 @@ void MergingNode::ReleaseReady(std::vector<PortState>& ports) {
 void MergingNode::Run() {
   std::vector<PortState> ports(num_inputs());
   size_t flushed_ports = 0;
+  std::vector<StreamBatch> burst;
   while (flushed_ports < ports.size()) {
-    std::optional<StreamItem> item = input_queue()->Pop();
-    if (!item.has_value()) return;  // aborted
-    PortState& port = ports[item->port];
-    switch (item->kind) {
-      case StreamItem::Kind::kTuple: {
+    burst.clear();
+    if (!input_queue()->PopMany(burst)) return;  // aborted
+    for (StreamBatch& batch : burst) {
+      PortState& port = ports[batch.port];
+      for (TuplePtr& t : batch.tuples) {
         // A sorted stream implies future ts on this port are >= this ts, so
         // the tuple itself raises the port watermark to its own ts.
-        const int64_t ts = item->tuple->ts;
-        port.buffer.push_back(std::move(item->tuple));
+        const int64_t ts = t->ts;
+        port.buffer.push_back(std::move(t));
         if (ts > port.wm) port.wm = ts;
-        break;
       }
-      case StreamItem::Kind::kWatermark:
-        if (item->watermark > port.wm) port.wm = item->watermark;
-        break;
-      case StreamItem::Kind::kFlush:
+      if (batch.watermark > port.wm) port.wm = batch.watermark;
+      if (batch.flush) {
         port.flushed = true;
         ++flushed_ports;
-        break;
+      }
+      // Once per batch (not per tuple): the release order is a pure function
+      // of the buffered data, so chunked releases are correct — and at batch
+      // size 1 this is exactly the unbatched engine's per-item cadence of
+      // merged-watermark forwarding.
+      ReleaseReady(ports);
     }
-    ReleaseReady(ports);
   }
   // All inputs flushed: the merged watermark is +inf and ReleaseReady above
   // already drained the buffers in order.

@@ -1,63 +1,135 @@
 // Operator node framework.
 //
 // A Node is a runtime operator instance: it owns one physical input queue
-// (logical ports are tags on the items), holds endpoints into the input
+// (logical ports are tags on the batches), holds endpoints into the input
 // queues of downstream nodes, and runs as a dedicated thread (the Liebre
 // execution model). Two base behaviours cover all operators:
 //
 //  * SingleInputNode — processes its one (already timestamp-sorted) input
-//    stream item by item;
+//    stream batch by batch;
 //  * MergingNode — deterministically merges multiple sorted input ports:
 //    tuples are buffered per port and released in (ts, port) order, strictly
 //    below the minimum input watermark, so the processing order is a pure
 //    function of the data (§2's determinism requirement), independent of
-//    thread scheduling and queue interleaving.
+//    thread scheduling, queue interleaving, and batch boundaries.
+//
+// The data plane is batched: queues carry StreamBatches, and each producing
+// Endpoint accumulates tuples until a flush trigger (see Endpoint). The batch
+// size is a per-edge knob stamped by Topology::Connect; at batch size 1 every
+// tuple is handed over individually, reproducing the unbatched engine.
 #ifndef GENEALOG_SPE_NODE_H_
 #define GENEALOG_SPE_NODE_H_
 
 #include <atomic>
+#include <cassert>
 #include <cstdint>
 #include <deque>
 #include <limits>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
-#include "common/bounded_queue.h"
 #include "core/instrumentation.h"
-#include "spe/stream_item.h"
+#include "spe/batch_queue.h"
+#include "spe/stream_batch.h"
 
 namespace genealog {
 
-using StreamQueue = BoundedQueue<StreamItem>;
+using StreamQueue = BatchQueue;
 
 inline constexpr size_t kDefaultQueueCapacity = 4096;
+inline constexpr size_t kDefaultBatchSize = 1;
 inline constexpr int64_t kWatermarkMin = std::numeric_limits<int64_t>::min();
 inline constexpr int64_t kWatermarkMax = std::numeric_limits<int64_t>::max();
 
 // A producer-side handle to one logical input port of a downstream node.
-struct Endpoint {
-  StreamQueue* queue = nullptr;
-  uint16_t port = 0;
-
-  bool Push(StreamItem item) const {
-    item.port = port;
-    // Consecutive watermarks on the same port collapse into one: a watermark
-    // only promises a bound on future timestamps, so the latest value
-    // subsumes earlier ones. This keeps watermark-dominated streams (high
-    // fan-out partitioners, filters that drop most tuples) from flooding
-    // queues.
-    return queue->PushCoalesce(
-        std::move(item), [](StreamItem& tail, const StreamItem& incoming) {
-          if (tail.kind == StreamItem::Kind::kWatermark &&
-              incoming.kind == StreamItem::Kind::kWatermark &&
-              tail.port == incoming.port) {
-            tail.watermark = std::max(tail.watermark, incoming.watermark);
-            return true;
-          }
-          return false;
-        });
+//
+// The endpoint owns the producer half of the batching protocol: tuples
+// accumulate in a pending batch that is handed to the queue when
+//   * it reaches the edge's batch size (size trigger),
+//   * the port's watermark advances (watermark trigger — watermarks are what
+//     lets downstream merges and windows make progress, so they are never
+//     held back; the tuples they vouch for travel in the same batch), or
+//   * the stream ends (flush trigger).
+// The queue additionally coalesces consecutive small batches of the same
+// port up to the batch size (see BatchQueue), so chunks form wherever the
+// consumer is the bottleneck.
+class Endpoint {
+ public:
+  Endpoint() = default;
+  Endpoint(StreamQueue* queue, uint16_t port, size_t batch_size = 1)
+      : queue_(queue), port_(port) {
+    set_batch_size(batch_size);
+    pending_.port = port;
   }
+
+  Endpoint(Endpoint&&) = default;
+  Endpoint& operator=(Endpoint&&) = default;
+
+  uint16_t port() const { return port_; }
+  size_t batch_size() const { return batch_size_; }
+  void set_batch_size(size_t n) { batch_size_ = n == 0 ? 1 : n; }
+
+  // All return false when the downstream queue was aborted, which the Run
+  // loops treat as a request to stop.
+  bool PushTuple(TuplePtr t) {
+    pending_.tuples.push_back(std::move(t));
+    if (pending_.tuples.size() >= batch_size_) return Flush();
+    return true;
+  }
+
+  bool PushWatermark(int64_t wm) {
+    pending_.watermark = std::max(pending_.watermark, wm);
+    return Flush();
+  }
+
+  bool PushFlush() {
+    pending_.flush = true;
+    return Flush();
+  }
+
+  // Forwards a whole chunk (tuples + optional trailing watermark/flush) in
+  // one call — the fast path for forwarding operators like Filter, which
+  // would otherwise re-push tuple by tuple. When nothing is pending the
+  // chunk is adopted wholesale (a pointer steal for heap-spilled batches).
+  bool ForwardBatch(StreamBatch batch) {
+    if (pending_.tuples.empty()) {
+      batch.port = port_;
+      batch.flush = batch.flush || pending_.flush;
+      if (batch.tuples.size() >= batch_size_ || batch.has_watermark() ||
+          batch.flush) {
+        pending_ = StreamBatch{};
+        pending_.port = port_;
+        return queue_->Push(std::move(batch), batch_size_);
+      }
+      pending_ = std::move(batch);
+      return true;
+    }
+    pending_.tuples.AppendMoved(batch.tuples);
+    pending_.watermark = std::max(pending_.watermark, batch.watermark);
+    pending_.flush = pending_.flush || batch.flush;
+    if (pending_.tuples.size() >= batch_size_ || pending_.has_watermark() ||
+        pending_.flush) {
+      return Flush();
+    }
+    return true;
+  }
+
+  // Hands the pending batch to the queue (no-op when nothing is pending).
+  bool Flush() {
+    if (pending_.empty()) return true;
+    StreamBatch batch = std::move(pending_);
+    pending_ = StreamBatch{};
+    pending_.port = port_;
+    return queue_->Push(std::move(batch), batch_size_);
+  }
+
+ private:
+  StreamQueue* queue_ = nullptr;
+  uint16_t port_ = 0;
+  size_t batch_size_ = 1;
+  StreamBatch pending_;
 };
 
 class Node {
@@ -85,7 +157,7 @@ class Node {
   StreamQueue* input_queue() { return in_queue_.get(); }
   size_t num_inputs() const { return num_ports_; }
 
-  void AddOutput(Endpoint e) { outputs_.push_back(e); }
+  void AddOutput(Endpoint e) { outputs_.push_back(std::move(e)); }
   size_t num_outputs() const { return outputs_.size(); }
 
   void AbortQueues();
@@ -97,23 +169,37 @@ class Node {
   }
 
  protected:
-  // Globally unique tuple id: node uid in the high bits, sequence in the low.
-  uint64_t NextTupleId() { return (uid_ << 40) | next_seq_++; }
+  // Globally unique tuple id: node uid in the high bits, sequence in the low
+  // 40. The sequence is masked into its field — overflowing it would silently
+  // corrupt the uid bits and alias ids across nodes, so debug builds assert.
+  uint64_t NextTupleId() {
+    const uint64_t seq = next_seq_++;
+    assert(seq <= kTupleSeqMask && "tuple sequence overflowed its 40-bit field");
+    return (uid_ << kTupleSeqBits) | (seq & kTupleSeqMask);
+  }
 
   // Emission helpers. All return false when a downstream queue was aborted,
   // which the Run loops treat as a request to stop.
-  bool EmitTo(size_t out_idx, StreamItem item) {
-    return outputs_[out_idx].Push(std::move(item));
+  bool EmitTupleTo(size_t out_idx, TuplePtr t) {
+    return outputs_[out_idx].PushTuple(std::move(t));
   }
   bool EmitTupleAll(const TuplePtr& t);
   // Monotonic watermark broadcast: non-increasing or infinite values are
   // swallowed (flush carries the end-of-stream meaning).
   bool ForwardWatermark(int64_t wm);
   void EmitFlushAll();
+  // Forwards a chunk to every output, applying the same watermark
+  // de-duplication as ForwardWatermark. With a single output the chunk moves
+  // wholesale; the flush flag must be left to Run (see OnBatch).
+  bool ForwardBatchAll(StreamBatch&& batch);
 
-  void CountProcessed() {
-    tuples_processed_.fetch_add(1, std::memory_order_relaxed);
+  void CountProcessed(uint64_t n = 1) {
+    tuples_processed_.fetch_add(n, std::memory_order_relaxed);
   }
+
+  static constexpr int kTupleSeqBits = 40;
+  static constexpr uint64_t kTupleSeqMask =
+      (uint64_t{1} << kTupleSeqBits) - 1;
 
   std::vector<Endpoint> outputs_;
 
@@ -130,7 +216,7 @@ class Node {
 };
 
 // Base for one-input operators (Map, Filter, Multiplex, Aggregate, Sink, SU,
-// Send). The input stream is sorted, so items are handled as they arrive.
+// Send). The input stream is sorted, so batches are handled as they arrive.
 class SingleInputNode : public Node {
  public:
   using Node::Node;
@@ -143,6 +229,15 @@ class SingleInputNode : public Node {
   virtual void OnWatermark(int64_t wm) { ForwardWatermark(wm); }
   // Called once before the final flush is forwarded.
   virtual void OnFlush() {}
+  // Whole-batch hook: the default dispatches to OnTuple/OnWatermark in
+  // stream order. Operators that can exploit the chunk (Send's
+  // batch-at-a-time serialization, Filter's in-place chunk filtering)
+  // override this; the flush marker is owned by Run — it is cleared before
+  // this call and never visible here.
+  virtual void OnBatch(StreamBatch& batch) {
+    for (TuplePtr& t : batch.tuples) OnTuple(std::move(t));
+    if (batch.has_watermark()) OnWatermark(batch.watermark);
+  }
 };
 
 // Base for multi-input operators (Union, Join, MU). Implements the

@@ -37,7 +37,7 @@ class KeyPartitionNode final : public SingleInputNode {
   void OnTuple(TuplePtr t) override {
     const size_t out = static_cast<size_t>(
         Mix(hash_(static_cast<const T&>(*t))) % num_outputs());
-    EmitTo(out, StreamItem::MakeTuple(std::move(t)));
+    EmitTupleTo(out, std::move(t));
   }
 
  private:

@@ -8,6 +8,7 @@
 #ifndef GENEALOG_SPE_SOURCE_H_
 #define GENEALOG_SPE_SOURCE_H_
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <functional>
@@ -52,6 +53,19 @@ class VectorSourceNode final : public SourceNodeBase {
     start_ns_.store(start_ns, std::memory_order_relaxed);
     const double ns_per_tuple =
         options_.max_rate_tps > 0 ? 1e9 / options_.max_rate_tps : 0;
+    // Stimulus granularity: at full speed the wall-clock read is a real
+    // per-tuple cost, so it is refreshed once per outgoing chunk (the
+    // smallest output batch size). Rate-limited runs — the latency
+    // measurements — keep the exact per-tuple stimulus, and so does batch
+    // size 1.
+    size_t stimulus_every = 1;
+    if (ns_per_tuple == 0 && !outputs_.empty()) {
+      stimulus_every = outputs_[0].batch_size();
+      for (const Endpoint& e : outputs_) {
+        stimulus_every = std::min(stimulus_every, e.batch_size());
+      }
+    }
+    int64_t stimulus = start_ns;
     uint64_t emitted = 0;
     bool stopped = false;
     for (int lap = 0; lap < options_.replays && !stopped; ++lap) {
@@ -77,7 +91,10 @@ class VectorSourceNode final : public SourceNodeBase {
         TuplePtr t = data_[i]->CloneTuple();
         t->ts = data_[i]->ts + ts_shift;
         t->id = NextTupleId();
-        t->stimulus = NowNanos();
+        if (stimulus_every == 1 || emitted % stimulus_every == 0) {
+          stimulus = NowNanos();
+        }
+        t->stimulus = stimulus;
         InstrumentSource(mode(), *t);
         CountProcessed();
         ++emitted;

@@ -65,7 +65,10 @@ class MapNode final : public SingleInputNode {
 };
 
 // Filter: forwards tuples satisfying the condition; drops the rest. Forwarded
-// tuples are the same objects (type (i) operator in Def. 3.1).
+// tuples are the same objects (type (i) operator in Def. 3.1). As a pure
+// forwarding operator it keeps the chunk structure of the batched data
+// plane: each input batch is filtered in place and passed on whole, rather
+// than re-accumulated tuple by tuple.
 template <typename T>
 class FilterNode final : public SingleInputNode {
  public:
@@ -75,6 +78,18 @@ class FilterNode final : public SingleInputNode {
       : SingleInputNode(std::move(name)), pred_(std::move(pred)) {}
 
  protected:
+  void OnBatch(StreamBatch& batch) override {
+    size_t kept = 0;
+    for (size_t i = 0; i < batch.tuples.size(); ++i) {
+      if (pred_(static_cast<const T&>(*batch.tuples[i]))) {
+        if (kept != i) batch.tuples[kept] = std::move(batch.tuples[i]);
+        ++kept;
+      }
+    }
+    batch.tuples.truncate(kept);
+    ForwardBatchAll(std::move(batch));
+  }
+
   void OnTuple(TuplePtr t) override {
     if (pred_(static_cast<const T&>(*t))) {
       EmitTupleAll(t);
@@ -100,7 +115,7 @@ class MultiplexNode final : public SingleInputNode {
       TuplePtr copy = t->CloneTuple();
       copy->id = t->id;
       InstrumentUnary(mode(), *copy, TupleKind::kMultiplex, *t);
-      if (!EmitTo(i, StreamItem::MakeTuple(std::move(copy)))) return;
+      if (!EmitTupleTo(i, std::move(copy))) return;
     }
   }
 };
@@ -138,7 +153,7 @@ class RouterNode final : public SingleInputNode {
       TuplePtr copy = t->CloneTuple();
       copy->id = t->id;
       InstrumentUnary(mode(), *copy, TupleKind::kMultiplex, *t);
-      if (!EmitTo(i, StreamItem::MakeTuple(std::move(copy)))) return;
+      if (!EmitTupleTo(i, std::move(copy))) return;
     }
   }
 

@@ -6,10 +6,13 @@
 
 namespace genealog {
 
-size_t Topology::Connect(Node* from, Node* to, size_t capacity) {
+size_t Topology::Connect(Node* from, Node* to, size_t capacity,
+                         size_t batch_size) {
   Endpoint e = to->AddInput(capacity);
-  from->AddOutput(e);
-  return e.port;
+  e.set_batch_size(batch_size == 0 ? default_batch_size_ : batch_size);
+  const size_t port = e.port();
+  from->AddOutput(std::move(e));
+  return port;
 }
 
 void Topology::AbortAll() {

@@ -35,6 +35,13 @@ class Topology {
   int instance_id() const { return instance_id_; }
   ProvenanceMode mode() const { return mode_; }
 
+  // Batch size stamped on every stream wired by Connect (unless overridden
+  // per edge). 1 = unbatched item-at-a-time handover, the seed behavior.
+  size_t default_batch_size() const { return default_batch_size_; }
+  void set_default_batch_size(size_t n) {
+    default_batch_size_ = n == 0 ? 1 : n;
+  }
+
   // Constructs a node in this topology; instance id and provenance mode are
   // inherited. Returns a non-owning pointer valid for the topology's life.
   template <typename N, typename... Args>
@@ -51,9 +58,11 @@ class Topology {
   // Connect calls defines output indices on `from` (meaningful for Multiplex
   // and SU) and input ports on `to` (meaningful for Join: 0 = left,
   // 1 = right; and MU: 0 = derived, 1.. = upstream).
-  // Returns the input port index on `to`.
+  // Returns the input port index on `to`. `batch_size` overrides the
+  // topology default for this edge (0 = use the default).
   size_t Connect(Node* from, Node* to,
-                 size_t capacity = kDefaultQueueCapacity);
+                 size_t capacity = kDefaultQueueCapacity,
+                 size_t batch_size = 0);
 
   // Registers an external resource (e.g. a channel a Receive node blocks on)
   // to be aborted together with the node queues when a run fails.
@@ -68,6 +77,7 @@ class Topology {
  private:
   int instance_id_;
   ProvenanceMode mode_;
+  size_t default_batch_size_ = kDefaultBatchSize;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<Abortable*> abortables_;
 };

@@ -1,9 +1,10 @@
-// PushCoalesce and the stream-level watermark coalescing built on it.
+// BatchQueue coalescing and the endpoint-level batching protocol built on it.
 #include <gtest/gtest.h>
 
 #include <thread>
+#include <vector>
 
-#include "common/bounded_queue.h"
+#include "spe/batch_queue.h"
 #include "spe/node.h"
 #include "testing/test_tuples.h"
 
@@ -12,93 +13,135 @@ namespace {
 
 using testing::V;
 
-bool MergeInts(int& tail, const int& incoming) {
-  if (tail < 0 && incoming < 0) {  // negative = "mergeable" marker
-    tail = std::min(tail, incoming);
-    return true;
-  }
-  return false;
-}
-
-TEST(PushCoalesceTest, MergesIntoTail) {
-  BoundedQueue<int> q(8);
-  q.PushCoalesce(-1, MergeInts);
-  q.PushCoalesce(-5, MergeInts);
-  q.PushCoalesce(-2, MergeInts);
-  EXPECT_EQ(q.Size(), 1u);
-  EXPECT_EQ(q.Pop().value(), -5);
-}
-
-TEST(PushCoalesceTest, NonMergeableItemsAppend) {
-  BoundedQueue<int> q(8);
-  q.PushCoalesce(1, MergeInts);
-  q.PushCoalesce(2, MergeInts);
-  q.PushCoalesce(-1, MergeInts);
-  q.PushCoalesce(3, MergeInts);
-  EXPECT_EQ(q.Size(), 4u);
-  EXPECT_EQ(q.Pop().value(), 1);
-}
-
-TEST(PushCoalesceTest, MergeIntoFullQueueDoesNotBlock) {
-  BoundedQueue<int> q(2);
-  q.PushCoalesce(7, MergeInts);
-  q.PushCoalesce(-1, MergeInts);  // tail is mergeable, queue now full
-  // Merging into the tail must succeed immediately despite the full queue.
-  EXPECT_TRUE(q.PushCoalesce(-9, MergeInts));
-  EXPECT_EQ(q.Size(), 2u);
-  EXPECT_EQ(q.Pop().value(), 7);
-  EXPECT_EQ(q.Pop().value(), -9);
-}
-
-TEST(PushCoalesceTest, AbortedQueueRejects) {
-  BoundedQueue<int> q(2);
-  q.Abort();
-  EXPECT_FALSE(q.PushCoalesce(-1, MergeInts));
-}
-
-TEST(EndpointCoalesceTest, ConsecutiveWatermarksCollapse) {
+TEST(BatchQueueCoalesceTest, ConsecutiveWatermarksCollapse) {
   auto queue = std::make_unique<StreamQueue>(64);
   Endpoint e{queue.get(), 0};
-  e.Push(StreamItem::MakeWatermark(5));
-  e.Push(StreamItem::MakeWatermark(9));
-  e.Push(StreamItem::MakeWatermark(7));  // lower: still merged, keeps max
+  e.PushWatermark(5);
+  e.PushWatermark(9);
+  e.PushWatermark(7);  // lower: still merged, keeps max
   EXPECT_EQ(queue->Size(), 1u);
-  auto item = queue->Pop();
-  ASSERT_TRUE(item.has_value());
-  EXPECT_EQ(item->kind, StreamItem::Kind::kWatermark);
-  EXPECT_EQ(item->watermark, 9);
+  auto batch = queue->Pop();
+  ASSERT_TRUE(batch.has_value());
+  EXPECT_TRUE(batch->tuples.empty());
+  EXPECT_EQ(batch->watermark, 9);
 }
 
-TEST(EndpointCoalesceTest, DifferentPortsDoNotMerge) {
+TEST(BatchQueueCoalesceTest, DifferentPortsDoNotMerge) {
   auto queue = std::make_unique<StreamQueue>(64);
   Endpoint a{queue.get(), 0};
   Endpoint b{queue.get(), 1};
-  a.Push(StreamItem::MakeWatermark(5));
-  b.Push(StreamItem::MakeWatermark(6));
+  a.PushWatermark(5);
+  b.PushWatermark(6);
   EXPECT_EQ(queue->Size(), 2u);
 }
 
-TEST(EndpointCoalesceTest, TuplesInterruptMerging) {
+TEST(BatchQueueCoalesceTest, WatermarkJoinsTailTupleBatch) {
+  // A watermark following a tuple lands in the same batch (it applies after
+  // the tuples), so the pair costs one queue slot.
   auto queue = std::make_unique<StreamQueue>(64);
   Endpoint e{queue.get(), 0};
-  e.Push(StreamItem::MakeWatermark(5));
-  e.Push(StreamItem::MakeTuple(V(6, 1)));
-  e.Push(StreamItem::MakeWatermark(7));
+  e.PushTuple(V(6, 1));
+  e.PushWatermark(7);
+  EXPECT_EQ(queue->Size(), 1u);
+  auto batch = queue->Pop();
+  ASSERT_TRUE(batch.has_value());
+  ASSERT_EQ(batch->tuples.size(), 1u);
+  EXPECT_EQ(batch->tuples[0]->ts, 6);
+  EXPECT_EQ(batch->watermark, 7);
+  EXPECT_FALSE(batch->flush);
+}
+
+TEST(BatchQueueCoalesceTest, TuplesNeverMergeAtBatchSizeOne) {
+  // Batch size 1 reproduces the unbatched engine: every tuple is its own
+  // queue entry.
+  auto queue = std::make_unique<StreamQueue>(64);
+  Endpoint e{queue.get(), 0, /*batch_size=*/1};
+  e.PushTuple(V(1, 1));
+  e.PushTuple(V(2, 2));
+  e.PushTuple(V(3, 3));
   EXPECT_EQ(queue->Size(), 3u);
-  EXPECT_EQ(queue->Pop()->watermark, 5);
-  EXPECT_EQ(queue->Pop()->kind, StreamItem::Kind::kTuple);
-  EXPECT_EQ(queue->Pop()->watermark, 7);
+  EXPECT_EQ(queue->Weight(), 3u);
 }
 
-TEST(EndpointCoalesceTest, FlushNeverMerges) {
+TEST(BatchQueueCoalesceTest, TuplesChunkUpToBatchSize) {
   auto queue = std::make_unique<StreamQueue>(64);
-  Endpoint e{queue.get(), 0};
-  e.Push(StreamItem::MakeWatermark(5));
-  e.Push(StreamItem::MakeFlush());
+  Endpoint e{queue.get(), 0, /*batch_size=*/4};
+  for (int i = 0; i < 10; ++i) {
+    // Alternate tuple + watermark advance: the watermark flushes the pending
+    // batch, and the queue glues the flushed slivers back together up to the
+    // batch size.
+    e.PushTuple(V(i, i));
+    e.PushWatermark(i);
+  }
+  EXPECT_EQ(queue->Weight(), 10u);
+  // 10 tuples in chunks of <= 4: at least three batches, far fewer than 20
+  // unbatched entries.
+  EXPECT_LE(queue->Size(), 4u);
+  int64_t last_ts = -1;
+  size_t total = 0;
+  while (auto batch = queue->TryPop()) {
+    ASSERT_LE(batch->tuples.size(), 4u);
+    for (const TuplePtr& t : batch->tuples) {
+      EXPECT_GT(t->ts, last_ts);  // stream order survives coalescing
+      last_ts = t->ts;
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, 10u);
+}
+
+TEST(BatchQueueCoalesceTest, FlushMergesIntoTailButSealsIt) {
+  auto queue = std::make_unique<StreamQueue>(64);
+  Endpoint e{queue.get(), 0, /*batch_size=*/8};
+  e.PushTuple(V(1, 1));
+  e.PushFlush();
+  EXPECT_EQ(queue->Size(), 1u);
+  {
+    auto batch = queue->Pop();
+    ASSERT_TRUE(batch.has_value());
+    EXPECT_TRUE(batch->flush);
+  }
+  // Nothing may merge into (or after) a flushed tail on the same port.
+  Endpoint f{queue.get(), 0, /*batch_size=*/8};
+  f.PushFlush();
+  f.PushWatermark(3);
   EXPECT_EQ(queue->Size(), 2u);
 }
 
-TEST(EndpointCoalesceTest, ConcurrentProducersStayConsistent) {
+TEST(BatchQueueCoalesceTest, WatermarkMergesIntoFullQueueWithoutBlocking) {
+  auto queue = std::make_unique<StreamQueue>(2);
+  Endpoint e{queue.get(), 0};
+  e.PushTuple(V(1, 1));
+  e.PushTuple(V(2, 2));  // queue now at weight capacity
+  // The watermark adds no weight: it must land without blocking.
+  EXPECT_TRUE(e.PushWatermark(9));
+  EXPECT_EQ(queue->Weight(), 2u);
+  // Drain: last batch carries the watermark.
+  queue->Pop();
+  auto tail = queue->Pop();
+  ASSERT_TRUE(tail.has_value());
+  EXPECT_EQ(tail->watermark, 9);
+}
+
+TEST(BatchQueueCoalesceTest, AbortedQueueRejects) {
+  auto queue = std::make_unique<StreamQueue>(2);
+  queue->Abort();
+  Endpoint e{queue.get(), 0};
+  EXPECT_FALSE(e.PushWatermark(1));
+  EXPECT_FALSE(e.PushTuple(V(1, 1)));
+}
+
+TEST(BatchQueueCoalesceTest, OversizedBatchEntersEmptyQueue) {
+  // A batch bigger than the queue capacity must not deadlock: it is admitted
+  // once the queue is empty.
+  auto queue = std::make_unique<StreamQueue>(2);
+  Endpoint e{queue.get(), 0, /*batch_size=*/8};
+  for (int i = 0; i < 8; ++i) e.PushTuple(V(i, i));  // flushes at 8 > cap 2
+  EXPECT_EQ(queue->Size(), 1u);
+  EXPECT_EQ(queue->Weight(), 8u);
+}
+
+TEST(BatchQueueCoalesceTest, ConcurrentProducersStayConsistent) {
   auto queue = std::make_unique<StreamQueue>(4096);
   constexpr int kPerProducer = 20000;
   std::vector<std::thread> producers;
@@ -106,7 +149,7 @@ TEST(EndpointCoalesceTest, ConcurrentProducersStayConsistent) {
     producers.emplace_back([&queue, p] {
       Endpoint e{queue.get(), static_cast<uint16_t>(p)};
       for (int i = 0; i < kPerProducer; ++i) {
-        ASSERT_TRUE(e.Push(StreamItem::MakeWatermark(i)));
+        ASSERT_TRUE(e.PushWatermark(i));
       }
     });
   }
@@ -117,11 +160,12 @@ TEST(EndpointCoalesceTest, ConcurrentProducersStayConsistent) {
   int64_t last_wm[4] = {-1, -1, -1, -1};
   int ports_finished = 0;
   while (ports_finished < 4) {
-    auto item = queue->Pop();
-    ASSERT_TRUE(item.has_value());
-    ASSERT_GE(item->watermark, last_wm[item->port]);
-    last_wm[item->port] = item->watermark;
-    if (item->watermark == kPerProducer - 1) ++ports_finished;
+    auto batch = queue->Pop();
+    ASSERT_TRUE(batch.has_value());
+    ASSERT_TRUE(batch->has_watermark());
+    ASSERT_GE(batch->watermark, last_wm[batch->port]);
+    last_wm[batch->port] = batch->watermark;
+    if (batch->watermark == kPerProducer - 1) ++ports_finished;
   }
   for (auto& t : producers) t.join();
   for (int p = 0; p < 4; ++p) {

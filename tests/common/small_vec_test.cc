@@ -1,0 +1,101 @@
+#include "common/small_vec.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <utility>
+
+namespace genealog {
+namespace {
+
+TEST(SmallVecTest, StaysInlineUpToN) {
+  SmallVec<int, 4> v;
+  for (int i = 0; i < 4; ++i) v.push_back(i);
+  EXPECT_EQ(v.size(), 4u);
+  EXPECT_EQ(v.capacity(), 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(v[static_cast<size_t>(i)], i);
+}
+
+TEST(SmallVecTest, SpillsToHeapAndKeepsContents) {
+  SmallVec<int, 4> v;
+  for (int i = 0; i < 100; ++i) v.push_back(i);
+  EXPECT_EQ(v.size(), 100u);
+  EXPECT_GE(v.capacity(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(v[static_cast<size_t>(i)], i);
+}
+
+TEST(SmallVecTest, MoveOnlyElements) {
+  SmallVec<std::unique_ptr<int>, 2> v;
+  for (int i = 0; i < 8; ++i) v.push_back(std::make_unique<int>(i));
+  ASSERT_EQ(v.size(), 8u);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(*v[static_cast<size_t>(i)], i);
+}
+
+TEST(SmallVecTest, MoveConstructInline) {
+  SmallVec<std::string, 4> a;
+  a.push_back("x");
+  a.push_back("y");
+  SmallVec<std::string, 4> b(std::move(a));
+  ASSERT_EQ(b.size(), 2u);
+  EXPECT_EQ(b[0], "x");
+  EXPECT_EQ(b[1], "y");
+  EXPECT_TRUE(a.empty());  // NOLINT(bugprone-use-after-move): spec'd empty
+}
+
+TEST(SmallVecTest, MoveConstructHeapSteals) {
+  SmallVec<std::string, 2> a;
+  for (int i = 0; i < 10; ++i) a.push_back(std::to_string(i));
+  const std::string* heap = a.data();
+  SmallVec<std::string, 2> b(std::move(a));
+  EXPECT_EQ(b.data(), heap);  // heap buffer stolen, not copied
+  ASSERT_EQ(b.size(), 10u);
+  EXPECT_EQ(b[9], "9");
+  EXPECT_TRUE(a.empty());  // NOLINT(bugprone-use-after-move)
+  // The moved-from vector must be reusable.
+  a.push_back("fresh");
+  EXPECT_EQ(a[0], "fresh");
+}
+
+TEST(SmallVecTest, MoveAssignReleasesOldContents) {
+  SmallVec<std::shared_ptr<int>, 2> a;
+  auto tracked = std::make_shared<int>(7);
+  a.push_back(tracked);
+  SmallVec<std::shared_ptr<int>, 2> b;
+  for (int i = 0; i < 5; ++i) b.push_back(std::make_shared<int>(i));
+  a = std::move(b);
+  EXPECT_EQ(tracked.use_count(), 1);  // old element destroyed
+  ASSERT_EQ(a.size(), 5u);
+  EXPECT_EQ(*a[4], 4);
+}
+
+TEST(SmallVecTest, ClearKeepsCapacity) {
+  SmallVec<int, 2> v;
+  for (int i = 0; i < 50; ++i) v.push_back(i);
+  const size_t cap = v.capacity();
+  v.clear();
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.capacity(), cap);
+}
+
+TEST(SmallVecTest, AppendMovedDrainsSource) {
+  SmallVec<std::unique_ptr<int>, 4> a;
+  SmallVec<std::unique_ptr<int>, 4> b;
+  for (int i = 0; i < 3; ++i) a.push_back(std::make_unique<int>(i));
+  for (int i = 3; i < 9; ++i) b.push_back(std::make_unique<int>(i));
+  a.AppendMoved(b);
+  EXPECT_TRUE(b.empty());
+  ASSERT_EQ(a.size(), 9u);
+  for (int i = 0; i < 9; ++i) EXPECT_EQ(*a[static_cast<size_t>(i)], i);
+}
+
+TEST(SmallVecTest, RangeForIteration) {
+  SmallVec<int, 4> v;
+  for (int i = 0; i < 6; ++i) v.push_back(i);
+  int expected = 0;
+  for (int x : v) EXPECT_EQ(x, expected++);
+  EXPECT_EQ(expected, 6);
+}
+
+}  // namespace
+}  // namespace genealog

@@ -1,0 +1,40 @@
+// NextTupleId packs (node uid << 40) | sequence. The sequence must stay in
+// its 40-bit field: silently overflowing into the uid bits would alias ids
+// across nodes, corrupting provenance matching (MU joins on ids).
+#include <gtest/gtest.h>
+
+#include "spe/node.h"
+
+namespace genealog {
+namespace {
+
+class IdProbe final : public Node {
+ public:
+  IdProbe() : Node("id_probe") {}
+  void Run() override {}
+  uint64_t Next() { return NextTupleId(); }
+  static constexpr int kSeqBits = kTupleSeqBits;
+  static constexpr uint64_t kSeqMask = kTupleSeqMask;
+};
+
+TEST(TupleIdTest, SequenceOccupiesLowBitsUidHighBits) {
+  IdProbe a;
+  IdProbe b;
+  const uint64_t a0 = a.Next();
+  const uint64_t a1 = a.Next();
+  const uint64_t b0 = b.Next();
+  // Same node: uid bits identical, sequence increments.
+  EXPECT_EQ(a0 >> IdProbe::kSeqBits, a1 >> IdProbe::kSeqBits);
+  EXPECT_EQ((a0 & IdProbe::kSeqMask) + 1, a1 & IdProbe::kSeqMask);
+  // Different nodes: uid bits differ even at equal sequence numbers.
+  EXPECT_EQ(b0 & IdProbe::kSeqMask, a0 & IdProbe::kSeqMask);
+  EXPECT_NE(b0 >> IdProbe::kSeqBits, a0 >> IdProbe::kSeqBits);
+}
+
+TEST(TupleIdTest, FieldConstantsAreConsistent) {
+  EXPECT_EQ(IdProbe::kSeqBits, 40);
+  EXPECT_EQ(IdProbe::kSeqMask, (uint64_t{1} << 40) - 1);
+}
+
+}  // namespace
+}  // namespace genealog
