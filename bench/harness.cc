@@ -6,6 +6,7 @@
 
 #include "common/memory_accounting.h"
 #include "common/stats.h"
+#include "common/tuple_pool.h"
 #include "common/wall_clock.h"
 
 namespace genealog::bench {
@@ -24,6 +25,7 @@ BenchEnv ReadBenchEnv() {
   if (const char* batch = std::getenv("GENEALOG_BATCH_SIZE")) {
     env.batch_size = static_cast<size_t>(std::max(1, std::atoi(batch)));
   }
+  env.tuple_pool = pool::Enabled();  // GENEALOG_TUPLE_POOL
   if (const char* dir = std::getenv("GENEALOG_BENCH_JSON_DIR")) {
     env.json_dir = dir;
   }
@@ -167,12 +169,32 @@ metrics::QueryVariantResult AggregateCell(const std::string& query,
   row.network_bytes = ToCell(net_bytes);
   row.source_bytes =
       metrics::CellStats{static_cast<double>(source_bytes), 0, 1};
-  for (const auto& s : per_instance_avg) row.per_instance_avg_mem_mb.push_back(ToCell(s));
-  for (const auto& s : per_instance_max) row.per_instance_max_mem_mb.push_back(ToCell(s));
+  for (const auto& s : per_instance_avg) {
+    row.per_instance_avg_mem_mb.push_back(ToCell(s));
+  }
+  for (const auto& s : per_instance_max) {
+    row.per_instance_max_mem_mb.push_back(ToCell(s));
+  }
   return row;
 }
 
 const char* VariantName(ProvenanceMode mode) { return ToString(mode); }
+
+void WritePoolStatsFields(std::FILE* f) {
+  const pool::Stats s = pool::GetStats();
+  std::fprintf(f,
+               "\"tuple_pool\": %s,\n"
+               "  \"pool\": {\"slabs\": %llu, \"slab_bytes\": %llu, "
+               "\"pool_allocs\": %llu, \"recycled_allocs\": %llu, "
+               "\"heap_allocs\": %llu, \"recycle_hit_rate\": %.4f}",
+               pool::Enabled() ? "true" : "false",
+               static_cast<unsigned long long>(s.slabs),
+               static_cast<unsigned long long>(s.slab_bytes),
+               static_cast<unsigned long long>(s.pool_allocs),
+               static_cast<unsigned long long>(s.recycled_allocs),
+               static_cast<unsigned long long>(s.heap_allocs),
+               s.recycle_hit_rate());
+}
 
 CellMetrics MeanCells(const std::vector<CellMetrics>& cells) {
   CellMetrics mean;
@@ -213,8 +235,10 @@ void WriteBenchJson(const std::string& bench, const BenchEnv& env,
   }
   std::fprintf(f,
                "{\n  \"bench\": \"%s\",\n  \"reps\": %d,\n"
-               "  \"scale\": %g,\n  \"replays\": %d,\n  \"rows\": [\n",
+               "  \"scale\": %g,\n  \"replays\": %d,\n  ",
                bench.c_str(), env.reps, env.scale, env.replays);
+  WritePoolStatsFields(f);
+  std::fprintf(f, ",\n  \"rows\": [\n");
   for (size_t i = 0; i < rows.size(); ++i) {
     const BenchJsonRow& r = rows[i];
     std::fprintf(

@@ -10,11 +10,14 @@
 //                           of steady state per measurement
 //   GENEALOG_BATCH_SIZE     stream batch size for every edge (default 1,
 //                           the unbatched data plane)
+//   GENEALOG_TUPLE_POOL     0 disables the recycling tuple pool (heap
+//                           allocation fallback; default on)
 //   GENEALOG_BENCH_JSON_DIR directory for machine-readable BENCH_*.json
 //                           result files (default ".", empty disables)
 #ifndef GENEALOG_BENCH_HARNESS_H_
 #define GENEALOG_BENCH_HARNESS_H_
 
+#include <cstdio>
 #include <string>
 #include <vector>
 
@@ -28,6 +31,7 @@ struct BenchEnv {
   double scale = 1.0;
   int replays = 12;
   size_t batch_size = 1;
+  bool tuple_pool = true;
   std::string json_dir = ".";
 };
 BenchEnv ReadBenchEnv();
@@ -92,11 +96,10 @@ using QueryFactory = std::function<queries::BuiltQuery()>;
 CellMetrics RunCell(const QueryFactory& factory);
 
 // Repetition + aggregation into a table row.
-metrics::QueryVariantResult AggregateCell(const std::string& query,
-                                          const std::string& variant,
-                                          const QueryFactory& factory,
-                                          int reps, uint64_t source_bytes,
-                                          std::vector<CellMetrics>* raw = nullptr);
+metrics::QueryVariantResult AggregateCell(
+    const std::string& query, const std::string& variant,
+    const QueryFactory& factory, int reps, uint64_t source_bytes,
+    std::vector<CellMetrics>* raw = nullptr);
 
 const char* VariantName(ProvenanceMode mode);
 
@@ -115,7 +118,14 @@ struct BenchJsonRow {
 // Per-field mean over repeated cells (empty input yields zeros).
 CellMetrics MeanCells(const std::vector<CellMetrics>& cells);
 
-// Writes `<json_dir>/BENCH_<bench>.json` recording the environment and every
+// Writes the shared `"tuple_pool": ..., "pool": {...}` JSON fragment (pool
+// enablement + slab/recycle stats at call time) used by every BENCH_*.json
+// writer, so the artifact series stays field-for-field uniform. Emits no
+// leading/trailing newline; the caller owns the surrounding object.
+void WritePoolStatsFields(std::FILE* f);
+
+// Writes `<json_dir>/BENCH_<bench>.json` recording the environment (including
+// the tuple pool's slab and recycle-hit-rate stats at write time) and every
 // row, so the perf trajectory across PRs can be tracked by tooling. No-op
 // when json_dir is empty.
 void WriteBenchJson(const std::string& bench, const BenchEnv& env,

@@ -5,9 +5,13 @@
 // (end-to-end stateless chain throughput by stream batch size).
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstdlib>
 #include <limits>
+#include <string>
 #include <vector>
 
+#include "bench/harness.h"
 #include "core/instrumentation.h"
 #include "core/type_registry.h"
 #include "genealog/traversal.h"
@@ -147,6 +151,31 @@ void BM_CascadeReclamation(benchmark::State& state) {
 }
 BENCHMARK(BM_CascadeReclamation)->Arg(24)->Arg(192)->Arg(2048);
 
+// The allocation path in isolation: one MakeTuple plus last-reference release
+// per iteration. With the tuple pool on, steady state is a thread-local
+// pop/push pair; with GENEALOG_TUPLE_POOL=0 it is global new/delete — run
+// both to see the allocation-path delta directly.
+void BM_MakeTupleChurn(benchmark::State& state) {
+  for (auto _ : state) {
+    auto t = Report(1);
+    benchmark::DoNotOptimize(t.get());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MakeTupleChurn);
+
+// Contribution-graph churn: allocate a small JOIN graph and release it whole,
+// the shape the recycling cascade sees in real queries.
+void BM_MakeTupleGraphChurn(benchmark::State& state) {
+  for (auto _ : state) {
+    auto join = Report(2);
+    InstrumentJoin(ProvenanceMode::kGenealog, *join, *Report(1), *Report(0));
+    benchmark::DoNotOptimize(join.get());
+  }
+  state.SetItemsProcessed(state.iterations() * 3);
+}
+BENCHMARK(BM_MakeTupleGraphChurn);
+
 void BM_CloneTuple(benchmark::State& state) {
   auto t = Report(1);
   for (auto _ : state) {
@@ -211,10 +240,9 @@ const std::vector<IntrusivePtr<PositionReport>>& ChainDataset() {
     constexpr int kPerTick = 64;
     d->reserve(kTuples);
     for (int i = 0; i < kTuples; ++i) {
-      d->push_back(MakeTuple<PositionReport>(/*ts=*/i / kPerTick,
-                                             /*car_id=*/i % 97,
-                                             /*speed=*/static_cast<double>(i % 31),
-                                             /*pos=*/i));
+      d->push_back(MakeTuple<PositionReport>(
+          /*ts=*/i / kPerTick, /*car_id=*/i % 97,
+          /*speed=*/static_cast<double>(i % 31), /*pos=*/i));
     }
     return d;
   }();
@@ -265,7 +293,83 @@ BENCHMARK(BM_StatelessChain_GL)
     ->MeasureProcessCPUTime()
     ->UseRealTime();
 
+// Captures each benchmark's headline numbers while still printing the
+// normal console table, so the BENCH_*.json written afterwards records the
+// run's results next to the pool stats.
+class CapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  struct Row {
+    std::string name;
+    int64_t iterations = 0;
+    double real_time = 0;  // in `time_unit` (micros report ns, sweeps ms)
+    const char* time_unit = "ns";
+    double items_per_second = 0;
+  };
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      Row row;
+      row.name = run.benchmark_name();
+      row.iterations = run.iterations;
+      row.real_time = run.GetAdjustedRealTime();
+      row.time_unit = benchmark::GetTimeUnitString(run.time_unit);
+      const auto it = run.counters.find("items_per_second");
+      if (it != run.counters.end()) {
+        row.items_per_second = static_cast<double>(it->second);
+      }
+      rows_.push_back(std::move(row));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  const std::vector<Row>& rows() const { return rows_; }
+
+ private:
+  std::vector<Row> rows_;
+};
+
+// Machine-readable results for the CI bench-smoke job: the benchmarks that
+// ran (BM_StatelessChain_GL cells, allocation-path micros) plus whether the
+// pool was on and its slab/recycle stats, so BENCH_*.json artifacts carry
+// the allocation-path trajectory per commit.
+void WritePoolStatsJson(const CapturingReporter& reporter) {
+  const char* dir = std::getenv("GENEALOG_BENCH_JSON_DIR");
+  const std::string json_dir = dir != nullptr ? dir : ".";
+  if (json_dir.empty()) return;
+  const std::string path = json_dir + "/BENCH_micro_pool.json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "WritePoolStatsJson: cannot open %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"micro_pool\",\n  ");
+  bench::WritePoolStatsFields(f);
+  std::fprintf(f, ",\n  \"rows\": [\n");
+  const auto& rows = reporter.rows();
+  for (size_t i = 0; i < rows.size(); ++i) {
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"iterations\": %lld, "
+                 "\"real_time\": %.4f, \"time_unit\": \"%s\", "
+                 "\"items_per_second\": %.1f}%s\n",
+                 rows[i].name.c_str(),
+                 static_cast<long long>(rows[i].iterations), rows[i].real_time,
+                 rows[i].time_unit, rows[i].items_per_second,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
 }  // namespace
 }  // namespace genealog
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  genealog::CapturingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  genealog::WritePoolStatsJson(reporter);
+  return 0;
+}

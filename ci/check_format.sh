@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# clang-format check for the C++ files a change touches.
+#
+# Usage: ci/check_format.sh [base-ref]
+#
+# Compares HEAD against `base-ref` (default: the PR base branch when running
+# under GitHub Actions, else HEAD~1) and runs `clang-format --dry-run
+# -Werror` on every added/changed .h/.cc/.cpp file. Only touched files are
+# checked, so formatting adoption can proceed PR by PR without a repo-wide
+# reformat.
+set -euo pipefail
+
+cd "$(git rev-parse --show-toplevel)"
+
+base="${1:-}"
+if [[ -z "$base" ]]; then
+  if [[ -n "${GITHUB_BASE_REF:-}" ]]; then
+    base="origin/${GITHUB_BASE_REF}"
+    git rev-parse --verify --quiet "$base" > /dev/null ||
+      git fetch --no-tags origin "${GITHUB_BASE_REF}:refs/remotes/${base}"
+  else
+    base="HEAD~1"
+  fi
+fi
+
+mapfile -t files < <(git diff --name-only --diff-filter=ACMR \
+  "$(git merge-base "$base" HEAD)" HEAD -- '*.h' '*.cc' '*.cpp')
+
+if [[ ${#files[@]} -eq 0 ]]; then
+  echo "check_format: no C++ files changed vs ${base}"
+  exit 0
+fi
+
+echo "check_format: checking ${#files[@]} file(s) changed vs ${base}:"
+printf '  %s\n' "${files[@]}"
+clang-format --dry-run -Werror "${files[@]}"
+echo "check_format: OK"

@@ -6,7 +6,10 @@
 //
 // Tuples use this (see core/tuple.h) so that reclamation of a contribution
 // graph can be routed through an iterative cascade instead of recursive
-// destructor chains.
+// destructor chains — and so that intrusive_unref, not operator delete, owns
+// the release path: at refcount zero the tuple's storage is recycled into
+// the tuple pool (common/tuple_pool.h) on whichever thread dropped the last
+// reference.
 #ifndef GENEALOG_COMMON_INTRUSIVE_PTR_H_
 #define GENEALOG_COMMON_INTRUSIVE_PTR_H_
 
@@ -20,7 +23,8 @@ template <typename T>
 class IntrusivePtr {
  public:
   constexpr IntrusivePtr() noexcept = default;
-  constexpr IntrusivePtr(std::nullptr_t) noexcept {}  // NOLINT(runtime/explicit)
+  // NOLINTNEXTLINE(runtime/explicit)
+  constexpr IntrusivePtr(std::nullptr_t) noexcept {}
 
   // Adopts `p`, incrementing its reference count unless `add_ref` is false
   // (used to take over a reference already owned by the caller).

@@ -21,6 +21,7 @@ std::array<Counters, kMaxInstances>& counters() {
 }
 
 std::atomic<int64_t> g_tuple_count{0};
+std::atomic<int64_t> g_pool_slab_bytes{0};
 
 thread_local int tl_instance = 0;
 
@@ -31,7 +32,8 @@ int CurrentInstance() { return tl_instance; }
 
 void Add(int instance_id, int64_t bytes) {
   Counters& c = counters()[static_cast<size_t>(instance_id)];
-  const int64_t now = c.live.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  const int64_t now =
+      c.live.fetch_add(bytes, std::memory_order_relaxed) + bytes;
   // Lossy peak update is fine: sampling races can only under-report peaks by
   // a few tuples' worth of bytes.
   int64_t prev = c.peak.load(std::memory_order_relaxed);
@@ -68,9 +70,18 @@ void ResetAll() {
   }
 }
 
-int64_t LiveTupleCount() { return g_tuple_count.load(std::memory_order_relaxed); }
+int64_t LiveTupleCount() {
+  return g_tuple_count.load(std::memory_order_relaxed);
+}
 void AddTupleCount(int64_t delta) {
   g_tuple_count.fetch_add(delta, std::memory_order_relaxed);
+}
+
+int64_t PoolSlabBytes() {
+  return g_pool_slab_bytes.load(std::memory_order_relaxed);
+}
+void AddPoolSlabBytes(int64_t bytes) {
+  g_pool_slab_bytes.fetch_add(bytes, std::memory_order_relaxed);
 }
 
 int64_t ReadRssBytes() {
@@ -104,7 +115,8 @@ void MemorySampler::Run() {
     for (int i = 0; i < n_instances_; ++i) {
       const int64_t live = LiveBytes(i);
       sum_[static_cast<size_t>(i)] += live;
-      max_[static_cast<size_t>(i)] = std::max(max_[static_cast<size_t>(i)], live);
+      max_[static_cast<size_t>(i)] =
+          std::max(max_[static_cast<size_t>(i)], live);
       total += live;
     }
     total_sum_ += total;
@@ -130,7 +142,8 @@ MemorySampler::Series MemorySampler::total() const {
   Series s;
   s.samples = samples_;
   if (samples_ > 0) {
-    s.avg_bytes = static_cast<double>(total_sum_) / static_cast<double>(samples_);
+    s.avg_bytes =
+        static_cast<double>(total_sum_) / static_cast<double>(samples_);
     s.max_bytes = total_max_;
   }
   return s;

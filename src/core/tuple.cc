@@ -82,8 +82,12 @@ void intrusive_unref(const Tuple* tc) noexcept {
   if (t->refs_.fetch_sub(1, std::memory_order_acq_rel) != 1) return;
 
   // Iterative cascade: releasing a sink tuple reclaims its whole contribution
-  // graph. Children are detached before deletion so ~Tuple never recurses
-  // through U1/U2/N (an Aggregate N-chain can be arbitrarily long).
+  // graph. Children are detached before destruction so ~Tuple never recurses
+  // through U1/U2/N (an Aggregate N-chain can be arbitrarily long). Storage
+  // is recycled into the tuple pool under the size class stamped at
+  // MakeTuple time — the releasing thread's cache, which keeps cross-thread
+  // release (producer allocates, downstream drops the last ref) a local
+  // operation.
   std::vector<Tuple*> dead;
   dead.push_back(t);
   while (!dead.empty()) {
@@ -96,7 +100,9 @@ void intrusive_unref(const Tuple* tc) noexcept {
     d->next_.store(nullptr, std::memory_order_relaxed);
     mem::Sub(d->owner_instance_, d->accounted_bytes_);
     mem::AddTupleCount(-1);
-    delete d;
+    const uint8_t pool_class = d->pool_class_;
+    d->~Tuple();  // virtual: destroys the most-derived tuple
+    pool::Deallocate(d, pool_class);
     for (Tuple* child : children) {
       if (child != nullptr &&
           child->refs_.fetch_sub(1, std::memory_order_acq_rel) == 1) {

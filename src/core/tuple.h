@@ -15,19 +15,24 @@
 // tuple stays alive exactly as long as some downstream tuple (transitively)
 // references it through U1/U2/N; dropping the last reference reclaims the
 // whole contribution graph via an iterative cascade (never recursive, so
-// arbitrarily long Aggregate N-chains cannot overflow the stack).
+// arbitrarily long Aggregate N-chains cannot overflow the stack). The cascade
+// does not free storage to the OS: blocks recycle into the tuple pool
+// (common/tuple_pool.h) the next MakeTuple draws from.
 #ifndef GENEALOG_CORE_TUPLE_H_
 #define GENEALOG_CORE_TUPLE_H_
 
 #include <atomic>
+#include <cassert>
 #include <cstdint>
 #include <memory>
+#include <new>
 #include <string>
 #include <vector>
 
 #include "common/intrusive_ptr.h"
 #include "common/memory_accounting.h"
 #include "common/serialize.h"
+#include "common/tuple_pool.h"
 
 namespace genealog {
 
@@ -115,6 +120,11 @@ class Tuple {
   void FinishAccounting();
 
   mutable std::atomic<uint32_t> refs_{0};
+  // Size class the object's storage came from (pool::kHeapClass when heap
+  // allocated); stamped by MakeTuple, consumed by the release cascade so the
+  // block is recycled into the pool it was carved from. Lives in the padding
+  // after refs_, so provenance storage stays the paper's constant size.
+  uint8_t pool_class_ = pool::kHeapClass;
   std::atomic<Tuple*> next_{nullptr};
   Tuple* u1_ = nullptr;
   Tuple* u2_ = nullptr;
@@ -124,12 +134,29 @@ class Tuple {
 };
 
 // Creates a tuple attributed to the calling thread's SPE instance. All tuple
-// creation must go through this helper so memory accounting stays exact.
+// creation must go through this helper so memory accounting stays exact and
+// storage comes from the recycling pool (see common/tuple_pool.h); placement
+// construction runs every member initializer, so a recycled block can never
+// leak stale provenance pointers into a new tuple.
 template <typename T, typename... Args>
 IntrusivePtr<T> MakeTuple(Args&&... args) {
-  auto p = IntrusivePtr<T>(new T(std::forward<Args>(args)...));
-  p->FinishAccounting();
-  return p;
+  static_assert(alignof(T) <= pool::kBlockAlign,
+                "over-aligned tuple types need a pool size-class redesign");
+  uint8_t size_class = pool::kHeapClass;
+  void* mem = pool::Allocate(sizeof(T), size_class);
+  T* t;
+  try {
+    t = new (mem) T(std::forward<Args>(args)...);
+  } catch (...) {
+    pool::Deallocate(mem, size_class);
+    throw;
+  }
+  // The release cascade recycles through a Tuple*, so the base subobject must
+  // sit at the block start (single-inheritance tuples always satisfy this).
+  assert(static_cast<void*>(static_cast<Tuple*>(t)) == mem);
+  t->pool_class_ = size_class;
+  t->FinishAccounting();
+  return IntrusivePtr<T>(t);
 }
 
 inline void intrusive_ref(const Tuple* t) noexcept {

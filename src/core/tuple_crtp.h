@@ -2,7 +2,8 @@
 // (type tag, clone, static size) for concrete schema types. A schema type is
 // declared as:
 //
-//   struct PositionReport final : TupleCrtp<PositionReport, tags::kPositionReport> {
+//   struct PositionReport final
+//       : TupleCrtp<PositionReport, tags::kPositionReport> {
 //     PositionReport(int64_t ts, int64_t car_id, double speed, int64_t pos);
 //     int64_t car_id; double speed; int64_t pos;
 //     void SerializePayload(ByteWriter&) const override;
@@ -12,6 +13,8 @@
 //   GENEALOG_REGISTER_TUPLE(PositionReport);
 #ifndef GENEALOG_CORE_TUPLE_CRTP_H_
 #define GENEALOG_CORE_TUPLE_CRTP_H_
+
+#include <type_traits>
 
 #include "core/tuple.h"
 #include "core/type_registry.h"
@@ -30,6 +33,11 @@ class TupleCrtp : public Tuple {
   size_t SelfBytes() const final { return sizeof(Derived); }
 
   TuplePtr CloneTuple() const final {
+    // Schema types must be final: clone and the pool both size storage as
+    // sizeof(Derived), so an object more derived than Derived would be
+    // sliced into a too-small size class.
+    static_assert(std::is_final_v<Derived>,
+                  "tuple schema types must be declared final");
     return MakeTuple<Derived>(static_cast<const Derived&>(*this));
   }
 

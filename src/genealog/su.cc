@@ -38,6 +38,11 @@ void SuNode::OnTuple(TuplePtr t) {
     graph_size_.Add(static_cast<double>(result_.size()));
   }
 
+  // The unfolded tuples of one sink tuple are created straight into a single
+  // outgoing chunk — they share a timestamp, so no watermark can separate
+  // them, and the pool hands their storage back from the previous graph's
+  // reclamation.
+  StreamBatch chunk;
   for (Tuple* o : result_) {
     auto u = MakeTuple<UnfoldedTuple>(t->ts);
     u->stimulus = t->stimulus;
@@ -49,8 +54,9 @@ void SuNode::OnTuple(TuplePtr t) {
     u->origin_id = o->id;
     u->origin_ts = o->ts;
     u->origin_kind = o->kind;
-    if (!EmitTupleTo(1, std::move(u))) return;
+    chunk.tuples.push_back(std::move(u));
   }
+  EmitBatchTo(1, std::move(chunk));
 }
 
 ComposedSu BuildComposedSu(Topology& topology, const std::string& name) {

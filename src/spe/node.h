@@ -174,7 +174,8 @@ class Node {
   // corrupt the uid bits and alias ids across nodes, so debug builds assert.
   uint64_t NextTupleId() {
     const uint64_t seq = next_seq_++;
-    assert(seq <= kTupleSeqMask && "tuple sequence overflowed its 40-bit field");
+    assert(seq <= kTupleSeqMask &&
+           "tuple sequence overflowed its 40-bit field");
     return (uid_ << kTupleSeqBits) | (seq & kTupleSeqMask);
   }
 
@@ -182,6 +183,13 @@ class Node {
   // which the Run loops treat as a request to stop.
   bool EmitTupleTo(size_t out_idx, TuplePtr t) {
     return outputs_[out_idx].PushTuple(std::move(t));
+  }
+  // Hands a chunk this node created (not a forwarded input batch — watermark
+  // de-duplication is the caller's business) to one output. Creating
+  // operators use this to clone/build straight into the outgoing chunk
+  // instead of re-pushing tuple by tuple.
+  bool EmitBatchTo(size_t out_idx, StreamBatch&& batch) {
+    return outputs_[out_idx].ForwardBatch(std::move(batch));
   }
   bool EmitTupleAll(const TuplePtr& t);
   // Monotonic watermark broadcast: non-increasing or infinite values are

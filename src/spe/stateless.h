@@ -45,6 +45,27 @@ class MapNode final : public SingleInputNode {
       : SingleInputNode(std::move(name)), fn_(std::move(fn)) {}
 
  protected:
+  // Whole-chunk path: outputs are created straight into one outgoing chunk
+  // (allocated from the tuple pool) and handed over in a single
+  // ForwardBatchAll, instead of trickling through per-tuple endpoint pushes.
+  void OnBatch(StreamBatch& batch) override {
+    StreamBatch out_chunk;
+    out_chunk.watermark = batch.watermark;
+    for (TuplePtr& t : batch.tuples) {
+      collector_.outs_.clear();
+      fn_(static_cast<const In&>(*t), collector_);
+      for (auto& out : collector_.outs_) {
+        out->ts = t->ts;
+        out->stimulus = t->stimulus;
+        out->id = NextTupleId();
+        InstrumentUnary(mode(), *out, TupleKind::kMap, *t);
+        out_chunk.tuples.push_back(std::move(out));
+      }
+    }
+    collector_.outs_.clear();
+    ForwardBatchAll(std::move(out_chunk));
+  }
+
   void OnTuple(TuplePtr t) override {
     const auto& in = static_cast<const In&>(*t);
     collector_.outs_.clear();
@@ -110,6 +131,24 @@ class MultiplexNode final : public SingleInputNode {
   explicit MultiplexNode(std::string name) : SingleInputNode(std::move(name)) {}
 
  protected:
+  // Whole-chunk path: each output gets one chunk of clones built in place
+  // (the clones come from the tuple pool, which in steady state hands back
+  // the blocks freed by the previous chunk's reclamation). The watermark is
+  // broadcast once, after the chunks, preserving batch order.
+  void OnBatch(StreamBatch& batch) override {
+    for (size_t i = 0; i < num_outputs(); ++i) {
+      StreamBatch out_chunk;
+      for (const TuplePtr& t : batch.tuples) {
+        TuplePtr copy = t->CloneTuple();
+        copy->id = t->id;
+        InstrumentUnary(mode(), *copy, TupleKind::kMultiplex, *t);
+        out_chunk.tuples.push_back(std::move(copy));
+      }
+      if (!EmitBatchTo(i, std::move(out_chunk))) return;
+    }
+    if (batch.has_watermark()) ForwardWatermark(batch.watermark);
+  }
+
   void OnTuple(TuplePtr t) override {
     for (size_t i = 0; i < num_outputs(); ++i) {
       TuplePtr copy = t->CloneTuple();
