@@ -25,7 +25,9 @@ BenchEnv ReadBenchEnv() {
   if (const char* batch = std::getenv("GENEALOG_BATCH_SIZE")) {
     env.batch_size = static_cast<size_t>(std::max(1, std::atoi(batch)));
   }
-  env.tuple_pool = pool::Enabled();  // GENEALOG_TUPLE_POOL
+  env.tuple_pool = pool::Enabled();          // GENEALOG_TUPLE_POOL
+  env.spsc_ring = DefaultSpscEdges();        // GENEALOG_SPSC_RING
+  env.adaptive_batch = DefaultAdaptiveBatch();  // GENEALOG_ADAPTIVE_BATCH
   if (const char* dir = std::getenv("GENEALOG_BENCH_JSON_DIR")) {
     env.json_dir = dir;
   }
@@ -182,6 +184,10 @@ const char* VariantName(ProvenanceMode mode) { return ToString(mode); }
 
 void WritePoolStatsFields(std::FILE* f) {
   const pool::Stats s = pool::GetStats();
+  std::fprintf(f,
+               "\"spsc_ring\": %s,\n  \"adaptive_batch\": %s,\n  ",
+               DefaultSpscEdges() ? "true" : "false",
+               DefaultAdaptiveBatch() ? "true" : "false");
   std::fprintf(f,
                "\"tuple_pool\": %s,\n"
                "  \"pool\": {\"slabs\": %llu, \"slab_bytes\": %llu, "

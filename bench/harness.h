@@ -12,6 +12,12 @@
 //                           the unbatched data plane)
 //   GENEALOG_TUPLE_POOL     0 disables the recycling tuple pool (heap
 //                           allocation fallback; default on)
+//   GENEALOG_SPSC_RING      0 pins every edge to the mutex BatchQueue
+//                           (default: lock-free SPSC ring on single-producer
+//                           edges)
+//   GENEALOG_ADAPTIVE_BATCH 0 pins the static flush threshold (default:
+//                           endpoints steer it within [1, batch] from
+//                           consumer queue depth)
 //   GENEALOG_BENCH_JSON_DIR directory for machine-readable BENCH_*.json
 //                           result files (default ".", empty disables)
 #ifndef GENEALOG_BENCH_HARNESS_H_
@@ -32,6 +38,8 @@ struct BenchEnv {
   int replays = 12;
   size_t batch_size = 1;
   bool tuple_pool = true;
+  bool spsc_ring = true;
+  bool adaptive_batch = true;
   std::string json_dir = ".";
 };
 BenchEnv ReadBenchEnv();
@@ -118,10 +126,14 @@ struct BenchJsonRow {
 // Per-field mean over repeated cells (empty input yields zeros).
 CellMetrics MeanCells(const std::vector<CellMetrics>& cells);
 
-// Writes the shared `"tuple_pool": ..., "pool": {...}` JSON fragment (pool
-// enablement + slab/recycle stats at call time) used by every BENCH_*.json
-// writer, so the artifact series stays field-for-field uniform. Emits no
-// leading/trailing newline; the caller owns the surrounding object.
+// Writes the shared `"spsc_ring": ..., "adaptive_batch": ...,
+// "tuple_pool": ..., "pool": {...}` JSON fragment used by every BENCH_*.json
+// writer, so the artifact series stays field-for-field uniform. The knob
+// fields record the *process-wide env defaults*; cells that override them
+// programmatically (bench_micro_genealog's in-binary batch x ring x adaptive
+// sweep) carry their actual configuration in the per-row benchmark name
+// instead. Emits no leading/trailing newline; the caller owns the
+// surrounding object.
 void WritePoolStatsFields(std::FILE* f);
 
 // Writes `<json_dir>/BENCH_<bench>.json` recording the environment (including

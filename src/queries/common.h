@@ -14,6 +14,7 @@
 #define GENEALOG_QUERIES_COMMON_H_
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -38,6 +39,14 @@ struct QueryBuildOptions {
   // Stream batch size for every edge of every instance (1 = unbatched
   // item-at-a-time handover, the seed data plane).
   size_t batch_size = 1;
+  // Edge implementation: lock-free SPSC ring on single-producer edges when
+  // true, mutex BatchQueue everywhere when false. Unset follows the process
+  // default (on unless GENEALOG_SPSC_RING=0).
+  std::optional<bool> spsc_edges;
+  // Adaptive batch sizing (flush threshold steered within [1, batch_size]
+  // by consumer queue depth). Unset follows the process default (on unless
+  // GENEALOG_ADAPTIVE_BATCH=0).
+  std::optional<bool> adaptive_batch;
   // Transport for distributed deployments: TCP loopback when true, in-memory
   // serializing channels otherwise.
   bool use_tcp = false;

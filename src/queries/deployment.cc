@@ -22,12 +22,24 @@ BaselineResolverOptions MakeResolverOptions(const QuerySpec& spec,
   return bro;
 }
 
+// Stamps the data-plane knobs (batch size, edge kind, adaptive batching) on
+// a topology; unset optionals keep the process-wide env defaults.
+void ApplyDataPlane(Topology& topo, const QueryBuildOptions& options) {
+  topo.set_default_batch_size(options.batch_size);
+  if (options.spsc_edges.has_value()) {
+    topo.set_spsc_edges(*options.spsc_edges);
+  }
+  if (options.adaptive_batch.has_value()) {
+    topo.set_adaptive_batch(*options.adaptive_batch);
+  }
+}
+
 // Intra-process deployment: everything in SPE instance 1 (Figures 1/9A/10A/11A
 // plus Theorem 5.3's SU-before-Sink for GL).
 void AssembleIntra(const QuerySpec& spec, BuiltQuery& q) {
   auto topology =
       std::make_unique<Topology>(/*instance_id=*/1, q.options.mode);
-  topology->set_default_batch_size(q.options.batch_size);
+  ApplyDataPlane(*topology, q.options);
   Topology& topo = *topology;
 
   SourceNodeBase* source = spec.make_source(topo, q.options.source);
@@ -85,8 +97,8 @@ void AssembleIntra(const QuerySpec& spec, BuiltQuery& q) {
 void AssembleDistributed(const QuerySpec& spec, BuiltQuery& q) {
   auto topo1 = std::make_unique<Topology>(1, q.options.mode);
   auto topo2 = std::make_unique<Topology>(2, q.options.mode);
-  topo1->set_default_batch_size(q.options.batch_size);
-  topo2->set_default_batch_size(q.options.batch_size);
+  ApplyDataPlane(*topo1, q.options);
+  ApplyDataPlane(*topo2, q.options);
   std::unique_ptr<Topology> topo3;
 
   SourceNodeBase* source = spec.make_source(*topo1, q.options.source);
@@ -125,7 +137,7 @@ void AssembleDistributed(const QuerySpec& spec, BuiltQuery& q) {
     }
     case ProvenanceMode::kGenealog: {
       topo3 = std::make_unique<Topology>(3, q.options.mode);
-      topo3->set_default_batch_size(q.options.batch_size);
+      ApplyDataPlane(*topo3, q.options);
       auto* psink = topo3->Add<ProvenanceSinkNode>(
           "K2", MakeProvenanceSinkOptions(spec, q.options));
       q.provenance_sink = psink;
@@ -165,7 +177,7 @@ void AssembleDistributed(const QuerySpec& spec, BuiltQuery& q) {
     }
     case ProvenanceMode::kBaseline: {
       topo3 = std::make_unique<Topology>(3, q.options.mode);
-      topo3->set_default_batch_size(q.options.batch_size);
+      ApplyDataPlane(*topo3, q.options);
       auto* resolver = topo3->Add<BaselineResolverNode>(
           "bl.resolver", MakeResolverOptions(spec, q.options));
       q.baseline_resolver = resolver;

@@ -22,6 +22,7 @@
 #define GENEALOG_SPE_BATCH_QUEUE_H_
 
 #include <algorithm>
+#include <atomic>
 #include <condition_variable>
 #include <deque>
 #include <mutex>
@@ -67,7 +68,7 @@ class BatchQueue {
         return true;
       }
     }
-    weight_ += batch.weight();
+    SetWeight(weight_ + batch.weight());
     items_.push_back(std::move(batch));
     NotifyConsumer(lock);
     return true;
@@ -80,7 +81,7 @@ class BatchQueue {
     if (items_.empty()) return std::nullopt;
     StreamBatch batch = std::move(items_.front());
     items_.pop_front();
-    weight_ -= batch.weight();
+    SetWeight(weight_ - batch.weight());
     NotifyProducers(lock);
     return batch;
   }
@@ -95,7 +96,7 @@ class BatchQueue {
       out.push_back(std::move(items_.front()));
       items_.pop_front();
     }
-    weight_ = 0;
+    SetWeight(0);
     NotifyProducers(lock);
     return true;
   }
@@ -106,7 +107,7 @@ class BatchQueue {
     if (items_.empty()) return std::nullopt;
     StreamBatch batch = std::move(items_.front());
     items_.pop_front();
-    weight_ -= batch.weight();
+    SetWeight(weight_ - batch.weight());
     NotifyProducers(lock);
     return batch;
   }
@@ -131,6 +132,12 @@ class BatchQueue {
     std::lock_guard lock(mu_);
     return weight_;
   }
+  // Lock-free depth sample (a relaxed mirror of weight_, maintained under
+  // the lock) so adaptive batch sizing can probe queue depth per flush
+  // without a lock round-trip.
+  size_t ApproxWeight() const {
+    return approx_weight_.load(std::memory_order_relaxed);
+  }
 
   size_t capacity() const { return capacity_; }
 
@@ -138,6 +145,13 @@ class BatchQueue {
   // Merges `batch` into the tail if stream order and the caps allow it.
   // Caller holds the lock.
   bool TryCoalesce(StreamBatch& batch, size_t max_coalesce) {
+    // Contract: a Push that observes the abort — in particular one that was
+    // parked in the producer wait when Abort fired — must fail without
+    // mutating the queue. The guard lives here, not only at the call sites,
+    // so the no-coalesce-into-a-dead-tail rule holds structurally instead of
+    // by check ordering in Push (the queue_equivalence_test drives abort
+    // schedules through both this queue and SpscRing to pin it down).
+    if (aborted_) return false;
     if (items_.empty()) return false;
     StreamBatch& tail = items_.back();
     if (tail.port != batch.port || tail.flush) return false;
@@ -147,7 +161,7 @@ class BatchQueue {
       const size_t new_weight = tail.tuples.size() + batch.tuples.size();
       if (weight_ - old_weight + new_weight > capacity_) return false;
       tail.tuples.AppendMoved(batch.tuples);
-      weight_ += new_weight - old_weight;
+      SetWeight(weight_ + new_weight - old_weight);
     }
     // Deferring the tail's watermark past the appended tuples is safe: those
     // tuples already satisfy ts >= watermark (sorted-stream contract), see
@@ -177,12 +191,19 @@ class BatchQueue {
     if (wake) not_full_.notify_all();
   }
 
+  // Caller holds the lock; keeps the lock-free mirror in sync.
+  void SetWeight(size_t w) {
+    weight_ = w;
+    approx_weight_.store(w, std::memory_order_relaxed);
+  }
+
   const size_t capacity_;
   mutable std::mutex mu_;
   std::condition_variable not_full_;
   std::condition_variable not_empty_;
   std::deque<StreamBatch> items_;
   size_t weight_ = 0;
+  std::atomic<size_t> approx_weight_{0};
   size_t waiting_producers_ = 0;
   size_t waiting_consumers_ = 0;
   bool aborted_ = false;

@@ -20,28 +20,148 @@
 #ifndef GENEALOG_SPE_NODE_H_
 #define GENEALOG_SPE_NODE_H_
 
+#include <algorithm>
 #include <atomic>
 #include <cassert>
 #include <cstdint>
 #include <deque>
 #include <limits>
 #include <memory>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "core/instrumentation.h"
 #include "spe/batch_queue.h"
+#include "spe/spsc_ring.h"
 #include "spe/stream_batch.h"
 
 namespace genealog {
-
-using StreamQueue = BatchQueue;
 
 inline constexpr size_t kDefaultQueueCapacity = 4096;
 inline constexpr size_t kDefaultBatchSize = 1;
 inline constexpr int64_t kWatermarkMin = std::numeric_limits<int64_t>::min();
 inline constexpr int64_t kWatermarkMax = std::numeric_limits<int64_t>::max();
+
+// Process-wide defaults for the data-plane knobs, read from the environment
+// once. GENEALOG_SPSC_RING=0 pins every edge to the mutex BatchQueue;
+// GENEALOG_ADAPTIVE_BATCH=0 pins the static (seed) flush threshold. Both
+// default on; Topology setters override per topology.
+bool DefaultSpscEdges();
+bool DefaultAdaptiveBatch();
+
+// The physical stream between two operator threads. A StreamEdge owns one of
+// two interchangeable queue implementations and picks between them at
+// topology-build time:
+//
+//  * SpscRing — lock-free, for the dominant edge shape where every input
+//    port of the consumer is fed by the same producer node (one producer
+//    thread, one consumer thread);
+//  * BatchQueue — mutex + condvar, for edges with producer fan-in (parallel
+//    partitions merging into a Union, Multiplex taps, MU upstream ports fed
+//    by several Receive nodes) and for directly-constructed queues that
+//    never declare their producers.
+//
+// Topology::Connect calls RegisterProducer once per wired edge; the first
+// distinct producer upgrades the edge to the ring (unless SPSC is disabled),
+// a second distinct producer downgrades it back to the mutex queue. Both
+// swaps happen while the topology is still being built — queues are empty
+// and no node threads exist yet — so the implementation handoff is trivially
+// safe. The observable contract (coalescing rules, weight-based capacity,
+// blocking and abort semantics) is identical across implementations; the
+// queue_equivalence_test drives both through identical schedules to keep it
+// that way.
+class StreamEdge {
+ public:
+  enum class Kind : uint8_t { kMutex, kSpsc };
+
+  explicit StreamEdge(size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity),
+        mutex_(std::make_unique<BatchQueue>(capacity_)) {}
+
+  StreamEdge(const StreamEdge&) = delete;
+  StreamEdge& operator=(const StreamEdge&) = delete;
+
+  // --- build-time wiring (single-threaded, before any Push/Pop) ------------
+  // Allows/forbids the SPSC upgrade for this edge. Topology::Connect stamps
+  // the topology's policy before registering the producer.
+  void set_allow_spsc(bool allow) {
+    allow_spsc_ = allow;
+    ReselectImpl();
+  }
+
+  // Records the node producing into this edge. Every distinct producer is a
+  // distinct thread at run time, so fan-in decides the implementation.
+  void RegisterProducer(const void* producer) {
+    if (producer != nullptr &&
+        std::find(producers_.begin(), producers_.end(), producer) ==
+            producers_.end()) {
+      producers_.push_back(producer);
+    }
+    ReselectImpl();
+  }
+
+  Kind kind() const { return ring_ != nullptr ? Kind::kSpsc : Kind::kMutex; }
+
+  // --- data plane (forwarded to the selected implementation) ---------------
+  bool Push(StreamBatch batch, size_t max_coalesce) {
+    if (ring_ != nullptr) return ring_->Push(std::move(batch), max_coalesce);
+    return mutex_->Push(std::move(batch), max_coalesce);
+  }
+  std::optional<StreamBatch> Pop() {
+    return ring_ != nullptr ? ring_->Pop() : mutex_->Pop();
+  }
+  bool PopMany(std::vector<StreamBatch>& out) {
+    return ring_ != nullptr ? ring_->PopMany(out) : mutex_->PopMany(out);
+  }
+  std::optional<StreamBatch> TryPop() {
+    return ring_ != nullptr ? ring_->TryPop() : mutex_->TryPop();
+  }
+  void Abort() {
+    if (ring_ != nullptr) {
+      ring_->Abort();
+    } else {
+      mutex_->Abort();
+    }
+  }
+  size_t Size() const {
+    return ring_ != nullptr ? ring_->Size() : mutex_->Size();
+  }
+  size_t Weight() const {
+    return ring_ != nullptr ? ring_->Weight() : mutex_->Weight();
+  }
+  size_t ApproxWeight() const {
+    return ring_ != nullptr ? ring_->ApproxWeight() : mutex_->ApproxWeight();
+  }
+  size_t capacity() const { return capacity_; }
+
+ private:
+  void ReselectImpl() {
+    const bool want_ring = allow_spsc_ && producers_.size() == 1;
+    if (want_ring == (ring_ != nullptr)) return;
+    // Implementation swaps are legal only while the edge is idle (topology
+    // build time); anything queued would be dropped.
+    assert(Size() == 0 && "StreamEdge implementation swap on a live queue");
+    if (want_ring) {
+      mutex_.reset();
+      ring_ = std::make_unique<SpscRing>(capacity_);
+    } else {
+      ring_.reset();
+      mutex_ = std::make_unique<BatchQueue>(capacity_);
+    }
+  }
+
+  const size_t capacity_;
+  bool allow_spsc_ = false;
+  std::vector<const void*> producers_;
+  // Exactly one is non-null; mutex_ is the safe default for queues that are
+  // used without declaring producers (tests, ad-hoc harnesses).
+  std::unique_ptr<BatchQueue> mutex_;
+  std::unique_ptr<SpscRing> ring_;
+};
+
+using StreamQueue = StreamEdge;
 
 // A producer-side handle to one logical input port of a downstream node.
 //
@@ -55,6 +175,20 @@ inline constexpr int64_t kWatermarkMax = std::numeric_limits<int64_t>::max();
 // The queue additionally coalesces consecutive small batches of the same
 // port up to the batch size (see BatchQueue), so chunks form wherever the
 // consumer is the bottleneck.
+//
+// Adaptive batch sizing: with `set_adaptive(true)` the endpoint treats the
+// edge's batch size as a *ceiling* rather than a fixed flush threshold. The
+// effective threshold starts at 1 (seed-level latency) and is steered by the
+// consumer-side queue depth sampled after each handoff: a backlog of at
+// least two thresholds' worth of tuples doubles it (the consumer is behind —
+// amortize), an empty queue halves it (the consumer drains instantly —
+// favor latency). The threshold only moves within [1, batch_size], so
+// adaptive batching at batch size 1 is exactly the static engine, and the
+// queue-side coalescing cap stays at the full batch size either way: under
+// load, slivers flushed by a small threshold still glue together toward the
+// knob at the queue tail. Batch boundaries are semantically invisible (the
+// determinism suites pin this), so the feedback loop affects latency and
+// throughput only.
 class Endpoint {
  public:
   Endpoint() = default;
@@ -69,13 +203,26 @@ class Endpoint {
 
   uint16_t port() const { return port_; }
   size_t batch_size() const { return batch_size_; }
-  void set_batch_size(size_t n) { batch_size_ = n == 0 ? 1 : n; }
+  void set_batch_size(size_t n) {
+    batch_size_ = n == 0 ? 1 : n;
+    effective_batch_ = adaptive_ ? std::min(effective_batch_, batch_size_)
+                                 : batch_size_;
+  }
+
+  bool adaptive() const { return adaptive_; }
+  void set_adaptive(bool adaptive) {
+    adaptive_ = adaptive;
+    effective_batch_ = adaptive_ ? 1 : batch_size_;
+  }
+
+  // The current flush threshold (== batch_size unless adaptive).
+  size_t effective_batch_size() const { return effective_batch_; }
 
   // All return false when the downstream queue was aborted, which the Run
   // loops treat as a request to stop.
   bool PushTuple(TuplePtr t) {
     pending_.tuples.push_back(std::move(t));
-    if (pending_.tuples.size() >= batch_size_) return Flush();
+    if (pending_.tuples.size() >= effective_batch_) return Flush();
     return true;
   }
 
@@ -97,11 +244,11 @@ class Endpoint {
     if (pending_.tuples.empty()) {
       batch.port = port_;
       batch.flush = batch.flush || pending_.flush;
-      if (batch.tuples.size() >= batch_size_ || batch.has_watermark() ||
+      if (batch.tuples.size() >= effective_batch_ || batch.has_watermark() ||
           batch.flush) {
         pending_ = StreamBatch{};
         pending_.port = port_;
-        return queue_->Push(std::move(batch), batch_size_);
+        return Handoff(std::move(batch));
       }
       pending_ = std::move(batch);
       return true;
@@ -109,8 +256,8 @@ class Endpoint {
     pending_.tuples.AppendMoved(batch.tuples);
     pending_.watermark = std::max(pending_.watermark, batch.watermark);
     pending_.flush = pending_.flush || batch.flush;
-    if (pending_.tuples.size() >= batch_size_ || pending_.has_watermark() ||
-        pending_.flush) {
+    if (pending_.tuples.size() >= effective_batch_ ||
+        pending_.has_watermark() || pending_.flush) {
       return Flush();
     }
     return true;
@@ -122,13 +269,33 @@ class Endpoint {
     StreamBatch batch = std::move(pending_);
     pending_ = StreamBatch{};
     pending_.port = port_;
-    return queue_->Push(std::move(batch), batch_size_);
+    return Handoff(std::move(batch));
   }
 
  private:
+  // One queue handover. The coalescing cap stays at the full batch size so
+  // queue-side chunk-building is unaffected by the adaptive threshold; the
+  // depth sample afterwards steers the next flush decision.
+  bool Handoff(StreamBatch&& batch) {
+    const bool ok = queue_->Push(std::move(batch), batch_size_);
+    if (adaptive_ && ok) Adapt();
+    return ok;
+  }
+
+  void Adapt() {
+    const size_t depth = queue_->ApproxWeight();
+    if (depth >= 2 * effective_batch_) {
+      effective_batch_ = std::min(effective_batch_ * 2, batch_size_);
+    } else if (depth == 0 && effective_batch_ > 1) {
+      effective_batch_ /= 2;
+    }
+  }
+
   StreamQueue* queue_ = nullptr;
   uint16_t port_ = 0;
   size_t batch_size_ = 1;
+  size_t effective_batch_ = 1;
+  bool adaptive_ = false;
   StreamBatch pending_;
 };
 

@@ -1,0 +1,401 @@
+// Bounded lock-free single-producer/single-consumer ring of StreamBatches.
+//
+// The dominant edge shape in every query topology is one producer node
+// feeding one consumer node (chains of stateless operators, the SU/sink
+// spine). On those edges the mutex BatchQueue pays a lock round-trip per
+// handover even though only two threads ever touch the queue. This ring
+// replaces that with a classic Lamport queue hardened for the BatchQueue
+// contract:
+//
+//  * Cache-line-separated head/tail: the producer owns `tail_`, the consumer
+//    owns `head_`; each side reads the other's index with acquire loads, so
+//    the fast path is a handful of plain atomic ops and zero syscalls.
+//  * Single-writer weight accounting: the bound counts queued tuples
+//    (control-only batches weigh 1, like BatchQueue), tracked as
+//    producer-owned `pushed_weight_` minus consumer-owned `popped_weight_`.
+//    Each side only ever *stores* its own counter — no shared read-modify-
+//    write bounces between the threads. An oversized batch is admitted once
+//    the ring is empty.
+//  * Producer-side tail coalescing: the producer may merge a new batch into
+//    the last slot it published, as long as the consumer has not consumed it
+//    yet. A per-slot state byte arbitrates: the producer CASes the slot from
+//    kReady to kMerging (excluding the consumer), mutates, and republishes;
+//    the consumer CASes kReady to kConsuming (excluding the producer). Only
+//    the newest slot can ever be merge-contended, so PopMany drains older
+//    slots without CAS and settles its accounting (weight, head, producer
+//    wake) once per burst, mirroring BatchQueue's one-lock drain. The merge
+//    rules (same port, unflushed tail, batch-size and weight caps, control
+//    always merges) are byte-for-byte those of BatchQueue::TryCoalesce — the
+//    queue_equivalence_test drives both implementations through identical
+//    schedules to pin that down.
+//  * Waiter-free fast path, condvar slow path: a side that must block
+//    publishes a parked flag, issues a seq_cst fence, re-checks, and only
+//    then sleeps on the shared condvar (an eventcount). The busy side issues
+//    the matching fence after publishing and takes the mutex only when the
+//    parked flag is visible — the Dekker-style fence pair guarantees that
+//    either the sleeper's re-check sees the publication or the publisher
+//    sees the parked flag, so no wakeup is lost and the uncontended path
+//    never touches the mutex.
+//  * Abort from any thread: sets the flag, wakes both sides. Push fails
+//    without mutating the ring (no coalescing into a dead tail); Pop drains
+//    the remaining batches, then reports end — the BatchQueue teardown
+//    contract.
+//
+// Single-producer/single-consumer is a *requirement*, not an optimization
+// hint: Push may only be called from one thread at a time, Pop/PopMany/
+// TryPop from one (possibly different) thread. Topology::Connect enforces
+// this by selecting the ring only for edges whose every input port is fed by
+// the same producer node (see StreamEdge in spe/node.h).
+#ifndef GENEALOG_SPE_SPSC_RING_H_
+#define GENEALOG_SPE_SPSC_RING_H_
+
+#include <atomic>
+#include <cassert>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "spe/stream_batch.h"
+
+namespace genealog {
+
+class SpscRing {
+ public:
+  // `capacity` bounds the queued weight (tuples; control-only batches count
+  // 1), exactly like BatchQueue. The slot count is the smallest power of two
+  // covering min(capacity, kMaxSlots); since every batch weighs at least 1,
+  // slots can only run out before weight when capacity exceeds kMaxSlots, in
+  // which case the producer blocks on a free slot the same way it blocks on
+  // weight.
+  explicit SpscRing(size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity),
+        mask_(SlotCount(capacity_) - 1),
+        slots_(new Slot[mask_ + 1]) {}
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  // Pushes one batch, coalescing into the producer's last published slot when
+  // possible. Producer thread only. Blocks while the weight bound (or slot
+  // count) is exceeded; returns false if the ring was aborted — without
+  // having mutated any queued batch.
+  bool Push(StreamBatch batch, size_t max_coalesce) {
+    if (aborted_.load(std::memory_order_acquire)) return false;
+    if (TryCoalesceTail(batch, max_coalesce)) {
+      WakeConsumer();
+      return true;
+    }
+    const size_t w = batch.weight();
+    if (!CanAdmit(w)) {
+      if (!WaitForRoom(w)) return false;  // aborted while parked
+      // The tail may still be unconsumed; retry the merge like BatchQueue's
+      // post-wait coalesce retry.
+      if (TryCoalesceTail(batch, max_coalesce)) {
+        WakeConsumer();
+        return true;
+      }
+    }
+    const uint64_t tail = tail_.load(std::memory_order_relaxed);
+    Slot& slot = slots_[tail & mask_];
+    last_tuple_count_ = batch.tuples.size();
+    slot.batch = std::move(batch);
+    // Producer-owned counter: a plain store the consumer reads with acquire.
+    pushed_weight_.store(pushed_weight_.load(std::memory_order_relaxed) + w,
+                         std::memory_order_release);
+    slot.state.store(kReady, std::memory_order_release);
+    tail_.store(tail + 1, std::memory_order_release);
+    WakeConsumer();
+    return true;
+  }
+
+  // Blocks while empty. Consumer thread only. Returns nullopt once aborted
+  // and drained.
+  std::optional<StreamBatch> Pop() {
+    if (!WaitNotEmpty()) return std::nullopt;
+    const uint64_t head = head_.load(std::memory_order_relaxed);
+    StreamBatch batch = TakeSlot(head, /*may_merge=*/true);
+    FinishPop(head + 1, batch.weight());
+    return batch;
+  }
+
+  // Drains every queued batch into `out`, blocking while empty. Consumer
+  // thread only. Returns false once aborted and drained. The burst settles
+  // weight, head and the producer wake once, and only the newest slot (the
+  // producer's live merge candidate) needs CAS arbitration.
+  bool PopMany(std::vector<StreamBatch>& out) {
+    if (!WaitNotEmpty()) return false;
+    const uint64_t head = head_.load(std::memory_order_relaxed);
+    const uint64_t tail = tail_.load(std::memory_order_acquire);
+    size_t drained = 0;
+    for (uint64_t i = head; i != tail; ++i) {
+      out.push_back(TakeSlot(i, /*may_merge=*/i + 1 == tail));
+      drained += out.back().weight();
+    }
+    FinishPop(tail, drained);
+    return true;
+  }
+
+  // Non-blocking pop. Consumer thread only.
+  std::optional<StreamBatch> TryPop() {
+    if (Empty()) return std::nullopt;
+    const uint64_t head = head_.load(std::memory_order_relaxed);
+    StreamBatch batch = TakeSlot(head, /*may_merge=*/true);
+    FinishPop(head + 1, batch.weight());
+    return batch;
+  }
+
+  // Wakes both sides; subsequent Push fails, Pop drains remaining batches
+  // then reports end. Callable from any thread.
+  void Abort() {
+    aborted_.store(true, std::memory_order_seq_cst);
+    {
+      // The empty critical section fences against a side that has re-checked
+      // its predicate but not yet gone to sleep (see WaitForRoom).
+      std::lock_guard<std::mutex> lock(park_mu_);
+    }
+    park_cv_.notify_all();
+  }
+
+  // Queued batches / queued weight. Racy snapshots, exact when quiescent.
+  // The consumer-owned counters are loaded first so a concurrent pop between
+  // the loads can only make the count conservative (never wrap below zero).
+  size_t Size() const {
+    const uint64_t head = head_.load(std::memory_order_acquire);
+    const uint64_t tail = tail_.load(std::memory_order_acquire);
+    return static_cast<size_t>(tail - head);
+  }
+  size_t Weight() const {
+    const size_t popped = popped_weight_.load(std::memory_order_acquire);
+    const size_t pushed = pushed_weight_.load(std::memory_order_acquire);
+    return pushed - popped;
+  }
+  // Lock-free depth sample for adaptive batch sizing (same value as Weight;
+  // named for parity with BatchQueue, whose exact Weight() takes the lock).
+  size_t ApproxWeight() const {
+    const size_t popped = popped_weight_.load(std::memory_order_relaxed);
+    const size_t pushed = pushed_weight_.load(std::memory_order_relaxed);
+    return pushed - popped;
+  }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  // Slot lifecycle: kEmpty -> (producer writes) kReady -> (consumer claims)
+  // kConsuming -> kEmpty. The producer may briefly take a kReady slot to
+  // kMerging and back while it appends to the tail batch.
+  enum : uint8_t { kEmpty = 0, kReady = 1, kMerging = 2, kConsuming = 3 };
+
+  struct Slot {
+    StreamBatch batch;
+    std::atomic<uint8_t> state{kEmpty};
+  };
+
+  // Bounds the slab: a ring never needs more slots than its weight capacity
+  // (every batch weighs >= 1), and past 1024 slots the producer would block
+  // on weight long before slots anyway.
+  static constexpr size_t kMaxSlots = 1024;
+
+  static size_t SlotCount(size_t capacity) {
+    size_t want = capacity < kMaxSlots ? capacity : kMaxSlots;
+    size_t n = 1;
+    while (n < want) n <<= 1;
+    return n;
+  }
+
+  bool Empty() const {
+    return head_.load(std::memory_order_relaxed) ==
+           tail_.load(std::memory_order_acquire);
+  }
+
+  // Producer-side view of the queued weight: its own counter (exact) minus
+  // the consumer's (stale reads only overestimate the backlog — safe).
+  size_t WeightFromProducer() const {
+    return pushed_weight_.load(std::memory_order_relaxed) -
+           popped_weight_.load(std::memory_order_acquire);
+  }
+
+  // Producer-side admission: room for weight `w`, or the ring is empty (the
+  // oversized-batch rule), and a free slot exists.
+  bool CanAdmit(size_t w) const {
+    const uint64_t tail = tail_.load(std::memory_order_relaxed);
+    const uint64_t head = head_.load(std::memory_order_acquire);
+    if (tail - head > mask_) return false;  // no free slot
+    if (tail == head) return true;          // empty: oversized batch admitted
+    return WeightFromProducer() + w <= capacity_;
+  }
+
+  // Merges `batch` into the last slot this producer published, if the
+  // consumer has not taken it and stream order and the caps allow it. The
+  // rules mirror BatchQueue::TryCoalesce exactly. `last_tuple_count_` is the
+  // producer's private knowledge of that slot's tuple count, letting the
+  // no-chance cases (chunk already at the batch size) skip the CAS.
+  bool TryCoalesceTail(StreamBatch& batch, size_t max_coalesce) {
+    const uint64_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail == head_.load(std::memory_order_acquire)) return false;
+    if (!batch.tuples.empty() &&
+        last_tuple_count_ + batch.tuples.size() > max_coalesce) {
+      return false;
+    }
+    Slot& slot = slots_[(tail - 1) & mask_];
+    uint8_t expected = kReady;
+    if (!slot.state.compare_exchange_strong(expected, kMerging,
+                                            std::memory_order_acquire,
+                                            std::memory_order_relaxed)) {
+      return false;  // consumer already has (or had) it
+    }
+    StreamBatch& tail_batch = slot.batch;
+    bool merged = false;
+    if (tail_batch.port == batch.port && !tail_batch.flush) {
+      if (batch.tuples.empty()) {
+        merged = true;  // control always merges, no weight consumed
+      } else if (tail_batch.tuples.size() + batch.tuples.size() <=
+                 max_coalesce) {
+        const size_t old_weight = tail_batch.weight();
+        const size_t new_weight =
+            tail_batch.tuples.size() + batch.tuples.size();
+        if (WeightFromProducer() - old_weight + new_weight <= capacity_) {
+          tail_batch.tuples.AppendMoved(batch.tuples);
+          last_tuple_count_ = new_weight;
+          pushed_weight_.store(
+              pushed_weight_.load(std::memory_order_relaxed) +
+                  (new_weight - old_weight),
+              std::memory_order_release);
+          merged = true;
+        }
+      }
+      if (merged) {
+        tail_batch.watermark = std::max(tail_batch.watermark, batch.watermark);
+        tail_batch.flush = tail_batch.flush || batch.flush;
+      }
+    }
+    slot.state.store(kReady, std::memory_order_release);
+    return merged;
+  }
+
+  // Takes one published slot. `may_merge` marks the newest slot, the only
+  // one the producer could be coalescing into right now; older slots are
+  // guaranteed kReady and skip the CAS.
+  StreamBatch TakeSlot(uint64_t index, bool may_merge) {
+    Slot& slot = slots_[index & mask_];
+    if (may_merge) {
+      // The producer holds the slot in kMerging for the few instructions of
+      // a tail merge; spin it out.
+      uint8_t expected = kReady;
+      while (!slot.state.compare_exchange_weak(expected, kConsuming,
+                                               std::memory_order_acquire,
+                                               std::memory_order_relaxed)) {
+        expected = kReady;
+        std::this_thread::yield();
+      }
+    } else {
+      assert(slot.state.load(std::memory_order_relaxed) == kReady);
+    }
+    StreamBatch batch = std::move(slot.batch);
+    slot.state.store(kEmpty, std::memory_order_relaxed);
+    return batch;
+  }
+
+  // Publishes the consumer's progress: weight released, head advanced (the
+  // release covers the slot clears above), producer woken if parked.
+  void FinishPop(uint64_t new_head, size_t drained_weight) {
+    popped_weight_.store(
+        popped_weight_.load(std::memory_order_relaxed) + drained_weight,
+        std::memory_order_release);
+    head_.store(new_head, std::memory_order_release);
+    WakeProducer();
+  }
+
+  // Eventcount sleep for the producer. Returns false if aborted.
+  bool WaitForRoom(size_t w) {
+    for (;;) {
+      producer_parked_.store(1, std::memory_order_relaxed);
+      std::atomic_thread_fence(std::memory_order_seq_cst);
+      if (aborted_.load(std::memory_order_relaxed)) {
+        producer_parked_.store(0, std::memory_order_relaxed);
+        return false;
+      }
+      if (CanAdmit(w)) {
+        producer_parked_.store(0, std::memory_order_relaxed);
+        return true;
+      }
+      {
+        std::unique_lock<std::mutex> lock(park_mu_);
+        park_cv_.wait(lock, [&] {
+          return aborted_.load(std::memory_order_relaxed) || CanAdmit(w);
+        });
+      }
+      producer_parked_.store(0, std::memory_order_relaxed);
+      if (aborted_.load(std::memory_order_relaxed)) return false;
+      if (CanAdmit(w)) return true;
+    }
+  }
+
+  // Eventcount sleep for the consumer. Returns false once aborted and empty.
+  bool WaitNotEmpty() {
+    for (;;) {
+      if (!Empty()) return true;
+      if (aborted_.load(std::memory_order_acquire)) return !Empty();
+      consumer_parked_.store(1, std::memory_order_relaxed);
+      std::atomic_thread_fence(std::memory_order_seq_cst);
+      if (!Empty() || aborted_.load(std::memory_order_relaxed)) {
+        consumer_parked_.store(0, std::memory_order_relaxed);
+        continue;
+      }
+      {
+        std::unique_lock<std::mutex> lock(park_mu_);
+        park_cv_.wait(lock, [&] {
+          return !Empty() || aborted_.load(std::memory_order_relaxed);
+        });
+      }
+      consumer_parked_.store(0, std::memory_order_relaxed);
+    }
+  }
+
+  void WakeConsumer() {
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    if (consumer_parked_.load(std::memory_order_relaxed) != 0) {
+      {
+        std::lock_guard<std::mutex> lock(park_mu_);
+      }
+      park_cv_.notify_all();
+    }
+  }
+
+  void WakeProducer() {
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    if (producer_parked_.load(std::memory_order_relaxed) != 0) {
+      {
+        std::lock_guard<std::mutex> lock(park_mu_);
+      }
+      park_cv_.notify_all();
+    }
+  }
+
+  const size_t capacity_;
+  const uint64_t mask_;
+  std::unique_ptr<Slot[]> slots_;
+
+  // Producer-owned line: tail index, published weight, and the producer's
+  // private tuple count of its newest slot (the merge pre-check hint).
+  alignas(64) std::atomic<uint64_t> tail_{0};
+  std::atomic<size_t> pushed_weight_{0};
+  size_t last_tuple_count_ = 0;
+  // Consumer-owned line: head index and released weight.
+  alignas(64) std::atomic<uint64_t> head_{0};
+  std::atomic<size_t> popped_weight_{0};
+  // Shared teardown/parking state, off both hot lines.
+  alignas(64) std::atomic<bool> aborted_{false};
+  std::atomic<uint32_t> producer_parked_{0};
+  std::atomic<uint32_t> consumer_parked_{0};
+  std::mutex park_mu_;
+  std::condition_variable park_cv_;
+};
+
+}  // namespace genealog
+
+#endif  // GENEALOG_SPE_SPSC_RING_H_

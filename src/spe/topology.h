@@ -42,6 +42,20 @@ class Topology {
     default_batch_size_ = n == 0 ? 1 : n;
   }
 
+  // Edge implementation policy: when true (default unless
+  // GENEALOG_SPSC_RING=0), Connect upgrades single-producer edges to the
+  // lock-free SPSC ring; multi-producer edges always keep the mutex
+  // BatchQueue. When false, every edge uses the mutex queue.
+  bool spsc_edges() const { return spsc_edges_; }
+  void set_spsc_edges(bool enabled) { spsc_edges_ = enabled; }
+
+  // Adaptive batch sizing policy stamped on every endpoint wired by Connect
+  // (default unless GENEALOG_ADAPTIVE_BATCH=0): endpoints steer their flush
+  // threshold within [1, batch_size] from consumer-side queue depth. A no-op
+  // at batch size 1.
+  bool adaptive_batch() const { return adaptive_batch_; }
+  void set_adaptive_batch(bool enabled) { adaptive_batch_ = enabled; }
+
   // Constructs a node in this topology; instance id and provenance mode are
   // inherited. Returns a non-owning pointer valid for the topology's life.
   template <typename N, typename... Args>
@@ -78,6 +92,8 @@ class Topology {
   int instance_id_;
   ProvenanceMode mode_;
   size_t default_batch_size_ = kDefaultBatchSize;
+  bool spsc_edges_ = DefaultSpscEdges();
+  bool adaptive_batch_ = DefaultAdaptiveBatch();
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<Abortable*> abortables_;
 };

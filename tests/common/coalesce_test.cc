@@ -1,6 +1,8 @@
 // BatchQueue coalescing and the endpoint-level batching protocol built on it.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <thread>
 #include <vector>
 
@@ -140,6 +142,73 @@ TEST(BatchQueueCoalesceTest, OversizedBatchEntersEmptyQueue) {
   EXPECT_EQ(queue->Size(), 1u);
   EXPECT_EQ(queue->Weight(), 8u);
 }
+
+// Contract regression: a Push that is parked in the producer wait when
+// Abort() fires must fail *without mutating the queue* — in particular it
+// must not coalesce its batch into the (now dead) tail once capacity frees
+// up during teardown. The schedule arranges exactly that temptation: the
+// blocked batch is coalescible with the tail, and a post-abort pop frees
+// enough weight that a retry-coalesce would succeed if it were attempted.
+// Runs against both edge implementations (the ring's producer is the helper
+// thread; the main thread only pops — legal SPSC roles).
+class AbortDuringProducerWaitTest
+    : public ::testing::TestWithParam<StreamEdge::Kind> {};
+
+TEST_P(AbortDuringProducerWaitTest, DoesNotCoalesceIntoDeadTail) {
+  auto queue = std::make_unique<StreamQueue>(2);
+  if (GetParam() == StreamEdge::Kind::kSpsc) {
+    queue->set_allow_spsc(true);
+    queue->RegisterProducer(queue.get());
+    ASSERT_EQ(queue->kind(), StreamEdge::Kind::kSpsc);
+  }
+  std::atomic<bool> push_result{true};
+  std::thread producer([&] {
+    // Two weight-1 batches fill the queue; the third is coalescible with the
+    // tail (same port) but the merged tail would exceed capacity, so the
+    // push parks in the producer wait.
+    StreamBatch head;
+    head.port = 1;
+    head.tuples.push_back(V(1, 1));
+    ASSERT_TRUE(queue->Push(std::move(head), 8));
+    StreamBatch tail;
+    tail.port = 0;
+    tail.tuples.push_back(V(2, 2));
+    ASSERT_TRUE(queue->Push(std::move(tail), 8));
+    StreamBatch blocked;
+    blocked.port = 0;
+    blocked.tuples.push_back(V(3, 3));
+    push_result.store(queue->Push(std::move(blocked), 8));
+  });
+  // Wait (deterministically) until both fill batches are queued, then give
+  // the third push a moment to park; then tear the queue down and free
+  // capacity: after the pop, weight 1 + the blocked batch's 1 fits, and the
+  // tail (port 0, one tuple) would accept the merge — were it not dead.
+  // (If the abort still beats the third push, that push fails at entry —
+  // the same contract, so the assertions below hold on either schedule.)
+  while (queue->Weight() < 2) std::this_thread::yield();
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  queue->Abort();
+  auto head = queue->Pop();
+  ASSERT_TRUE(head.has_value());
+  EXPECT_EQ(head->port, 1);
+  producer.join();
+  EXPECT_FALSE(push_result.load());
+  auto tail = queue->Pop();
+  ASSERT_TRUE(tail.has_value());
+  EXPECT_EQ(tail->port, 0);
+  EXPECT_EQ(tail->tuples.size(), 1u) << "post-abort push coalesced into the "
+                                        "dead tail";
+  EXPECT_EQ(tail->tuples[0]->ts, 2);
+  EXPECT_FALSE(queue->Pop().has_value());
+  // And a fresh push after the teardown must fail without queueing anything.
+  Endpoint late{queue.get(), 0};
+  EXPECT_FALSE(late.PushTuple(V(9, 9)));
+  EXPECT_FALSE(queue->Pop().has_value());
+}
+
+INSTANTIATE_TEST_SUITE_P(EdgeKinds, AbortDuringProducerWaitTest,
+                         ::testing::Values(StreamEdge::Kind::kMutex,
+                                           StreamEdge::Kind::kSpsc));
 
 TEST(BatchQueueCoalesceTest, ConcurrentProducersStayConsistent) {
   auto queue = std::make_unique<StreamQueue>(4096);

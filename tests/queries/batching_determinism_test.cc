@@ -1,9 +1,12 @@
-// The batching knob must be invisible in the data: for every batch size the
-// engine must produce byte-identical sink output sequences and identical
-// provenance traversals. These tests sweep {1, 4, 64, 1024} over
+// The data-plane knobs must be invisible in the data: for every batch size,
+// edge implementation (lock-free SPSC ring vs. mutex BatchQueue) and
+// adaptive-batching setting, the engine must produce byte-identical sink
+// output sequences and identical provenance traversals. These tests sweep
+// batch {1, 4, 64, 1024} x edge {ring, mutex} x adaptive {on, off} over
 // determinism_test-style topologies (the hostile diamond merge), a
 // multi-source union chain, and full Q1 provenance runs (intra-process and
-// distributed GL, which also exercises the batch wire frames).
+// distributed GL, which also exercises the batch wire frames), always
+// comparing against the seed configuration (batch 1, mutex, static).
 #include <gtest/gtest.h>
 
 #include <tuple>
@@ -32,6 +35,20 @@ using testing::KeyedTuple;
 
 constexpr size_t kSweep[] = {1, 4, 64, 1024};
 
+// Edge implementation x adaptive batching. Every cell must match the seed
+// configuration (mutex/static at batch 1) byte for byte.
+struct EdgeConfig {
+  bool spsc;
+  bool adaptive;
+  const char* name;
+};
+constexpr EdgeConfig kEdgeConfigs[] = {
+    {false, false, "mutex/static"},
+    {false, true, "mutex/adaptive"},
+    {true, false, "ring/static"},
+    {true, true, "ring/adaptive"},
+};
+
 std::vector<IntrusivePtr<KeyedTuple>> RandomKeyed(uint64_t seed, int n) {
   SplitMix64 rng(seed);
   std::vector<IntrusivePtr<KeyedTuple>> out;
@@ -49,9 +66,11 @@ std::vector<IntrusivePtr<KeyedTuple>> RandomKeyed(uint64_t seed, int n) {
 // deterministic merging — and for batching, since the branches chunk
 // independently.
 std::vector<std::tuple<int64_t, int64_t, double>> RunDiamond(
-    uint64_t seed, size_t batch_size) {
+    uint64_t seed, size_t batch_size, const EdgeConfig& config) {
   Topology topo;
   topo.set_default_batch_size(batch_size);
+  topo.set_spsc_edges(config.spsc);
+  topo.set_adaptive_batch(config.adaptive);
   auto* source =
       topo.Add<VectorSourceNode<KeyedTuple>>("src", RandomKeyed(seed, 400));
   auto* mux = topo.Add<MultiplexNode>("mux");
@@ -89,21 +108,26 @@ std::vector<std::tuple<int64_t, int64_t, double>> RunDiamond(
   return out;
 }
 
-TEST(BatchingDeterminismTest, DiamondOutputIsBatchSizeInvariant) {
-  const auto reference = RunDiamond(7, 1);
+TEST(BatchingDeterminismTest, DiamondOutputIsDataPlaneInvariant) {
+  const auto reference = RunDiamond(7, 1, kEdgeConfigs[0]);
   ASSERT_FALSE(reference.empty());
   for (size_t batch_size : kSweep) {
-    for (int run = 0; run < 5; ++run) {
-      EXPECT_EQ(RunDiamond(7, batch_size), reference)
-          << "batch_size " << batch_size << " run " << run;
+    for (const EdgeConfig& config : kEdgeConfigs) {
+      for (int run = 0; run < 2; ++run) {
+        EXPECT_EQ(RunDiamond(7, batch_size, config), reference)
+            << "batch_size " << batch_size << " config " << config.name
+            << " run " << run;
+      }
     }
   }
 }
 
-std::vector<std::pair<int64_t, double>> RunUnionChain(uint64_t seed,
-                                                      size_t batch_size) {
+std::vector<std::pair<int64_t, double>> RunUnionChain(
+    uint64_t seed, size_t batch_size, const EdgeConfig& config) {
   Topology topo;
   topo.set_default_batch_size(batch_size);
+  topo.set_spsc_edges(config.spsc);
+  topo.set_adaptive_batch(config.adaptive);
   auto* a = topo.Add<VectorSourceNode<KeyedTuple>>("a", RandomKeyed(seed, 300));
   auto* b =
       topo.Add<VectorSourceNode<KeyedTuple>>("b", RandomKeyed(seed + 1, 300));
@@ -127,13 +151,16 @@ std::vector<std::pair<int64_t, double>> RunUnionChain(uint64_t seed,
   return out;
 }
 
-TEST(BatchingDeterminismTest, UnionChainIsBatchSizeInvariant) {
-  const auto reference = RunUnionChain(11, 1);
+TEST(BatchingDeterminismTest, UnionChainIsDataPlaneInvariant) {
+  const auto reference = RunUnionChain(11, 1, kEdgeConfigs[0]);
   ASSERT_FALSE(reference.empty());
   for (size_t batch_size : kSweep) {
-    for (int run = 0; run < 5; ++run) {
-      EXPECT_EQ(RunUnionChain(11, batch_size), reference)
-          << "batch_size " << batch_size << " run " << run;
+    for (const EdgeConfig& config : kEdgeConfigs) {
+      for (int run = 0; run < 2; ++run) {
+        EXPECT_EQ(RunUnionChain(11, batch_size, config), reference)
+            << "batch_size " << batch_size << " config " << config.name
+            << " run " << run;
+      }
     }
   }
 }
@@ -158,12 +185,14 @@ struct Q1Run {
 };
 
 Q1Run RunQ1(const lr::LinearRoadData& data, size_t batch_size,
-            bool distributed) {
+            bool distributed, const EdgeConfig& config) {
   Q1Run run;
   QueryBuildOptions options;
   options.mode = ProvenanceMode::kGenealog;
   options.distributed = distributed;
   options.batch_size = batch_size;
+  options.spsc_edges = config.spsc;
+  options.adaptive_batch = config.adaptive;
   options.sink_consumer = [&run](const TuplePtr& t) {
     run.ordered_sink.push_back(std::to_string(t->ts) + "|" + t->DebugPayload());
   };
@@ -183,32 +212,34 @@ Q1Run RunQ1(const lr::LinearRoadData& data, size_t batch_size,
   return run;
 }
 
-TEST(BatchingDeterminismTest, Q1ProvenanceIsBatchSizeInvariant) {
+void SweepQ1(bool distributed) {
   const lr::LinearRoadData data = SmallLr();
-  const Q1Run reference = RunQ1(data, 1, /*distributed=*/false);
+  const Q1Run reference = RunQ1(data, 1, distributed, kEdgeConfigs[0]);
   ASSERT_FALSE(reference.ordered_sink.empty());
   ASSERT_FALSE(reference.canonical.records.empty());
-  for (size_t batch_size : kSweep) {
-    const Q1Run run = RunQ1(data, batch_size, /*distributed=*/false);
+  auto check = [&](size_t batch_size, const EdgeConfig& config) {
+    const Q1Run run = RunQ1(data, batch_size, distributed, config);
     EXPECT_EQ(run.ordered_sink, reference.ordered_sink)
-        << "batch_size " << batch_size;
+        << "batch_size " << batch_size << " config " << config.name;
     EXPECT_EQ(run.canonical.records, reference.canonical.records)
-        << "batch_size " << batch_size;
+        << "batch_size " << batch_size << " config " << config.name;
+  };
+  // The full batch sweep rides on the production default (ring + adaptive);
+  // at batch 64 every edge/adaptive combination is crossed.
+  for (size_t batch_size : kSweep) {
+    check(batch_size, kEdgeConfigs[3]);
+  }
+  for (const EdgeConfig& config : kEdgeConfigs) {
+    check(64, config);
   }
 }
 
-TEST(BatchingDeterminismTest, Q1DistributedProvenanceIsBatchSizeInvariant) {
-  const lr::LinearRoadData data = SmallLr();
-  const Q1Run reference = RunQ1(data, 1, /*distributed=*/true);
-  ASSERT_FALSE(reference.ordered_sink.empty());
-  ASSERT_FALSE(reference.canonical.records.empty());
-  for (size_t batch_size : kSweep) {
-    const Q1Run run = RunQ1(data, batch_size, /*distributed=*/true);
-    EXPECT_EQ(run.ordered_sink, reference.ordered_sink)
-        << "batch_size " << batch_size;
-    EXPECT_EQ(run.canonical.records, reference.canonical.records)
-        << "batch_size " << batch_size;
-  }
+TEST(BatchingDeterminismTest, Q1ProvenanceIsDataPlaneInvariant) {
+  SweepQ1(/*distributed=*/false);
+}
+
+TEST(BatchingDeterminismTest, Q1DistributedProvenanceIsDataPlaneInvariant) {
+  SweepQ1(/*distributed=*/true);
 }
 
 }  // namespace

@@ -182,8 +182,13 @@ std::vector<IntrusivePtr<KeyedTuple>> MakeInput(uint64_t seed) {
 }
 
 std::vector<CanonicalRecord> RunPlan(const PipelinePlan& plan, uint64_t seed,
-                                     ProvenanceMode mode) {
+                                     ProvenanceMode mode, size_t batch_size = 1,
+                                     bool spsc_edges = true,
+                                     bool adaptive_batch = true) {
   Topology topo(1, mode);
+  topo.set_default_batch_size(batch_size);
+  topo.set_spsc_edges(spsc_edges);
+  topo.set_adaptive_batch(adaptive_batch);
   auto* source =
       topo.Add<VectorSourceNode<KeyedTuple>>("source", MakeInput(seed));
   std::vector<CanonicalRecord> records;
@@ -242,6 +247,38 @@ TEST_P(RandomPipelineFuzzTest, GenealogIsRunDeterministic) {
   const PipelinePlan plan = MakePlan(seed);
   auto first = RunPlan(plan, seed, ProvenanceMode::kGenealog);
   EXPECT_EQ(RunPlan(plan, seed, ProvenanceMode::kGenealog), first);
+}
+
+// The data-plane knobs — batch size, edge implementation (SPSC ring vs.
+// mutex queue), adaptive batching — must be invisible in the provenance
+// records of every randomly generated pipeline. The reference runs the seed
+// configuration (batch 1, mutex edges, static batching).
+TEST_P(RandomPipelineFuzzTest, GenealogIsDataPlaneInvariant) {
+  const uint64_t seed = GetParam();
+  const PipelinePlan plan = MakePlan(seed);
+  const auto reference = RunPlan(plan, seed, ProvenanceMode::kGenealog,
+                                 /*batch_size=*/1, /*spsc_edges=*/false,
+                                 /*adaptive_batch=*/false);
+  struct Config {
+    size_t batch;
+    bool spsc;
+    bool adaptive;
+  };
+  constexpr Config kConfigs[] = {
+      {1, true, false},   // ring at the seed batch size
+      {16, false, false}, // batched mutex, static
+      {16, true, false},  // batched ring, static
+      {16, false, true},  // batched mutex, adaptive
+      {16, true, true},   // batched ring, adaptive
+      {64, true, true},   // the production default shape
+  };
+  for (const Config& config : kConfigs) {
+    EXPECT_EQ(RunPlan(plan, seed, ProvenanceMode::kGenealog, config.batch,
+                      config.spsc, config.adaptive),
+              reference)
+        << "seed " << seed << " batch " << config.batch << " spsc "
+        << config.spsc << " adaptive " << config.adaptive;
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomPipelineFuzzTest,

@@ -1,0 +1,388 @@
+// SpscRing semantics and stress.
+//
+// Single-thread tests pin the BatchQueue-compatible contract (weight-based
+// capacity, coalescing rules, oversized-batch admission, abort). The stress
+// tests run the real two-thread shape — one producer, one consumer, with
+// randomized stalls on both sides — over a million mixed batches and assert
+// the stream invariants: no tuple lost, no tuple reordered or duplicated,
+// watermarks nondecreasing, flush delivered last. They are the TSan gate for
+// the ring's memory ordering (CI runs them under -fsanitize=thread).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "spe/node.h"
+#include "spe/spsc_ring.h"
+#include "testing/test_tuples.h"
+
+namespace genealog {
+namespace {
+
+using testing::V;
+
+TEST(SpscRingTest, PushPopRoundTrip) {
+  SpscRing ring(64);
+  EXPECT_EQ(ring.Size(), 0u);
+  EXPECT_EQ(ring.Weight(), 0u);
+  ring.Push(StreamBatch::MakeTuple(V(1, 10)), 1);
+  ring.Push(StreamBatch::MakeTuple(V(2, 20)), 1);
+  EXPECT_EQ(ring.Size(), 2u);
+  EXPECT_EQ(ring.Weight(), 2u);
+  auto a = ring.Pop();
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->tuples[0]->ts, 1);
+  auto b = ring.TryPop();
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(b->tuples[0]->ts, 2);
+  EXPECT_EQ(ring.Size(), 0u);
+  EXPECT_EQ(ring.Weight(), 0u);
+  EXPECT_FALSE(ring.TryPop().has_value());
+}
+
+TEST(SpscRingTest, WeightCountsTuplesAndControlBatches) {
+  SpscRing ring(64);
+  StreamBatch data;
+  data.tuples.push_back(V(1, 1));
+  data.tuples.push_back(V(2, 2));
+  data.tuples.push_back(V(3, 3));
+  ring.Push(std::move(data), 3);
+  EXPECT_EQ(ring.Weight(), 3u);  // tuples are the unit
+  StreamBatch control;
+  control.port = 1;  // different port: no merge
+  control.watermark = 9;
+  ring.Push(std::move(control), 3);
+  EXPECT_EQ(ring.Weight(), 4u);  // control-only batches weigh 1
+  EXPECT_EQ(ring.Size(), 2u);
+  ring.TryPop();
+  EXPECT_EQ(ring.Weight(), 1u);
+  ring.TryPop();
+  EXPECT_EQ(ring.Weight(), 0u);
+}
+
+TEST(SpscRingTest, ConsecutiveWatermarksCoalesce) {
+  SpscRing ring(64);
+  ring.Push(StreamBatch::MakeWatermark(5), 4);
+  ring.Push(StreamBatch::MakeWatermark(9), 4);
+  ring.Push(StreamBatch::MakeWatermark(7), 4);  // lower: merged, keeps max
+  EXPECT_EQ(ring.Size(), 1u);
+  EXPECT_EQ(ring.Weight(), 1u);
+  auto batch = ring.TryPop();
+  ASSERT_TRUE(batch.has_value());
+  EXPECT_TRUE(batch->tuples.empty());
+  EXPECT_EQ(batch->watermark, 9);
+}
+
+TEST(SpscRingTest, TuplesChunkUpToMaxCoalesce) {
+  SpscRing ring(64);
+  for (int i = 0; i < 10; ++i) {
+    ring.Push(StreamBatch::MakeTuple(V(i, i)), 4);
+  }
+  EXPECT_EQ(ring.Weight(), 10u);
+  EXPECT_LE(ring.Size(), 4u);  // chunks of <= 4, not 10 entries
+  int64_t last_ts = -1;
+  size_t total = 0;
+  while (auto batch = ring.TryPop()) {
+    ASSERT_LE(batch->tuples.size(), 4u);
+    for (const TuplePtr& t : batch->tuples) {
+      EXPECT_GT(t->ts, last_ts);  // stream order survives coalescing
+      last_ts = t->ts;
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, 10u);
+}
+
+TEST(SpscRingTest, DifferentPortsDoNotMerge) {
+  SpscRing ring(64);
+  StreamBatch a = StreamBatch::MakeWatermark(5);
+  a.port = 0;
+  StreamBatch b = StreamBatch::MakeWatermark(6);
+  b.port = 1;
+  ring.Push(std::move(a), 8);
+  ring.Push(std::move(b), 8);
+  EXPECT_EQ(ring.Size(), 2u);
+}
+
+TEST(SpscRingTest, FlushMergesIntoTailButSealsIt) {
+  SpscRing ring(64);
+  ring.Push(StreamBatch::MakeTuple(V(1, 1)), 8);
+  ring.Push(StreamBatch::MakeFlush(), 8);
+  EXPECT_EQ(ring.Size(), 1u);
+  {
+    auto batch = ring.TryPop();
+    ASSERT_TRUE(batch.has_value());
+    EXPECT_TRUE(batch->flush);
+    EXPECT_EQ(batch->tuples.size(), 1u);
+  }
+  // Nothing may merge into a flushed tail on the same port.
+  ring.Push(StreamBatch::MakeFlush(), 8);
+  ring.Push(StreamBatch::MakeWatermark(3), 8);
+  EXPECT_EQ(ring.Size(), 2u);
+}
+
+TEST(SpscRingTest, ControlMergesIntoFullRingWithoutBlocking) {
+  SpscRing ring(2);
+  ring.Push(StreamBatch::MakeTuple(V(1, 1)), 1);
+  ring.Push(StreamBatch::MakeTuple(V(2, 2)), 1);
+  EXPECT_EQ(ring.Weight(), 2u);  // at weight capacity
+  // The watermark merges into the tail without weight, so no block.
+  ring.Push(StreamBatch::MakeWatermark(9), 1);
+  EXPECT_EQ(ring.Weight(), 2u);
+  ring.TryPop();
+  auto tail = ring.TryPop();
+  ASSERT_TRUE(tail.has_value());
+  EXPECT_EQ(tail->watermark, 9);
+}
+
+TEST(SpscRingTest, MergeUpToWeightCapacity) {
+  SpscRing ring(3);
+  StreamBatch two;
+  two.tuples.push_back(V(1, 1));
+  two.tuples.push_back(V(2, 2));
+  ring.Push(std::move(two), 8);
+  ring.Push(StreamBatch::MakeTuple(V(3, 3)), 8);  // 2+1 = 3 <= 3: merges
+  EXPECT_EQ(ring.Size(), 1u);
+  EXPECT_EQ(ring.Weight(), 3u);
+}
+
+TEST(SpscRingTest, MergeRefusedByWeightLandsAsOwnBatch) {
+  SpscRing ring(3);
+  StreamBatch two;
+  two.tuples.push_back(V(1, 1));
+  two.tuples.push_back(V(2, 2));
+  ring.Push(std::move(two), 8);
+  // 2+2 tuples fit max_coalesce 8 but would exceed weight capacity 3: the
+  // merge is refused and the push blocks until the consumer drains. The
+  // producer role moves to a helper thread (sequentially — still SPSC).
+  std::thread producer([&] {
+    StreamBatch more;
+    more.tuples.push_back(V(3, 3));
+    more.tuples.push_back(V(4, 4));
+    ASSERT_TRUE(ring.Push(std::move(more), 8));
+  });
+  auto first = ring.Pop();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->tuples.size(), 2u);  // unmerged: capacity held
+  EXPECT_EQ(first->tuples[0]->ts, 1);
+  producer.join();
+  auto second = ring.Pop();
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->tuples.size(), 2u);
+  EXPECT_EQ(second->tuples[0]->ts, 3);
+}
+
+TEST(SpscRingTest, OversizedBatchEntersEmptyRing) {
+  SpscRing ring(2);
+  StreamBatch big;
+  for (int i = 0; i < 8; ++i) big.tuples.push_back(V(i, i));
+  ring.Push(std::move(big), 8);  // 8 > capacity 2, ring empty: admitted
+  EXPECT_EQ(ring.Size(), 1u);
+  EXPECT_EQ(ring.Weight(), 8u);
+}
+
+TEST(SpscRingTest, AbortRejectsPushAndDrainsPops) {
+  SpscRing ring(8);
+  ring.Push(StreamBatch::MakeTuple(V(1, 1)), 1);
+  ring.Push(StreamBatch::MakeTuple(V(2, 2)), 1);
+  ring.Abort();
+  EXPECT_FALSE(ring.Push(StreamBatch::MakeTuple(V(3, 3)), 1));
+  // Post-abort pushes must not have coalesced into the dead tail either.
+  auto a = ring.Pop();
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->tuples.size(), 1u);
+  auto b = ring.Pop();
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(b->tuples.size(), 1u);
+  EXPECT_FALSE(ring.Pop().has_value());
+  std::vector<StreamBatch> rest;
+  EXPECT_FALSE(ring.PopMany(rest));
+}
+
+TEST(SpscRingTest, AbortUnblocksParkedProducer) {
+  SpscRing ring(1);
+  ring.Push(StreamBatch::MakeTuple(V(1, 1)), 1);  // full
+  std::atomic<bool> push_result{true};
+  std::thread producer([&] {
+    StreamBatch b = StreamBatch::MakeTuple(V(2, 2));
+    b.port = 1;  // different port: cannot coalesce, must wait for weight
+    push_result.store(ring.Push(std::move(b), 1));
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  ring.Abort();
+  producer.join();
+  EXPECT_FALSE(push_result.load());
+  // The blocked batch was dropped, not queued: only the pre-abort batch
+  // drains.
+  auto batch = ring.Pop();
+  ASSERT_TRUE(batch.has_value());
+  EXPECT_EQ(batch->tuples[0]->ts, 1);
+  EXPECT_FALSE(ring.Pop().has_value());
+}
+
+TEST(SpscRingTest, AbortUnblocksParkedConsumer) {
+  SpscRing ring(4);
+  std::thread consumer([&] {
+    EXPECT_FALSE(ring.Pop().has_value());  // blocks until abort, then empty
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  ring.Abort();
+  consumer.join();
+}
+
+// --- two-thread stress -------------------------------------------------------
+
+struct StressConfig {
+  uint64_t seed = 1;
+  int batches = 1'000'000;
+  size_t capacity = 256;
+  size_t max_coalesce = 16;
+  bool use_pop_many = true;
+};
+
+// Producer: `batches` randomized batches — ~70% data (1-3 tuples carrying a
+// global sequence number in `value`), ~30% watermark advances — with
+// occasional stalls, then a final flush. Consumer: Pop/PopMany with its own
+// stalls. Asserts the full stream contract on the consumer side.
+void RunStress(const StressConfig& config) {
+  SpscRing ring(config.capacity);
+
+  std::thread producer([&] {
+    SplitMix64 rng(config.seed);
+    int64_t seq = 0;
+    int64_t ts = 0;
+    for (int i = 0; i < config.batches; ++i) {
+      if (rng.UniformInt(0, 9) < 7) {
+        StreamBatch batch;
+        const int n = static_cast<int>(rng.UniformInt(1, 3));
+        for (int k = 0; k < n; ++k) {
+          batch.tuples.push_back(V(ts, seq++));
+          ts += rng.UniformInt(0, 1);
+        }
+        ASSERT_TRUE(ring.Push(std::move(batch), config.max_coalesce));
+      } else {
+        // Watermark at the highest emitted ts: nondecreasing by construction.
+        ASSERT_TRUE(ring.Push(StreamBatch::MakeWatermark(ts),
+                              config.max_coalesce));
+      }
+      if (rng.UniformInt(0, 999) == 0) std::this_thread::yield();
+      if (rng.UniformInt(0, 9999) == 0) {
+        std::this_thread::sleep_for(std::chrono::microseconds(
+            rng.UniformInt(1, 50)));
+      }
+    }
+    ASSERT_TRUE(ring.Push(StreamBatch::MakeFlush(), config.max_coalesce));
+  });
+
+  SplitMix64 rng(config.seed ^ 0x9e3779b97f4a7c15ULL);
+  int64_t next_seq = 0;
+  int64_t last_ts = 0;
+  int64_t last_wm = kNoWatermark;
+  bool flushed = false;
+  std::vector<StreamBatch> burst;
+  while (!flushed) {
+    burst.clear();
+    if (config.use_pop_many && rng.UniformInt(0, 1) == 0) {
+      ASSERT_TRUE(ring.PopMany(burst));
+    } else {
+      auto batch = ring.Pop();
+      ASSERT_TRUE(batch.has_value());
+      burst.push_back(std::move(*batch));
+    }
+    for (StreamBatch& batch : burst) {
+      ASSERT_FALSE(flushed) << "batch after flush";
+      for (const TuplePtr& t : batch.tuples) {
+        const auto& v = static_cast<const testing::ValueTuple&>(*t);
+        ASSERT_EQ(v.value, next_seq) << "lost/reordered/duplicated tuple";
+        ++next_seq;
+        ASSERT_GE(t->ts, last_ts) << "timestamp order broken";
+        last_ts = t->ts;
+        if (last_wm != kNoWatermark) {
+          ASSERT_GE(t->ts, last_wm) << "tuple below watermark";
+        }
+      }
+      if (batch.has_watermark()) {
+        ASSERT_GE(batch.watermark, last_wm) << "watermark regressed";
+        last_wm = batch.watermark;
+      }
+      flushed = batch.flush;
+    }
+    if (rng.UniformInt(0, 999) == 0) std::this_thread::yield();
+    if (rng.UniformInt(0, 9999) == 0) {
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(rng.UniformInt(1, 50)));
+    }
+  }
+  producer.join();
+  // Everything the producer emitted arrived, in order, before the flush.
+  EXPECT_FALSE(ring.TryPop().has_value());
+  EXPECT_GT(next_seq, 0);
+  EXPECT_EQ(ring.Weight(), 0u);
+}
+
+TEST(SpscRingStressTest, MillionMixedBatchesNoLossNoReorder) {
+  StressConfig config;
+  config.seed = 7;
+  RunStress(config);
+}
+
+TEST(SpscRingStressTest, TinyCapacityMaximizesBlocking) {
+  // Capacity 2 forces constant producer/consumer parking: the slow-path
+  // eventcount handshake gets exercised thousands of times.
+  StressConfig config;
+  config.seed = 11;
+  config.batches = 100'000;
+  config.capacity = 2;
+  config.max_coalesce = 4;
+  RunStress(config);
+}
+
+TEST(SpscRingStressTest, PopOnlyConsumerKeepsOrder) {
+  StressConfig config;
+  config.seed = 13;
+  config.batches = 200'000;
+  config.use_pop_many = false;
+  RunStress(config);
+}
+
+TEST(SpscRingStressTest, AbortMidStreamDrainsExactPrefix) {
+  SpscRing ring(64);
+  std::atomic<int64_t> pushed{0};
+  std::thread producer([&] {
+    int64_t seq = 0;
+    for (;;) {
+      if (!ring.Push(StreamBatch::MakeTuple(V(seq, seq)), 8)) break;
+      pushed.store(++seq, std::memory_order_release);
+    }
+  });
+  // Consume a while mid-flight, then tear the stream down and drain.
+  int64_t next = 0;
+  while (next < 10'000) {
+    auto batch = ring.Pop();
+    ASSERT_TRUE(batch.has_value());
+    for (const TuplePtr& t : batch->tuples) {
+      ASSERT_EQ(static_cast<const testing::ValueTuple&>(*t).value, next);
+      ++next;
+    }
+  }
+  ring.Abort();
+  producer.join();
+  // The drain must be an exact prefix of the pushed sequence: every batch
+  // that entered the ring arrives, in order, nothing after — the batch whose
+  // push failed never entered.
+  while (auto batch = ring.Pop()) {
+    for (const TuplePtr& t : batch->tuples) {
+      ASSERT_EQ(static_cast<const testing::ValueTuple&>(*t).value, next);
+      ++next;
+    }
+  }
+  EXPECT_EQ(next, pushed.load());
+  EXPECT_FALSE(ring.TryPop().has_value());
+}
+
+}  // namespace
+}  // namespace genealog
