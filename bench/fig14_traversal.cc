@@ -17,6 +17,7 @@ struct TraversalRow {
   std::string query;
   // instance id -> (mean traversal ms, mean graph size)
   std::map<int, std::pair<RunStats, RunStats>> by_instance;
+  std::vector<CellMetrics> cells;  // raw repetitions, for BENCH_fig14.json
 };
 
 TraversalRow RunTraversal(const std::string& name, const QueryFactory& factory,
@@ -30,6 +31,7 @@ TraversalRow RunTraversal(const std::string& name, const QueryFactory& factory,
       row.by_instance[instance].first.Add(ms);
       row.by_instance[instance].second.Add(cell.graph_size_by_instance[i].second);
     }
+    row.cells.push_back(std::move(cell));
   }
   return row;
 }
@@ -55,6 +57,19 @@ int Main() {
     });
   };
 
+  std::vector<BenchJsonRow> json_rows;
+  auto Record = [&](const std::string& query, const char* deployment,
+                    const TraversalRow& row) {
+    BenchJsonRow jr;
+    jr.query = query;
+    jr.variant = "GL";
+    jr.deployment = deployment;
+    jr.batch_size = env.batch_size;
+    jr.reps = env.reps;
+    jr.mean = MeanCells(row.cells);
+    json_rows.push_back(std::move(jr));
+  };
+
   std::printf("Intra-process (single SU before the sink)\n");
   std::printf("query | traversal(ms)  mean-graph-size\n");
   std::printf("---------------------------------------\n");
@@ -70,6 +85,7 @@ int Main() {
       std::printf("%-5s | %10.4f     %10.1f\n", name.c_str(),
                   stats.first.mean(), stats.second.mean());
     }
+    Record(name, "intra", row);
     std::fflush(stdout);
   }
 
@@ -90,6 +106,7 @@ int Main() {
       std::printf("%-5s | %8d | %10.4f     %10.1f\n", name.c_str(), instance,
                   stats.first.mean(), stats.second.mean());
     }
+    Record(name, "dist", row);
     std::fflush(stdout);
   }
 
@@ -98,6 +115,7 @@ int Main() {
       "hundreds-of-tuples graphs (~1.6 ms on Odroid); in the distributed\n"
       "case each instance traverses a smaller piece, and instance 1 (closer\n"
       "to the sources) sees larger graphs than instance 2.\n");
+  WriteBenchJson("fig14", env, json_rows);
   return 0;
 }
 

@@ -28,6 +28,8 @@ BenchEnv ReadBenchEnv() {
   env.tuple_pool = pool::Enabled();          // GENEALOG_TUPLE_POOL
   env.spsc_ring = DefaultSpscEdges();        // GENEALOG_SPSC_RING
   env.adaptive_batch = DefaultAdaptiveBatch();  // GENEALOG_ADAPTIVE_BATCH
+  env.epoch_traversal = EpochTraversalEnabled();  // GENEALOG_EPOCH_TRAVERSAL
+  env.async_prov_sink = DefaultAsyncProvSink();   // GENEALOG_ASYNC_PROV_SINK
   if (const char* dir = std::getenv("GENEALOG_BENCH_JSON_DIR")) {
     env.json_dir = dir;
   }
@@ -185,9 +187,12 @@ const char* VariantName(ProvenanceMode mode) { return ToString(mode); }
 void WritePoolStatsFields(std::FILE* f) {
   const pool::Stats s = pool::GetStats();
   std::fprintf(f,
-               "\"spsc_ring\": %s,\n  \"adaptive_batch\": %s,\n  ",
+               "\"spsc_ring\": %s,\n  \"adaptive_batch\": %s,\n  "
+               "\"epoch_traversal\": %s,\n  \"async_prov_sink\": %s,\n  ",
                DefaultSpscEdges() ? "true" : "false",
-               DefaultAdaptiveBatch() ? "true" : "false");
+               DefaultAdaptiveBatch() ? "true" : "false",
+               EpochTraversalEnabled() ? "true" : "false",
+               DefaultAsyncProvSink() ? "true" : "false");
   std::fprintf(f,
                "\"tuple_pool\": %s,\n"
                "  \"pool\": {\"slabs\": %llu, \"slab_bytes\": %llu, "
@@ -227,6 +232,22 @@ CellMetrics MeanCells(const std::vector<CellMetrics>& cells) {
   mean.provenance_records = provenance_records / cells.size();
   mean.provenance_bytes = provenance_bytes / cells.size();
   mean.network_bytes = network_bytes / cells.size();
+  // Traversal stats: averaged per SU position (the instance layout is the
+  // same across repetitions of one cell).
+  mean.traversal_ms_by_instance = cells.front().traversal_ms_by_instance;
+  mean.graph_size_by_instance = cells.front().graph_size_by_instance;
+  for (auto& [instance, ms] : mean.traversal_ms_by_instance) ms = 0;
+  for (auto& [instance, size] : mean.graph_size_by_instance) size = 0;
+  for (const CellMetrics& c : cells) {
+    const size_t lanes = std::min(mean.traversal_ms_by_instance.size(),
+                                  c.traversal_ms_by_instance.size());
+    for (size_t i = 0; i < lanes; ++i) {
+      mean.traversal_ms_by_instance[i].second +=
+          c.traversal_ms_by_instance[i].second / n;
+      mean.graph_size_by_instance[i].second +=
+          c.graph_size_by_instance[i].second / n;
+    }
+  }
   return mean;
 }
 
@@ -255,15 +276,26 @@ void WriteBenchJson(const std::string& bench, const BenchEnv& env,
         "\"latency_p50_ms\": %.4f, \"latency_p99_ms\": %.4f, "
         "\"avg_mem_mb\": %.2f, \"max_mem_mb\": %.2f, "
         "\"sink_tuples\": %llu, \"provenance_records\": %llu, "
-        "\"provenance_bytes\": %llu, \"network_bytes\": %llu}%s\n",
+        "\"provenance_bytes\": %llu, \"network_bytes\": %llu, "
+        "\"traversal\": [",
         r.query.c_str(), r.variant.c_str(), r.deployment.c_str(), r.batch_size,
         r.reps, r.mean.throughput_tps, r.mean.latency_ms, r.mean.latency_p50_ms,
         r.mean.latency_p99_ms, r.mean.avg_mem_mb, r.mean.max_mem_mb,
         static_cast<unsigned long long>(r.mean.sink_tuples),
         static_cast<unsigned long long>(r.mean.provenance_records),
         static_cast<unsigned long long>(r.mean.provenance_bytes),
-        static_cast<unsigned long long>(r.mean.network_bytes),
-        i + 1 < rows.size() ? "," : "");
+        static_cast<unsigned long long>(r.mean.network_bytes));
+    for (size_t t = 0; t < r.mean.traversal_ms_by_instance.size(); ++t) {
+      const double graph =
+          t < r.mean.graph_size_by_instance.size()
+              ? r.mean.graph_size_by_instance[t].second
+              : 0.0;
+      std::fprintf(f, "{\"instance\": %d, \"ms\": %.6f, \"graph\": %.1f}%s",
+                   r.mean.traversal_ms_by_instance[t].first,
+                   r.mean.traversal_ms_by_instance[t].second, graph,
+                   t + 1 < r.mean.traversal_ms_by_instance.size() ? ", " : "");
+    }
+    std::fprintf(f, "]}%s\n", i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);

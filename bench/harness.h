@@ -18,6 +18,12 @@
 //   GENEALOG_ADAPTIVE_BATCH 0 pins the static flush threshold (default:
 //                           endpoints steer it within [1, batch] from
 //                           consumer queue depth)
+//   GENEALOG_EPOCH_TRAVERSAL 0 pins FindProvenance to the pointer-set
+//                           visited check (default: mark-word epoch fast
+//                           path, hash-set fallback under concurrency)
+//   GENEALOG_ASYNC_PROV_SINK 0 makes the provenance sink fwrite on the
+//                           operator thread (default: double-buffered
+//                           background writer)
 //   GENEALOG_BENCH_JSON_DIR directory for machine-readable BENCH_*.json
 //                           result files (default ".", empty disables)
 #ifndef GENEALOG_BENCH_HARNESS_H_
@@ -40,6 +46,8 @@ struct BenchEnv {
   bool tuple_pool = true;
   bool spsc_ring = true;
   bool adaptive_batch = true;
+  bool epoch_traversal = true;
+  bool async_prov_sink = true;
   std::string json_dir = ".";
 };
 BenchEnv ReadBenchEnv();

@@ -14,6 +14,7 @@
 #include "bench/harness.h"
 #include "core/instrumentation.h"
 #include "core/type_registry.h"
+#include "genealog/su.h"
 #include "genealog/traversal.h"
 #include "lr/linear_road.h"
 #include "spe/sink.h"
@@ -111,33 +112,78 @@ void BM_InstrumentAggregate_BL(benchmark::State& state) {
 }
 BENCHMARK(BM_InstrumentAggregate_BL)->Arg(4)->Arg(24)->Arg(192)->Arg(1024);
 
+// Traversal micros sweep the visited-check implementation: epoch=1 is the
+// mark-word fast path (kAuto on a single thread always takes it), epoch=0
+// pins the open-addressing pointer-set fallback. The Figure 14 / SU hot-path
+// cost is the epoch=1 series; the delta is the price of the fallback that
+// concurrent traversers pay.
 void BM_TraversalAggregate(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
+  const TraversalPath path = state.range(1) != 0 ? TraversalPath::kAuto
+                                                 : TraversalPath::kHashSet;
   TuplePtr root = AggregateGraph(n);
   TraversalScratch scratch;
   std::vector<Tuple*> result;
   for (auto _ : state) {
     result.clear();
-    FindProvenance(root.get(), result, scratch);
+    FindProvenance(root.get(), result, scratch, path);
     benchmark::DoNotOptimize(result.data());
   }
   state.SetItemsProcessed(state.iterations() * n);
 }
-BENCHMARK(BM_TraversalAggregate)->Arg(4)->Arg(8)->Arg(24)->Arg(192)->Arg(2048);
+BENCHMARK(BM_TraversalAggregate)
+    ->ArgNames({"n", "epoch"})
+    ->Args({4, 1})
+    ->Args({8, 1})
+    ->Args({24, 1})
+    ->Args({192, 1})
+    ->Args({2048, 1})
+    ->Args({4, 0})
+    ->Args({8, 0})
+    ->Args({24, 0})
+    ->Args({192, 0})
+    ->Args({2048, 0});
 
 void BM_TraversalJoinTree(benchmark::State& state) {
   const int depth = static_cast<int>(state.range(0));
+  const TraversalPath path = state.range(1) != 0 ? TraversalPath::kAuto
+                                                 : TraversalPath::kHashSet;
   TuplePtr root = JoinTree(depth);
   TraversalScratch scratch;
   std::vector<Tuple*> result;
   for (auto _ : state) {
     result.clear();
-    FindProvenance(root.get(), result, scratch);
+    FindProvenance(root.get(), result, scratch, path);
     benchmark::DoNotOptimize(result.data());
   }
   state.SetItemsProcessed(state.iterations() * (1 << depth));
 }
-BENCHMARK(BM_TraversalJoinTree)->Arg(3)->Arg(6)->Arg(10);
+BENCHMARK(BM_TraversalJoinTree)
+    ->ArgNames({"depth", "epoch"})
+    ->Args({3, 1})
+    ->Args({6, 1})
+    ->Args({10, 1})
+    ->Args({3, 0})
+    ->Args({6, 0})
+    ->Args({10, 0});
+
+// The whole SU inner loop for one sink tuple: traversal plus building the
+// unfolded tuples (pool-allocated, straight into a chunk-like buffer). This
+// is the per-sink-tuple provenance cost an SU pays end to end.
+void BM_SuUnfold(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  TuplePtr root = AggregateGraph(n);
+  TraversalScratch scratch;
+  std::vector<Tuple*> origins;
+  std::vector<IntrusivePtr<UnfoldedTuple>> out;
+  for (auto _ : state) {
+    out.clear();
+    UnfoldInto(root, origins, scratch, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_SuUnfold)->Arg(4)->Arg(24)->Arg(192);
 
 void BM_CascadeReclamation(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));

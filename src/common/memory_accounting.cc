@@ -22,6 +22,7 @@ std::array<Counters, kMaxInstances>& counters() {
 
 std::atomic<int64_t> g_tuple_count{0};
 std::atomic<int64_t> g_pool_slab_bytes{0};
+std::atomic<int64_t> g_traversal_scratch_bytes{0};
 
 thread_local int tl_instance = 0;
 
@@ -82,6 +83,13 @@ int64_t PoolSlabBytes() {
 }
 void AddPoolSlabBytes(int64_t bytes) {
   g_pool_slab_bytes.fetch_add(bytes, std::memory_order_relaxed);
+}
+
+int64_t TraversalScratchBytes() {
+  return g_traversal_scratch_bytes.load(std::memory_order_relaxed);
+}
+void AddTraversalScratchBytes(int64_t bytes) {
+  g_traversal_scratch_bytes.fetch_add(bytes, std::memory_order_relaxed);
 }
 
 int64_t ReadRssBytes() {

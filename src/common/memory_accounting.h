@@ -46,6 +46,14 @@ void AddTupleCount(int64_t delta);
 int64_t PoolSlabBytes();
 void AddPoolSlabBytes(int64_t bytes);
 
+// Heap bytes currently held by recycled traversal scratch structures (the
+// BFS work ring and visited pointer set of genealog/traversal.h),
+// process-wide. The structures grow geometrically to the workload's largest
+// contribution graph and then stop: the traversal allocation-regression test
+// asserts this gauge is flat after warm-up.
+int64_t TraversalScratchBytes();
+void AddTraversalScratchBytes(int64_t bytes);
+
 // Resident set size of the host process, in bytes (Linux /proc/self/statm).
 int64_t ReadRssBytes();
 

@@ -7,6 +7,7 @@
 #include <new>
 #include <vector>
 
+#include "common/env_knob.h"
 #include "common/memory_accounting.h"
 
 namespace genealog::pool {
@@ -56,10 +57,7 @@ Central& central() {
 
 std::atomic<int> g_enabled{-1};  // -1 unread, 0 off, 1 on
 
-bool ReadEnabledFromEnv() {
-  const char* v = std::getenv("GENEALOG_TUPLE_POOL");
-  return v == nullptr || v[0] == '\0' || std::atoi(v) != 0;
-}
+bool ReadEnabledFromEnv() { return EnvKnobEnabled("GENEALOG_TUPLE_POOL"); }
 
 // Carves a fresh slab for `cls` and points the bump region at it. Caller
 // holds cls.mu.

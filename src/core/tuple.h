@@ -105,6 +105,15 @@ class Tuple {
 
   int owner_instance() const { return owner_instance_; }
 
+  // Traversal mark word (genealog/traversal.cc): the epoch fast path of
+  // FindProvenance stamps a per-traversal ticket here with a relaxed CAS, so
+  // the visited check touches only the cache line of the tuple already being
+  // walked instead of a side hash table. 0 = never visited; any other value
+  // is the ticket of the (unique, monotonically drawn) traversal that last
+  // claimed this tuple. Stale tickets are harmless — a new traversal's ticket
+  // can never equal one already stamped.
+  std::atomic<uint64_t>& traversal_mark() const { return mark_; }
+
  protected:
   // Clone/copy support: copies ts and stimulus only. Reference count, meta
   // pointers, id, kind and annotation all start fresh.
@@ -125,6 +134,7 @@ class Tuple {
   // block is recycled into the pool it was carved from. Lives in the padding
   // after refs_, so provenance storage stays the paper's constant size.
   uint8_t pool_class_ = pool::kHeapClass;
+  mutable std::atomic<uint64_t> mark_{0};
   std::atomic<Tuple*> next_{nullptr};
   Tuple* u1_ = nullptr;
   Tuple* u2_ = nullptr;

@@ -2,7 +2,14 @@
 
 #include <stdexcept>
 
+#include "common/env_knob.h"
+
 namespace genealog {
+
+bool DefaultAsyncProvSink() {
+  static const bool enabled = EnvKnobEnabled("GENEALOG_ASYNC_PROV_SINK");
+  return enabled;
+}
 
 ProvenanceSinkNode::ProvenanceSinkNode(std::string name,
                                        ProvenanceSinkOptions options)
@@ -13,11 +20,36 @@ ProvenanceSinkNode::ProvenanceSinkNode(std::string name,
       throw std::runtime_error("cannot open provenance file " +
                                options_.file_path);
     }
+    if (options_.async_writer.value_or(DefaultAsyncProvSink())) {
+      writer_ = std::make_unique<AsyncFileWriter>(file_,
+                                                  options_.async_buffer_bytes);
+    }
   }
 }
 
 ProvenanceSinkNode::~ProvenanceSinkNode() {
+  if (writer_ != nullptr) {
+    // Teardown after an aborted run reaches here without OnFlush: drain what
+    // is buffered (a partial-but-well-formed prefix, same as the sync path
+    // would leave), surface any write error, then join the writer thread.
+    writer_->Flush();
+    WarnOnWriteError();
+    writer_.reset();
+  }
   if (file_ != nullptr) std::fclose(file_);
+}
+
+bool ProvenanceSinkNode::write_error() const {
+  return writer_ != nullptr && writer_->write_error();
+}
+
+void ProvenanceSinkNode::WarnOnWriteError() {
+  if (!write_error() || write_error_warned_) return;
+  write_error_warned_ = true;
+  std::fprintf(stderr,
+               "ProvenanceSinkNode %s: background write to %s failed "
+               "(disk full / I/O error); the provenance file is truncated\n",
+               name().c_str(), options_.file_path.c_str());
 }
 
 void ProvenanceSinkNode::OnTuple(TuplePtr t) {
@@ -44,7 +76,18 @@ void ProvenanceSinkNode::OnWatermark(int64_t wm) {
   FinalizeBefore(SatSub(wm, options_.finalize_slack));
 }
 
-void ProvenanceSinkNode::OnFlush() { FinalizeBefore(kWatermarkMax); }
+void ProvenanceSinkNode::OnFlush() {
+  FinalizeBefore(kWatermarkMax);
+  // End-of-stream: everything buffered must be in the file before the node
+  // reports done, in either mode — probes may read the file while the node
+  // (and its FILE*) is still alive.
+  if (writer_ != nullptr) {
+    writer_->Flush();
+    WarnOnWriteError();
+  } else if (file_ != nullptr) {
+    std::fflush(file_);
+  }
+}
 
 void ProvenanceSinkNode::FinalizeBefore(int64_t ts_horizon) {
   // Groups are in first-appearance order, which for MU outputs is not always
@@ -71,7 +114,9 @@ void ProvenanceSinkNode::Finalize(Group& group) {
     SerializeTuple(*o, scratch_);
   }
   bytes_written_ += scratch_.size();
-  if (file_ != nullptr) {
+  if (writer_ != nullptr) {
+    writer_->Append(scratch_.bytes().data(), scratch_.size());
+  } else if (file_ != nullptr) {
     std::fwrite(scratch_.bytes().data(), 1, scratch_.size(), file_);
   }
   if (options_.consumer) {

@@ -6,6 +6,12 @@
 // Unfolded tuples of one sink tuple arrive within a bounded event-time
 // horizon (the MU join window); a group is finalized once the watermark
 // passes derived_ts + finalize_slack, and all groups finalize at flush.
+//
+// File output is double-buffered and asynchronous by default
+// (GENEALOG_ASYNC_PROV_SINK, common/async_writer.h): records serialize into
+// an in-memory buffer a background thread flushes, so disk latency leaves
+// the operator thread — with bounded buffering, and file contents
+// byte-identical to the synchronous path.
 #ifndef GENEALOG_GENEALOG_PROVENANCE_SINK_H_
 #define GENEALOG_GENEALOG_PROVENANCE_SINK_H_
 
@@ -13,12 +19,14 @@
 #include <cstdio>
 #include <functional>
 #include <list>
-#include <mutex>
+#include <memory>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "common/async_writer.h"
 #include "common/int_math.h"
 #include "core/type_registry.h"
 #include "genealog/provenance_record.h"
@@ -26,6 +34,10 @@
 #include "spe/node.h"
 
 namespace genealog {
+
+// Process-wide default for the asynchronous provenance writer, read from the
+// environment once (on unless GENEALOG_ASYNC_PROV_SINK=0).
+bool DefaultAsyncProvSink();
 
 struct ProvenanceSinkOptions {
   // Event-time slack before a group is considered complete; pass the total
@@ -37,6 +49,13 @@ struct ProvenanceSinkOptions {
   std::string file_path;
   // Optional in-process consumer, called per finalized record.
   std::function<void(const ProvenanceRecord&)> consumer;
+  // Double-buffered asynchronous file writing; unset follows the process
+  // default (on unless GENEALOG_ASYNC_PROV_SINK=0). Ignored without
+  // file_path. Output bytes are identical either way.
+  std::optional<bool> async_writer;
+  // Swap threshold of the async writer's buffers; tests shrink it to force
+  // many background handoffs.
+  size_t async_buffer_bytes = 256 * 1024;
 };
 
 class ProvenanceSinkNode final : public SingleInputNode {
@@ -52,6 +71,12 @@ class ProvenanceSinkNode final : public SingleInputNode {
                          : static_cast<double>(origin_tuples_) /
                                static_cast<double>(records_);
   }
+  bool async() const { return writer_ != nullptr; }
+  // True once the background writer reported a short write (disk full, I/O
+  // error): the file is truncated even though bytes_written_ counts the
+  // serialized volume. Also surfaced as a one-shot stderr warning at flush
+  // and teardown.
+  bool write_error() const;
 
  protected:
   void OnTuple(TuplePtr t) override;
@@ -66,13 +91,16 @@ class ProvenanceSinkNode final : public SingleInputNode {
 
   void FinalizeBefore(int64_t ts_horizon);
   void Finalize(Group& group);
+  void WarnOnWriteError();
 
   ProvenanceSinkOptions options_;
   std::FILE* file_ = nullptr;
+  std::unique_ptr<AsyncFileWriter> writer_;  // null in synchronous mode
   // Groups in creation (= derived ts) order, with an id index.
   std::list<Group> groups_;
   std::unordered_map<uint64_t, std::list<Group>::iterator> by_id_;
   ByteWriter scratch_;
+  bool write_error_warned_ = false;
   uint64_t records_ = 0;
   uint64_t origin_tuples_ = 0;
   uint64_t bytes_written_ = 0;

@@ -10,6 +10,12 @@
 //  * BuildComposedSu — the literal Figure 5B construction from standard
 //    instrumented operators (Multiplex + Map), demonstrating challenge C3.
 // Equivalence of the two is covered by tests and an ablation bench.
+//
+// SuNode is batch-aware: one activation processes a whole StreamBatch,
+// forwarding the SO copy as a single chunk, reusing the traversal scratch and
+// origin buffer across the batch, and building every unfolded tuple of the
+// batch straight into one outgoing U chunk (EmitBatchTo), so per-tuple queue
+// handovers disappear at batch sizes > 1.
 #ifndef GENEALOG_GENEALOG_SU_H_
 #define GENEALOG_GENEALOG_SU_H_
 
@@ -29,33 +35,46 @@ namespace genealog {
 
 class SuNode final : public SingleInputNode {
  public:
-  explicit SuNode(std::string name) : SingleInputNode(std::move(name)) {}
+  explicit SuNode(std::string name) : SingleInputNode(std::move(name)) {
+    pending_samples_.reserve(kPublishEvery);
+  }
 
   // --- contribution-graph traversal cost (Figure 14) -----------------------
-  double mean_traversal_ms() const {
-    std::lock_guard lock(mu_);
-    return traversal_ms_.mean();
-  }
-  uint64_t traversal_count() const {
-    std::lock_guard lock(mu_);
-    return traversal_ms_.count();
-  }
-  double traversal_percentile_ms(double pct) const {
-    std::lock_guard lock(mu_);
-    return traversal_ms_.percentile(pct);
-  }
-  double mean_graph_size() const {
-    std::lock_guard lock(mu_);
-    return graph_size_.mean();
-  }
+  //
+  // Merge-on-read semantics: the hot path appends each traversal's sample to
+  // a buffer confined to the node's processing thread — no lock, no shared
+  // write — and publishes the buffer into the mutex-protected stats every
+  // kPublishEvery samples and at flush. The accessors below merge what has
+  // been published: once the node has flushed (RunToCompletion / Runner::Join
+  // provide the happens-before), they are exact and account for every tuple;
+  // called mid-run they are safe but may trail the hot path by up to
+  // kPublishEvery samples. Samples are published in processing order, so the
+  // resulting statistics are identical to the former per-tuple locked Adds.
+  double mean_traversal_ms() const;
+  uint64_t traversal_count() const;
+  double traversal_percentile_ms(double pct) const;
+  double mean_graph_size() const;
 
  protected:
   void OnTuple(TuplePtr t) override;
+  void OnBatch(StreamBatch& batch) override;
+  void OnFlush() override;
 
  private:
+  static constexpr size_t kPublishEvery = 256;
+
+  // Traverses `t`, records the traversal sample, and appends one unfolded
+  // tuple per origin to `u_chunk`.
+  void UnfoldOne(const TuplePtr& t, StreamBatch& u_chunk);
+  void PublishStats();
+
+  // --- node-thread state (never touched by readers) ------------------------
   TraversalScratch scratch_;
   std::vector<Tuple*> result_;
-  mutable std::mutex mu_;
+  std::vector<std::pair<double, double>> pending_samples_;  // (ms, graph size)
+
+  // --- published stats (any thread, under stats_mu_) ------------------------
+  mutable std::mutex stats_mu_;
   SampleStats traversal_ms_;
   SampleStats graph_size_;
 };

@@ -47,6 +47,10 @@ struct QueryBuildOptions {
   // by consumer queue depth). Unset follows the process default (on unless
   // GENEALOG_ADAPTIVE_BATCH=0).
   std::optional<bool> adaptive_batch;
+  // Double-buffered asynchronous provenance-file writing. Unset follows the
+  // process default (on unless GENEALOG_ASYNC_PROV_SINK=0); file bytes are
+  // identical either way. Only meaningful with a provenance_file.
+  std::optional<bool> async_prov_sink;
   // Transport for distributed deployments: TCP loopback when true, in-memory
   // serializing channels otherwise.
   bool use_tcp = false;

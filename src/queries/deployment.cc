@@ -9,6 +9,7 @@ ProvenanceSinkOptions MakeProvenanceSinkOptions(const QuerySpec& spec,
   pso.finalize_slack = spec.total_window_span;
   pso.file_path = options.provenance_file;
   pso.consumer = options.provenance_consumer;
+  pso.async_writer = options.async_prov_sink;
   return pso;
 }
 

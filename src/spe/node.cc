@@ -1,30 +1,23 @@
 #include "spe/node.h"
 
 #include <atomic>
-#include <cstdlib>
+
+#include "common/env_knob.h"
 
 namespace genealog {
 namespace {
 
 std::atomic<uint64_t> g_next_node_uid{1};
 
-// Boolean env knob: unset, empty or any non-zero value means enabled — the
-// same parse as GENEALOG_TUPLE_POOL (tuple_pool.cc), so the knobs agree on
-// inputs like an empty var passed through by a wrapper script.
-bool EnvEnabled(const char* name) {
-  const char* v = std::getenv(name);
-  return v == nullptr || v[0] == '\0' || std::atoi(v) != 0;
-}
-
 }  // namespace
 
 bool DefaultSpscEdges() {
-  static const bool enabled = EnvEnabled("GENEALOG_SPSC_RING");
+  static const bool enabled = EnvKnobEnabled("GENEALOG_SPSC_RING");
   return enabled;
 }
 
 bool DefaultAdaptiveBatch() {
-  static const bool enabled = EnvEnabled("GENEALOG_ADAPTIVE_BATCH");
+  static const bool enabled = EnvKnobEnabled("GENEALOG_ADAPTIVE_BATCH");
   return enabled;
 }
 
