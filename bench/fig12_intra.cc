@@ -18,7 +18,7 @@ int Main() {
   std::printf(
       "GeneaLog reproduction — Figure 12 (intra-process provenance)\n"
       "reps=%d scale=%.2f replays=%d batch_size=%zu\n\n",
-      env.reps, env.scale, env.replays, env.batch_size);
+      env.reps, env.scale, env.replays, env.engine.batch_size);
 
   const LrWorkload lr = MakeLrWorkload(env.scale);
   const SgWorkload sg = MakeSgWorkload(env.scale);
@@ -39,7 +39,7 @@ int Main() {
       QueryFactory factory = [&data, mode, builder, span, &env] {
         queries::QueryBuildOptions options;
         options.mode = mode;
-        options.batch_size = env.batch_size;
+        options.engine() = env.engine;
         ApplyReplays(options, env.replays, span);
         return builder(data, std::move(options));
       };
@@ -49,7 +49,7 @@ int Main() {
                         source_bytes * static_cast<uint64_t>(env.replays),
                         &raw));
       json_rows.push_back(BenchJsonRow{name, VariantName(mode), "intra",
-                                       env.batch_size, env.reps,
+                                       env.engine.batch_size, env.reps,
                                        MeanCells(raw)});
       std::printf("  done %s/%s\n", name.c_str(), VariantName(mode));
       std::fflush(stdout);

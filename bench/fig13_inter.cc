@@ -41,8 +41,8 @@ int Main() {
         queries::QueryBuildOptions options;
         options.mode = mode;
         options.distributed = true;
+        options.engine() = env.engine;
         options.use_tcp = use_tcp;
-        options.batch_size = env.batch_size;
         ApplyReplays(options, env.replays, span);
         return builder(data, std::move(options));
       };
@@ -52,7 +52,7 @@ int Main() {
                         source_bytes * static_cast<uint64_t>(env.replays),
                         &raw));
       json_rows.push_back(BenchJsonRow{name, VariantName(mode), "dist",
-                                       env.batch_size, env.reps,
+                                       env.engine.batch_size, env.reps,
                                        MeanCells(raw)});
       std::printf("  done %s/%s\n", name.c_str(), VariantName(mode));
       std::fflush(stdout);

@@ -52,6 +52,7 @@ int Main() {
       queries::QueryBuildOptions options;
       options.mode = ProvenanceMode::kGenealog;
       options.distributed = distributed;
+      options.engine() = env.engine;
       ApplyReplays(options, env.replays, span);
       return builder(data, std::move(options));
     });
@@ -64,7 +65,7 @@ int Main() {
     jr.query = query;
     jr.variant = "GL";
     jr.deployment = deployment;
-    jr.batch_size = env.batch_size;
+    jr.batch_size = env.engine.batch_size;
     jr.reps = env.reps;
     jr.mean = MeanCells(row.cells);
     json_rows.push_back(std::move(jr));

@@ -22,14 +22,11 @@ BenchEnv ReadBenchEnv() {
   if (const char* replays = std::getenv("GENEALOG_BENCH_REPLAYS")) {
     env.replays = std::max(1, std::atoi(replays));
   }
-  if (const char* batch = std::getenv("GENEALOG_BATCH_SIZE")) {
-    env.batch_size = static_cast<size_t>(std::max(1, std::atoi(batch)));
-  }
-  env.tuple_pool = pool::Enabled();          // GENEALOG_TUPLE_POOL
-  env.spsc_ring = DefaultSpscEdges();        // GENEALOG_SPSC_RING
-  env.adaptive_batch = DefaultAdaptiveBatch();  // GENEALOG_ADAPTIVE_BATCH
-  env.epoch_traversal = EpochTraversalEnabled();  // GENEALOG_EPOCH_TRAVERSAL
-  env.async_prov_sink = DefaultAsyncProvSink();   // GENEALOG_ASYNC_PROV_SINK
+  env.engine = EngineOptions::FromEnv();
+  // The process-wide switches may have been flipped programmatically; record
+  // their live state, not the env default.
+  env.engine.tuple_pool = pool::Enabled();
+  env.engine.epoch_traversal = EpochTraversalEnabled();
   if (const char* dir = std::getenv("GENEALOG_BENCH_JSON_DIR")) {
     env.json_dir = dir;
   }

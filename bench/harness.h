@@ -33,6 +33,7 @@
 #include <string>
 #include <vector>
 
+#include "common/engine_options.h"
 #include "metrics/report.h"
 #include "queries/queries.h"
 
@@ -42,12 +43,10 @@ struct BenchEnv {
   int reps = 3;
   double scale = 1.0;
   int replays = 12;
-  size_t batch_size = 1;
-  bool tuple_pool = true;
-  bool spsc_ring = true;
-  bool adaptive_batch = true;
-  bool epoch_traversal = true;
-  bool async_prov_sink = true;
+  // The unified knob snapshot (common/engine_options.h): GENEALOG_BATCH_SIZE
+  // plus every boolean GENEALOG_* policy, with the process-wide switches
+  // (tuple pool, epoch traversal) refined from their live state.
+  EngineOptions engine;
   std::string json_dir = ".";
 };
 BenchEnv ReadBenchEnv();

@@ -222,14 +222,34 @@ void BM_MakeTupleGraphChurn(benchmark::State& state) {
 }
 BENCHMARK(BM_MakeTupleGraphChurn);
 
+// Cloning through the base pointer, the shape Multiplex/Router see. The
+// pointer is laundered so the compiler cannot statically devirtualize —
+// this is the pre-fast-path per-copy cost (vtable dispatch + clone).
 void BM_CloneTuple(benchmark::State& state) {
-  auto t = Report(1);
+  TuplePtr t = Report(1);
+  benchmark::DoNotOptimize(t);
   for (auto _ : state) {
     TuplePtr copy = t->CloneTuple();
     benchmark::DoNotOptimize(copy.get());
   }
+  state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_CloneTuple);
+
+// The same-class fast path Multiplex/Router now run: the cached direct-call
+// cloner keyed on the tag MakeTuple stamped into the header, skipping
+// virtual dispatch for runs of same-typed tuples.
+void BM_CloneTupleSameClass(benchmark::State& state) {
+  TuplePtr t = Report(1);
+  benchmark::DoNotOptimize(t);
+  CloneCache cache;
+  for (auto _ : state) {
+    TuplePtr copy = cache.Clone(*t);
+    benchmark::DoNotOptimize(copy.get());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CloneTupleSameClass);
 
 void BM_SerializeTuple(benchmark::State& state) {
   auto t = Report(1);

@@ -1,12 +1,19 @@
-// Linear Road accident detection (the paper's Q2, Figure 9) with
-// fine-grained provenance: every accident alert is traced back to the
-// position reports of the cars involved.
+// Linear Road accident detection (the paper's Q2, Figure 9) written on the
+// fluent dataflow API, with fine-grained provenance: every accident alert is
+// traced back to the position reports of the cars involved.
+//
+// The whole query is one typed operator chain; setting
+// ProvenanceMode::kGenealog makes Build() weave the SU + provenance sink in
+// automatically (compare src/queries/q2.cc, the hand-assembled deployment
+// version of the same query).
 //
 //   $ ./build/examples/linear_road_accidents [n_cars] [duration_s]
 #include <cstdio>
 #include <cstdlib>
+#include <set>
 
-#include "queries/queries.h"
+#include "lr/linear_road.h"
+#include "spe/dataflow.h"
 
 using namespace genealog;
 
@@ -25,16 +32,11 @@ int main(int argc, char** argv) {
   std::printf("generated %zu position reports, %zu planted breakdowns\n\n",
               data.reports.size(), data.planted_stops.size());
 
-  queries::QueryBuildOptions options;
+  constexpr int64_t kStopWs = 120, kStopWa = 30;  // Q1 window (§7)
+  constexpr int64_t kAccidentWs = 30;             // Q2 tumbling window
+
+  DataflowOptions options;
   options.mode = ProvenanceMode::kGenealog;
-  options.sink_consumer = [](const TuplePtr& alert) {
-    const auto& stats = static_cast<const lr::AccidentStats&>(*alert);
-    std::printf("ACCIDENT window=%lld..%lld position=%lld stopped_cars=%lld\n",
-                static_cast<long long>(alert->ts),
-                static_cast<long long>(alert->ts + queries::kQ2WindowSize),
-                static_cast<long long>(stats.pos),
-                static_cast<long long>(stats.count));
-  };
   options.provenance_consumer = [](const ProvenanceRecord& record) {
     std::printf("  provenance (%zu position reports):\n",
                 record.origins.size());
@@ -47,14 +49,53 @@ int main(int argc, char** argv) {
     }
   };
 
-  queries::BuiltQuery query = queries::BuildQ2(data, std::move(options));
-  query.Run();
+  Dataflow df(std::move(options));
+  df.Source<lr::PositionReport>("source", data.reports)
+      .Filter("filter.speed0",
+              [](const lr::PositionReport& t) { return t.speed == 0.0; })
+      .Aggregate<lr::StoppedCarStats>(
+          "agg.stopped", AggregateOptions{kStopWs, kStopWa},
+          [](const lr::PositionReport& t) { return t.car_id; },
+          [](const WindowView<lr::PositionReport, int64_t>& w) {
+            std::set<int64_t> positions;
+            for (const auto& t : w.tuples) positions.insert(t->pos);
+            return MakeTuple<lr::StoppedCarStats>(
+                0, w.key, static_cast<int64_t>(w.tuples.size()),
+                static_cast<int64_t>(positions.size()), w.tuples.back()->pos);
+          })
+      .Filter("filter.stopped",
+              [](const lr::StoppedCarStats& t) {
+                return t.count == 4 && t.dist_pos == 1;
+              })
+      .Aggregate<lr::AccidentStats>(
+          "agg.accidents", AggregateOptions{kAccidentWs, kAccidentWs},
+          [](const lr::StoppedCarStats& t) { return t.last_pos; },
+          [](const WindowView<lr::StoppedCarStats, int64_t>& w) {
+            std::set<int64_t> cars;
+            for (const auto& t : w.tuples) cars.insert(t->car_id);
+            return MakeTuple<lr::AccidentStats>(
+                0, w.key, static_cast<int64_t>(cars.size()));
+          })
+      .Filter("filter.accident",
+              [](const lr::AccidentStats& t) { return t.count > 1; })
+      .Sink("K", [](const TuplePtr& alert) {
+        const auto& stats = static_cast<const lr::AccidentStats&>(*alert);
+        std::printf(
+            "ACCIDENT window=%lld..%lld position=%lld stopped_cars=%lld\n",
+            static_cast<long long>(alert->ts),
+            static_cast<long long>(alert->ts + kAccidentWs),
+            static_cast<long long>(stats.pos),
+            static_cast<long long>(stats.count));
+      });
+  BuiltDataflow flow = df.Build();
+  flow.Run();
 
   std::printf("\nprocessed %llu reports, %llu accident alerts, "
               "%llu provenance records (avg %.1f reports per alert)\n",
-              static_cast<unsigned long long>(query.source->tuples_processed()),
-              static_cast<unsigned long long>(query.sink->count()),
-              static_cast<unsigned long long>(query.provenance_sink->records()),
-              query.provenance_sink->mean_origins_per_record());
+              static_cast<unsigned long long>(
+                  flow.source()->tuples_processed()),
+              static_cast<unsigned long long>(flow.sink()->count()),
+              static_cast<unsigned long long>(flow.provenance_records()),
+              flow.mean_origins_per_record());
   return 0;
 }

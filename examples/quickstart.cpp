@@ -1,23 +1,21 @@
-// Quickstart: build a small instrumented query, run it, and trace each alert
-// back to the exact source tuples that caused it.
+// Quickstart: build a small instrumented query with the fluent dataflow API,
+// run it, and trace each alert back to the exact source tuples that caused
+// it.
 //
 // The query watches a stream of temperature readings and raises an alert
 // when a sensor's 60-second window average exceeds a threshold; GeneaLog
-// tells us *which readings* pushed the average over.
+// tells us *which readings* pushed the average over. Provenance capture is
+// woven in by the framework: setting ProvenanceMode::kGenealog on the
+// dataflow is all it takes — the SU before the sink and the provenance sink
+// are inserted automatically when the plan is lowered.
 //
-//   $ ./build/examples/quickstart
+//   $ ./build/examples/quickstart [provenance_file]
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "core/tuple_crtp.h"
-#include "genealog/provenance_sink.h"
-#include "genealog/su.h"
-#include "spe/aggregate.h"
-#include "spe/sink.h"
-#include "spe/source.h"
-#include "spe/stateless.h"
-#include "spe/topology.h"
+#include "spe/dataflow.h"
 
 namespace {
 
@@ -89,61 +87,60 @@ std::vector<IntrusivePtr<Reading>> MakeReadings() {
 
 }  // namespace
 
-int main() {
-  // 2. Build the query. The Topology's ProvenanceMode turns the standard
-  //    operators into their GeneaLog-instrumented versions. Streams hand
-  //    tuples over in chunks of up to this many (1 = item at a time); the
-  //    output is identical at every setting, only the throughput changes.
-  Topology topo(/*instance_id=*/1, ProvenanceMode::kGenealog);
-  topo.set_default_batch_size(64);
-
-  auto* source = topo.Add<VectorSourceNode<Reading>>("readings", MakeReadings());
-
-  auto* averages = topo.Add<AggregateNode<Reading, WindowAverage>>(
-      "window_avg",
-      AggregateOptions{/*ws=*/60, /*wa=*/30,
-                       WindowBounds::kLeftClosedRightOpen,
-                       EmitAt::kWindowStart},
-      [](const Reading& r) { return r.sensor; },
-      [](const WindowView<Reading, int64_t>& w) {
-        double sum = 0;
-        for (const auto& r : w.tuples) sum += r->celsius;
-        return MakeTuple<WindowAverage>(
-            0, w.key, sum / static_cast<double>(w.tuples.size()));
-      });
-
-  auto* alerts = topo.Add<FilterNode<WindowAverage>>(
-      "overheat", [](const WindowAverage& a) { return a.avg > 80.0; });
-
-  // 3. Provenance: one SU before the sink (Theorem 5.3). SO feeds the normal
-  //    sink; U feeds a provenance sink that regroups per alert.
-  auto* su = topo.Add<SuNode>("SU");
-  auto* sink = topo.Add<SinkNode>("alerts", [](const TuplePtr& t) {
-    std::printf("ALERT  ts=%-4lld %s\n", static_cast<long long>(t->ts),
-                t->DebugPayload().c_str());
-  });
-  ProvenanceSinkOptions pso;
-  pso.consumer = [](const ProvenanceRecord& record) {
+int main(int argc, char** argv) {
+  // 2. Configure the dataflow. The ProvenanceMode turns the standard
+  //    operators into their GeneaLog-instrumented versions and makes Build()
+  //    weave the provenance machinery in; the EngineOptions bundle carries
+  //    the data-plane knobs (streams hand tuples over in chunks of up to
+  //    batch_size; the output is identical at every setting, only the
+  //    throughput changes).
+  DataflowOptions options;
+  options.mode = ProvenanceMode::kGenealog;
+  options.engine.batch_size = 64;
+  options.provenance_file =
+      argc > 1 ? argv[1] : "quickstart_provenance.bin";
+  options.provenance_consumer = [](const ProvenanceRecord& record) {
     std::printf("  caused by %zu readings:\n", record.origins.size());
     for (const TuplePtr& origin : record.origins) {
       std::printf("    ts=%-4lld %s\n", static_cast<long long>(origin->ts),
                   origin->DebugPayload().c_str());
     }
   };
-  auto* provenance = topo.Add<ProvenanceSinkNode>("provenance", pso);
 
-  topo.Connect(source, averages);
-  topo.Connect(averages, alerts);
-  topo.Connect(alerts, su);
-  topo.Connect(su, sink);        // SU output 0: the unchanged sink stream
-  topo.Connect(su, provenance);  // SU output 1: the unfolded stream
+  // 3. Write the query as a typed operator chain and build it. Lowering
+  //    assigns every port, inserts the SU before the sink (Theorem 5.3) and
+  //    routes its unfolded stream into a provenance sink that regroups the
+  //    origins per alert — no manual wiring.
+  Dataflow df(std::move(options));
+  df.Source<Reading>("readings", MakeReadings())
+      .Aggregate<WindowAverage>(
+          "window_avg",
+          AggregateOptions{/*ws=*/60, /*wa=*/30,
+                           WindowBounds::kLeftClosedRightOpen,
+                           EmitAt::kWindowStart},
+          [](const Reading& r) { return r.sensor; },
+          [](const WindowView<Reading, int64_t>& w) {
+            double sum = 0;
+            for (const auto& r : w.tuples) sum += r->celsius;
+            return MakeTuple<WindowAverage>(
+                0, w.key, sum / static_cast<double>(w.tuples.size()));
+          })
+      .Filter("overheat", [](const WindowAverage& a) { return a.avg > 80.0; })
+      .Sink("alerts", [](const TuplePtr& t) {
+        std::printf("ALERT  ts=%-4lld %s\n", static_cast<long long>(t->ts),
+                    t->DebugPayload().c_str());
+      });
+  BuiltDataflow flow = df.Build();
 
   // 4. Run to completion (one thread per operator, deterministic merges).
-  RunToCompletion(topo);
+  flow.Run();
 
   std::printf(
       "\nEach alert above lists its fine-grained provenance: the exact\n"
-      "source readings in the window that produced it. Memory for all other\n"
-      "readings was reclaimed as soon as they stopped contributing.\n");
+      "source readings in the window that produced it (%llu records also\n"
+      "persisted to %s). Memory for all other readings was reclaimed as\n"
+      "soon as they stopped contributing.\n",
+      static_cast<unsigned long long>(flow.provenance_records()),
+      argc > 1 ? argv[1] : "quickstart_provenance.bin");
   return 0;
 }

@@ -1,0 +1,120 @@
+// The engine's data-plane and provenance-plane knobs, collected in one
+// struct so every layer spells them the same way.
+//
+// One knob, three spellings used to exist (environment variable, Topology
+// setter, QueryBuildOptions field); EngineOptions is now the single source of
+// truth: a default-constructed instance carries the process-wide defaults
+// (each boolean policy honoring its GENEALOG_* environment variable via
+// env_knob.h), Topology::Configure stamps the data-plane subset on a
+// topology, QueryBuildOptions embeds the struct as a base, the dataflow
+// builder forwards it to every topology it lowers, and the bench harness
+// records the same instance in BENCH_*.json.
+//
+// | Field            | Env var                  | Default |
+// |------------------|--------------------------|---------|
+// | batch_size       | GENEALOG_BATCH_SIZE      | 1       |
+// | spsc_edges       | GENEALOG_SPSC_RING       | on      |
+// | adaptive_batch   | GENEALOG_ADAPTIVE_BATCH  | on      |
+// | tuple_pool       | GENEALOG_TUPLE_POOL      | on      |
+// | epoch_traversal  | GENEALOG_EPOCH_TRAVERSAL | on      |
+// | async_prov_sink  | GENEALOG_ASYNC_PROV_SINK | on      |
+// | use_tcp          | —                        | off     |
+// | composed_unfolders | —                      | off     |
+//
+// batch_size is deliberately *not* read from the environment by the default
+// constructor: a plain `EngineOptions{}` is the engine default (batch 1, the
+// seed data plane). FromEnv() additionally honors GENEALOG_BATCH_SIZE — the
+// bench harness and ad-hoc tools use it so one exported variable sweeps a
+// whole binary.
+//
+// tuple_pool and epoch_traversal are process-wide switches (the allocator and
+// the traversal fast path are globals, not per-topology state); they ride
+// here so option plumbing and BENCH_*.json reporting see one struct, but
+// flipping them on a copy does not reconfigure a running process — use
+// pool::SetEnabled / SetEpochTraversal for that.
+#ifndef GENEALOG_COMMON_ENGINE_OPTIONS_H_
+#define GENEALOG_COMMON_ENGINE_OPTIONS_H_
+
+#include <cstddef>
+#include <cstdlib>
+
+#include "common/env_knob.h"
+
+namespace genealog {
+
+namespace engine_defaults {
+
+// Each helper reads its environment variable once per process and caches the
+// result, so defaults cannot drift mid-run when a test mutates the
+// environment. These are the definitions the per-subsystem Default*()
+// functions (node.cc, provenance_sink.cc, tuple_pool.cc, traversal.cc)
+// delegate to.
+inline bool SpscEdges() {
+  static const bool v = EnvKnobEnabled("GENEALOG_SPSC_RING");
+  return v;
+}
+inline bool AdaptiveBatch() {
+  static const bool v = EnvKnobEnabled("GENEALOG_ADAPTIVE_BATCH");
+  return v;
+}
+inline bool TuplePool() {
+  static const bool v = EnvKnobEnabled("GENEALOG_TUPLE_POOL");
+  return v;
+}
+inline bool EpochTraversal() {
+  static const bool v = EnvKnobEnabled("GENEALOG_EPOCH_TRAVERSAL");
+  return v;
+}
+inline bool AsyncProvSink() {
+  static const bool v = EnvKnobEnabled("GENEALOG_ASYNC_PROV_SINK");
+  return v;
+}
+inline size_t BatchSize() {
+  static const size_t v = [] {
+    const char* s = std::getenv("GENEALOG_BATCH_SIZE");
+    const int n = s != nullptr ? std::atoi(s) : 1;
+    return static_cast<size_t>(n < 1 ? 1 : n);
+  }();
+  return v;
+}
+
+}  // namespace engine_defaults
+
+struct EngineOptions {
+  // Stream batch size for every edge (1 = item-at-a-time handover, the seed
+  // data plane).
+  size_t batch_size = 1;
+  // Lock-free SPSC ring on single-producer edges (mutex BatchQueue everywhere
+  // when false).
+  bool spsc_edges = engine_defaults::SpscEdges();
+  // Endpoints steer their flush threshold within [1, batch_size] from
+  // consumer queue depth (static threshold when false).
+  bool adaptive_batch = engine_defaults::AdaptiveBatch();
+  // Recycling slab allocator under MakeTuple. Process-wide; informational in
+  // per-query options (see header comment).
+  bool tuple_pool = engine_defaults::TuplePool();
+  // Mark-word epoch fast path in FindProvenance. Process-wide; informational
+  // in per-query options (see header comment).
+  bool epoch_traversal = engine_defaults::EpochTraversal();
+  // Double-buffered background provenance-file writer (sync fwrite when
+  // false). File bytes are identical either way.
+  bool async_prov_sink = engine_defaults::AsyncProvSink();
+  // Distributed deployments: TCP loopback channels when true, in-memory
+  // serializing channels otherwise.
+  bool use_tcp = false;
+  // Use the composed (Figure 5B / Figure 8) SU/MU constructions instead of
+  // the fused operators — the C3 demonstration and fusion ablation.
+  bool composed_unfolders = false;
+
+  // The full environment snapshot: the defaults above plus
+  // GENEALOG_BATCH_SIZE applied to batch_size.
+  static EngineOptions FromEnv() {
+    EngineOptions o;
+    o.batch_size = engine_defaults::BatchSize();
+    return o;
+  }
+};
+
+}  // namespace genealog
+
+#endif  // GENEALOG_COMMON_ENGINE_OPTIONS_H_

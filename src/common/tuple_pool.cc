@@ -7,7 +7,7 @@
 #include <new>
 #include <vector>
 
-#include "common/env_knob.h"
+#include "common/engine_options.h"
 #include "common/memory_accounting.h"
 
 namespace genealog::pool {
@@ -57,7 +57,7 @@ Central& central() {
 
 std::atomic<int> g_enabled{-1};  // -1 unread, 0 off, 1 on
 
-bool ReadEnabledFromEnv() { return EnvKnobEnabled("GENEALOG_TUPLE_POOL"); }
+bool ReadEnabledFromEnv() { return engine_defaults::TuplePool(); }
 
 // Carves a fresh slab for `cls` and points the bump region at it. Caller
 // holds cls.mu.

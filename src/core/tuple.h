@@ -105,6 +105,15 @@ class Tuple {
 
   int owner_instance() const { return owner_instance_; }
 
+  // The dynamic type tag without virtual dispatch: MakeTuple stamps
+  // T::kTypeTag into the header at construction time, so hot cloning paths
+  // (Multiplex/Router chunks) can key a cached direct-call cloner on it
+  // instead of paying the type_tag()/CloneTuple() vtable pair per tuple (see
+  // CloneCache in core/type_registry.h). 0 = unknown (a type built outside
+  // the CRTP that declares no kTypeTag); callers must fall back to the
+  // virtual CloneTuple then.
+  uint16_t fast_type_tag() const { return fast_tag_; }
+
   // Traversal mark word (genealog/traversal.cc): the epoch fast path of
   // FindProvenance stamps a per-traversal ticket here with a relaxed CAS, so
   // the visited check touches only the cache line of the tuple already being
@@ -134,6 +143,9 @@ class Tuple {
   // block is recycled into the pool it was carved from. Lives in the padding
   // after refs_, so provenance storage stays the paper's constant size.
   uint8_t pool_class_ = pool::kHeapClass;
+  // Cached type_tag(), stamped by MakeTuple (see fast_type_tag()). Shares
+  // the same padding bytes as pool_class_ — no size growth.
+  uint16_t fast_tag_ = 0;
   mutable std::atomic<uint64_t> mark_{0};
   std::atomic<Tuple*> next_{nullptr};
   Tuple* u1_ = nullptr;
@@ -165,6 +177,12 @@ IntrusivePtr<T> MakeTuple(Args&&... args) {
   // sit at the block start (single-inheritance tuples always satisfy this).
   assert(static_cast<void*>(static_cast<Tuple*>(t)) == mem);
   t->pool_class_ = size_class;
+  // Cache the dynamic tag for the same-class clone fast path. A compile-time
+  // constant for CRTP schema types; types without a static tag keep 0 and
+  // cloners fall back to virtual dispatch.
+  if constexpr (requires { T::kTypeTag; }) {
+    t->fast_tag_ = T::kTypeTag;
+  }
   t->FinishAccounting();
   return IntrusivePtr<T>(t);
 }

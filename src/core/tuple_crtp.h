@@ -41,6 +41,14 @@ class TupleCrtp : public Tuple {
     return MakeTuple<Derived>(static_cast<const Derived&>(*this));
   }
 
+  // The registered same-class cloner (see CloneCache in type_registry.h):
+  // identical to CloneTuple, but reached through a plain function pointer
+  // keyed on the tuple's stamped tag, so hot cloning paths skip virtual
+  // dispatch. The caller guarantees t's dynamic type is Derived.
+  static TuplePtr CloneFromBase(const Tuple& t) {
+    return MakeTuple<Derived>(static_cast<const Derived&>(t));
+  }
+
  protected:
   TupleCrtp(const TupleCrtp&) = default;
 };
@@ -51,7 +59,8 @@ class TupleCrtp : public Tuple {
 #define GENEALOG_REGISTER_TUPLE(Type)                                 \
   inline const bool kTupleRegistration_##Type =                       \
       ::genealog::RegisterTupleType(Type::kTypeTag, Type::kTypeName,  \
-                                    &Type::Deserialize)
+                                    &Type::Deserialize,               \
+                                    &Type::CloneFromBase)
 
 }  // namespace genealog
 

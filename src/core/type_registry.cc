@@ -13,6 +13,7 @@ namespace {
 struct Entry {
   const char* name;
   PayloadDeserializer fn;
+  TupleCloner cloner;
 };
 
 std::map<uint16_t, Entry>& registry() {
@@ -27,15 +28,22 @@ std::mutex& registry_mutex() {
 
 }  // namespace
 
-bool RegisterTupleType(uint16_t tag, const char* name, PayloadDeserializer fn) {
+bool RegisterTupleType(uint16_t tag, const char* name, PayloadDeserializer fn,
+                       TupleCloner cloner) {
   std::lock_guard lock(registry_mutex());
-  auto [it, inserted] = registry().emplace(tag, Entry{name, fn});
+  auto [it, inserted] = registry().emplace(tag, Entry{name, fn, cloner});
   if (!inserted && std::strcmp(it->second.name, name) != 0) {
     std::fprintf(stderr, "tuple type tag %u registered twice: %s vs %s\n", tag,
                  it->second.name, name);
     std::abort();
   }
   return true;
+}
+
+TupleCloner ClonerForTag(uint16_t tag) {
+  std::lock_guard lock(registry_mutex());
+  auto it = registry().find(tag);
+  return it == registry().end() ? nullptr : it->second.cloner;
 }
 
 namespace {

@@ -25,10 +25,46 @@ namespace genealog {
 // DeserializeTuple.
 using PayloadDeserializer = TuplePtr (*)(ByteReader& r, int64_t ts);
 
+// Clones `t`, whose dynamic type is the registered type, without virtual
+// dispatch (the CRTP base supplies the implementation: a statically-typed
+// copy construction through MakeTuple, with the pool size class resolved at
+// compile time). Same contract as Tuple::CloneTuple.
+using TupleCloner = TuplePtr (*)(const Tuple& t);
+
 // Registers `tag`. Re-registering the same tag with the same name is a no-op
 // (inline registration constants are emitted once per translation unit);
 // conflicting registrations abort.
-bool RegisterTupleType(uint16_t tag, const char* name, PayloadDeserializer fn);
+bool RegisterTupleType(uint16_t tag, const char* name, PayloadDeserializer fn,
+                       TupleCloner cloner = nullptr);
+
+// The registered same-class cloner for `tag`; null when the tag is unknown
+// or was registered without one.
+TupleCloner ClonerForTag(uint16_t tag);
+
+// Same-class CloneTuple fast path. Cloning runs of same-typed tuples — a
+// Multiplex output chunk, a Router fan-out — normally pays two virtual
+// dispatches per copy (type_tag via clone). The cache keys the registered
+// direct-call cloner on the tag MakeTuple stamped into the tuple header
+// (Tuple::fast_type_tag), resolving it once per distinct tag and reusing it
+// while the type stays the same, and falls back to the virtual CloneTuple
+// for unstamped or unregistered types. Not thread-safe; keep one per
+// operator (operators are single-threaded).
+class CloneCache {
+ public:
+  TuplePtr Clone(const Tuple& t) {
+    const uint16_t tag = t.fast_type_tag();
+    if (tag == 0) return t.CloneTuple();
+    if (tag != tag_) {
+      tag_ = tag;
+      cloner_ = ClonerForTag(tag);
+    }
+    return cloner_ != nullptr ? cloner_(t) : t.CloneTuple();
+  }
+
+ private:
+  uint16_t tag_ = 0;
+  TupleCloner cloner_ = nullptr;
+};
 
 void SerializeTuple(const Tuple& t, ByteWriter& w);
 

@@ -1,0 +1,264 @@
+#include "genealog/instrument.h"
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "baseline/resolver.h"
+#include "genealog/mu.h"
+#include "genealog/provenance_sink.h"
+#include "genealog/su.h"
+#include "net/send_receive.h"
+
+namespace genealog {
+namespace {
+
+using dataflow_internal::OpKind;
+using dataflow_internal::Plan;
+using dataflow_internal::PlanInput;
+using dataflow_internal::PlanOp;
+
+ChannelEnds AddChannel(BuiltDataflow& out, bool use_tcp) {
+  return AddChannelTo(out.channels, use_tcp);
+}
+
+// Inserts an SU (fused, or the composed Figure 5B construction) whose SO
+// output feeds `so_consumer` and U output feeds `u_consumer`; returns the
+// node the delivering stream connects to. Mirrors queries::AddSu.
+Node* WeaveSu(BuiltDataflow& out, Topology& topo, bool composed,
+              const std::string& name, Node* so_consumer, Node* u_consumer) {
+  if (composed) {
+    ComposedSu su = BuildComposedSu(topo, name);
+    topo.Connect(su.so_node, so_consumer);
+    topo.Connect(su.u_node, u_consumer);
+    return su.entry;
+  }
+  auto* su = topo.Add<SuNode>(name);
+  topo.Connect(su, so_consumer);  // output 0 = SO
+  topo.Connect(su, u_consumer);   // output 1 = U
+  out.su_nodes.push_back(su);
+  return su;
+}
+
+struct MuEnds {
+  Node* derived_entry;
+  Node* upstream_entry;
+};
+
+MuEnds WeaveMu(Topology& topo, bool composed, const std::string& name,
+               int64_t ws, Node* consumer) {
+  if (composed) {
+    ComposedMu mu = BuildComposedMu(topo, name, ws);
+    topo.Connect(mu.output, consumer);
+    return {mu.derived_entry, mu.upstream_entry};
+  }
+  auto* mu = topo.Add<MuNode>(name, ws);
+  topo.Connect(mu, consumer);
+  return {mu, mu};
+}
+
+}  // namespace
+
+void LowerDataflow(const Plan& plan, BuiltDataflow& out) {
+  const DataflowOptions& opts = plan.options;
+  const EngineOptions& engine = opts.engine;
+  const ProvenanceMode mode = opts.mode;
+
+  // --- instances, topologies, window spans ---------------------------------
+  std::map<int, Topology*> topo_of;  // instance id -> topology, ascending
+  std::map<int, int64_t> span_of;    // stateful window span per instance
+  int64_t total_span = 0;
+  for (const PlanOp& op : plan.ops) {
+    topo_of[op.instance] = nullptr;
+    span_of[op.instance] += op.window_span;
+    total_span += op.window_span;
+  }
+  out.total_window_span = total_span;
+  const bool distributed = topo_of.size() > 1;
+  const int max_instance = topo_of.rbegin()->first;
+
+  for (auto& [instance, topo] : topo_of) {
+    auto owned = std::make_unique<Topology>(instance, mode);
+    owned->Configure(engine);
+    topo = owned.get();
+    out.topologies.push_back(std::move(owned));
+  }
+  // Distributed GL/BL record provenance on a dedicated instance (§6).
+  Topology* prov_topo = nullptr;
+  if (distributed && mode != ProvenanceMode::kNone) {
+    auto owned = std::make_unique<Topology>(max_instance + 1, mode);
+    owned->Configure(engine);
+    prov_topo = owned.get();
+    out.topologies.push_back(std::move(owned));
+  }
+  out.n_instances = static_cast<int>(out.topologies.size());
+
+  const int64_t slack = opts.finalize_slack.value_or(total_span);
+
+  // --- operator nodes -------------------------------------------------------
+  // entry_of[i] = the node producers of op i connect into; exit_of[i] = the
+  // node producing op i's output. They diverge from the operator node itself
+  // exactly where the weaving interposes machinery: BL source taps on the
+  // exit side, SUs / BL sink taps on the sink's entry side.
+  std::vector<Node*> node_of(plan.ops.size(), nullptr);
+  std::vector<Node*> entry_of(plan.ops.size(), nullptr);
+  std::vector<Node*> exit_of(plan.ops.size(), nullptr);
+  std::vector<std::pair<Topology*, Node*>> source_taps;  // BL, plan order
+  size_t sink_op = plan.ops.size();
+  for (size_t i = 0; i < plan.ops.size(); ++i) {
+    const PlanOp& op = plan.ops[i];
+    Topology& topo = *topo_of.at(op.instance);
+    node_of[i] = op.make(topo);
+    entry_of[i] = exit_of[i] = node_of[i];
+    switch (op.kind) {
+      case OpKind::kSource: {
+        out.sources.push_back(static_cast<SourceNodeBase*>(node_of[i]));
+        if (mode == ProvenanceMode::kBaseline) {
+          // BL ships (a copy of) every source stream to the resolver.
+          auto* tap = topo.Add<MultiplexNode>("bl.source_tap." + op.name);
+          topo.Connect(node_of[i], tap);
+          exit_of[i] = tap;
+          source_taps.emplace_back(&topo, tap);
+        }
+        break;
+      }
+      case OpKind::kSink:
+        out.sinks.push_back(static_cast<SinkNode*>(node_of[i]));
+        sink_op = i;
+        break;
+      case OpKind::kOperator:
+        break;
+    }
+  }
+
+  // --- provenance weaving around the sink -----------------------------------
+  MuEnds mu{nullptr, nullptr};
+  if (mode == ProvenanceMode::kGenealog) {
+    ProvenanceSinkOptions pso;
+    pso.finalize_slack = slack;
+    pso.file_path = opts.provenance_file;
+    pso.consumer = opts.provenance_consumer;
+    pso.async_writer = engine.async_prov_sink;
+    Topology& sink_topo = *topo_of.at(plan.ops[sink_op].instance);
+    Node* sink_node = node_of[sink_op];
+    if (!distributed) {
+      // Theorem 5.3: one SU before the sink; U feeds the provenance sink.
+      auto* psink = sink_topo.Add<ProvenanceSinkNode>("K2", pso);
+      out.provenance_sink = psink;
+      entry_of[sink_op] = WeaveSu(out, sink_topo, engine.composed_unfolders,
+                                  "SU", sink_node, psink);
+    } else {
+      auto* psink = prov_topo->Add<ProvenanceSinkNode>("K2", pso);
+      out.provenance_sink = psink;
+      // MU join window: the stateful window span of the instance producing
+      // the derived (sink-side) stream (§6.1).
+      mu = WeaveMu(*prov_topo, engine.composed_unfolders, "MU",
+                   span_of.at(plan.ops[sink_op].instance), psink);
+      ChannelEnds ch = AddChannel(out, engine.use_tcp);
+      auto* send_derived = sink_topo.Add<SendNode>("send.U_sink", ch.send);
+      auto* recv_derived =
+          prov_topo->Add<ReceiveNode>("recv.U_sink", ch.recv);
+      entry_of[sink_op] = WeaveSu(out, sink_topo, engine.composed_unfolders,
+                                  "SU.sink", sink_node, send_derived);
+      prov_topo->Connect(recv_derived, mu.derived_entry);  // MU port 0
+    }
+  } else if (mode == ProvenanceMode::kBaseline) {
+    BaselineResolverOptions bro;
+    bro.slack = slack;
+    bro.evict = opts.baseline_oracle_eviction;
+    bro.file_path = opts.provenance_file;
+    bro.consumer = opts.provenance_consumer;
+    Topology& sink_topo = *topo_of.at(plan.ops[sink_op].instance);
+    Node* sink_node = node_of[sink_op];
+    auto* sink_tap = sink_topo.Add<MultiplexNode>("bl.sink_tap");
+    sink_topo.Connect(sink_tap, sink_node);
+    entry_of[sink_op] = sink_tap;
+    if (!distributed) {
+      auto* resolver =
+          sink_topo.Add<BaselineResolverNode>("bl.resolver", bro);
+      out.baseline_resolver = resolver;
+      // Resolver port order matters: 0 = annotated sink stream, 1.. = source
+      // streams.
+      sink_topo.Connect(sink_tap, resolver);
+      for (auto& [topo, tap] : source_taps) topo->Connect(tap, resolver);
+    } else {
+      auto* resolver =
+          prov_topo->Add<BaselineResolverNode>("bl.resolver", bro);
+      out.baseline_resolver = resolver;
+      ChannelEnds ch = AddChannel(out, engine.use_tcp);
+      auto* send_ann = sink_topo.Add<SendNode>("send.sink_ann", ch.send);
+      auto* recv_ann = prov_topo->Add<ReceiveNode>("recv.sink_ann", ch.recv);
+      sink_topo.Connect(sink_tap, send_ann);
+      prov_topo->Connect(recv_ann, resolver);  // port 0
+      // Whole source streams shipped to the provenance instance — the
+      // network cost §7 observes sinking the distributed baseline.
+      for (size_t s = 0; s < source_taps.size(); ++s) {
+        auto& [src_topo, tap] = source_taps[s];
+        ChannelEnds ch_src = AddChannel(out, engine.use_tcp);
+        auto* send_src = src_topo->Add<SendNode>(
+            "send.source_copy" + std::to_string(s), ch_src.send);
+        auto* recv_src = prov_topo->Add<ReceiveNode>(
+            "recv.source_copy" + std::to_string(s), ch_src.recv);
+        src_topo->Connect(tap, send_src);
+        prov_topo->Connect(recv_src, resolver);  // ports 1..
+      }
+    }
+  }
+
+  // --- data edges -----------------------------------------------------------
+  // Consumers in plan order, input ports in declared order: input port
+  // indices (Join left/right, Union/MU merge order) are a pure function of
+  // the plan. Same-instance edges connect directly; instance-crossing edges
+  // get a serializing channel — and, under GL, the per-delivering-stream SU
+  // whose U feeds the next MU upstream port.
+  size_t n_cross = 0;
+  for (size_t i = 0; i < plan.ops.size(); ++i) {
+    const PlanOp& op = plan.ops[i];
+    for (const PlanInput& in : op.inputs) {
+      const PlanOp& producer = plan.ops[in.op];
+      Topology& from_topo = *topo_of.at(producer.instance);
+      Topology& to_topo = *topo_of.at(op.instance);
+      Node* from = exit_of[in.op];
+      Node* to = entry_of[i];
+      if (producer.instance == op.instance) {
+        from_topo.Connect(from, to);
+        continue;
+      }
+      const std::string tag = std::to_string(n_cross++);
+      ChannelEnds ch = AddChannel(out, engine.use_tcp);
+      auto* send = from_topo.Add<SendNode>("send.data" + tag, ch.send);
+      auto* recv = to_topo.Add<ReceiveNode>("recv.data" + tag, ch.recv);
+      if (mode == ProvenanceMode::kGenealog) {
+        ChannelEnds ch_u = AddChannel(out, engine.use_tcp);
+        auto* send_u = from_topo.Add<SendNode>("send.U" + tag, ch_u.send);
+        auto* recv_u = prov_topo->Add<ReceiveNode>("recv.U" + tag, ch_u.recv);
+        Node* su = WeaveSu(out, from_topo, engine.composed_unfolders,
+                           "SU.send" + tag, send, send_u);
+        from_topo.Connect(from, su);
+        prov_topo->Connect(recv_u, mu.upstream_entry);  // MU ports 1..
+      } else {
+        from_topo.Connect(from, send);
+      }
+      to_topo.Connect(recv, to);
+    }
+  }
+}
+
+uint64_t BuiltDataflow::provenance_records() const {
+  if (provenance_sink != nullptr) return provenance_sink->records();
+  if (baseline_resolver != nullptr) return baseline_resolver->records();
+  return 0;
+}
+
+double BuiltDataflow::mean_origins_per_record() const {
+  if (provenance_sink != nullptr) {
+    return provenance_sink->mean_origins_per_record();
+  }
+  if (baseline_resolver != nullptr) {
+    return baseline_resolver->mean_origins_per_record();
+  }
+  return 0.0;
+}
+
+}  // namespace genealog

@@ -2,12 +2,12 @@
 
 #include <stdexcept>
 
-#include "common/env_knob.h"
+#include "common/engine_options.h"
 
 namespace genealog {
 
 bool DefaultAsyncProvSink() {
-  static const bool enabled = EnvKnobEnabled("GENEALOG_ASYNC_PROV_SINK");
+  const bool enabled = engine_defaults::AsyncProvSink();
   return enabled;
 }
 

@@ -2,14 +2,14 @@
 
 #include <atomic>
 
-#include "common/env_knob.h"
+#include "common/engine_options.h"
 
 namespace genealog {
 namespace {
 
 std::atomic<bool>& EpochFlag() {
   static std::atomic<bool> enabled{
-      EnvKnobEnabled("GENEALOG_EPOCH_TRAVERSAL")};
+      engine_defaults::EpochTraversal()};
   return enabled;
 }
 

@@ -77,6 +77,27 @@ class TcpChannel final : public ByteChannel {
 std::pair<std::unique_ptr<TcpChannel>, std::unique_ptr<TcpChannel>>
 MakeTcpChannelPair();
 
+// The two ends of one logical inter-instance stream. For in-memory channels
+// both handles are the same object; a TCP loopback pair has distinct
+// sender/receiver objects.
+struct ChannelEnds {
+  ByteChannel* send;
+  ByteChannel* recv;
+};
+
+// Allocates a channel into `channels` (owner) and returns its ends — the one
+// helper behind both the hand-wired deployment assembly (queries::AddChannel)
+// and the dataflow lowering (genealog/instrument.cc).
+ChannelEnds AddChannelTo(std::vector<std::unique_ptr<ByteChannel>>& channels,
+                         bool use_tcp);
+
+// Runs `topologies` to completion after registering every channel as an
+// abortable resource, so a failing node tears down socket/frame-queue waits
+// along with the stream queues; rethrows the first node failure. The shared
+// body of queries::BuiltQuery::Run and BuiltDataflow::Run.
+void RunTopologies(const std::vector<std::unique_ptr<Topology>>& topologies,
+                   const std::vector<std::unique_ptr<ByteChannel>>& channels);
+
 }  // namespace genealog
 
 #endif  // GENEALOG_NET_CHANNEL_H_

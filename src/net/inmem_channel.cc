@@ -29,4 +29,35 @@ uint64_t InMemoryChannel::bytes_sent() const {
   return bytes_sent_.load(std::memory_order_relaxed);
 }
 
+ChannelEnds AddChannelTo(std::vector<std::unique_ptr<ByteChannel>>& channels,
+                         bool use_tcp) {
+  if (use_tcp) {
+    auto [sender, receiver] = MakeTcpChannelPair();
+    ByteChannel* s = sender.get();
+    ByteChannel* r = receiver.get();
+    channels.push_back(std::move(sender));
+    channels.push_back(std::move(receiver));
+    return {s, r};
+  }
+  auto channel = std::make_unique<InMemoryChannel>();
+  ByteChannel* c = channel.get();
+  channels.push_back(std::move(channel));
+  return {c, c};
+}
+
+void RunTopologies(const std::vector<std::unique_ptr<Topology>>& topologies,
+                   const std::vector<std::unique_ptr<ByteChannel>>& channels) {
+  if (!topologies.empty()) {
+    for (const auto& channel : channels) {
+      topologies.front()->RegisterAbortable(channel.get());
+    }
+  }
+  std::vector<Topology*> raw;
+  raw.reserve(topologies.size());
+  for (const auto& t : topologies) raw.push_back(t.get());
+  Runner runner(std::move(raw));
+  runner.Start();
+  runner.Join();
+}
+
 }  // namespace genealog

@@ -14,11 +14,11 @@
 #define GENEALOG_QUERIES_COMMON_H_
 
 #include <memory>
-#include <optional>
 #include <string>
 #include <vector>
 
 #include "baseline/resolver.h"
+#include "common/engine_options.h"
 #include "genealog/mu.h"
 #include "genealog/provenance_sink.h"
 #include "genealog/su.h"
@@ -33,30 +33,17 @@
 
 namespace genealog::queries {
 
-struct QueryBuildOptions {
+// Per-query build options. The engine knobs (batch_size, spsc_edges,
+// adaptive_batch, async_prov_sink, use_tcp, composed_unfolders, ...) live in
+// the EngineOptions base — `options.batch_size = 64` and friends keep working
+// as before, but are now the one unified knob struct every layer shares
+// (common/engine_options.h). Each knob defaults to its process-wide
+// GENEALOG_* environment default, so an untouched field still follows the
+// environment exactly as the old optional<bool> fields did. `engine()`
+// exposes the base slice for code that forwards the whole bundle.
+struct QueryBuildOptions : EngineOptions {
   ProvenanceMode mode = ProvenanceMode::kNone;
   bool distributed = false;
-  // Stream batch size for every edge of every instance (1 = unbatched
-  // item-at-a-time handover, the seed data plane).
-  size_t batch_size = 1;
-  // Edge implementation: lock-free SPSC ring on single-producer edges when
-  // true, mutex BatchQueue everywhere when false. Unset follows the process
-  // default (on unless GENEALOG_SPSC_RING=0).
-  std::optional<bool> spsc_edges;
-  // Adaptive batch sizing (flush threshold steered within [1, batch_size]
-  // by consumer queue depth). Unset follows the process default (on unless
-  // GENEALOG_ADAPTIVE_BATCH=0).
-  std::optional<bool> adaptive_batch;
-  // Double-buffered asynchronous provenance-file writing. Unset follows the
-  // process default (on unless GENEALOG_ASYNC_PROV_SINK=0); file bytes are
-  // identical either way. Only meaningful with a provenance_file.
-  std::optional<bool> async_prov_sink;
-  // Transport for distributed deployments: TCP loopback when true, in-memory
-  // serializing channels otherwise.
-  bool use_tcp = false;
-  // Use the composed (Figure 5B / Figure 8) SU/MU implementations instead of
-  // the fused operators — the C3 demonstration and fusion ablation.
-  bool composed_unfolders = false;
   // BL only: let the source store evict tuples that can no longer contribute
   // (an oracle the paper's baseline does not have) — the eviction ablation.
   bool baseline_oracle_eviction = false;
@@ -67,6 +54,9 @@ struct QueryBuildOptions {
   // sink tuple / finalized provenance record.
   SinkNode::Consumer sink_consumer;
   std::function<void(const ProvenanceRecord&)> provenance_consumer;
+
+  const EngineOptions& engine() const { return *this; }
+  EngineOptions& engine() { return *this; }
 };
 
 struct BuiltQuery {
@@ -93,44 +83,15 @@ struct BuiltQuery {
     return total;
   }
 
-  // Runs all topologies to completion (blocking).
-  void Run() {
-    // A failing node aborts queues *and* channels, so Receive nodes blocked
-    // on a socket or frame queue unwind too.
-    if (!topologies.empty()) {
-      for (auto& channel : channels) {
-        topologies.front()->RegisterAbortable(channel.get());
-      }
-    }
-    std::vector<Topology*> raw;
-    raw.reserve(topologies.size());
-    for (auto& t : topologies) raw.push_back(t.get());
-    Runner runner(std::move(raw));
-    runner.Start();
-    runner.Join();
-  }
+  // Runs all topologies to completion (blocking); a failing node aborts
+  // queues *and* channels, so Receive nodes blocked on a socket or frame
+  // queue unwind too.
+  void Run() { RunTopologies(topologies, channels); }
 };
 
-// Allocates a channel on the query (TCP loopback pair collapses to one
-// ByteChannel per direction; the sender handle is what Send/Receive share for
-// in-memory channels).
-struct ChannelEnds {
-  ByteChannel* send;
-  ByteChannel* recv;
-};
+// Allocates a channel on the query (see AddChannelTo in net/channel.h).
 inline ChannelEnds AddChannel(BuiltQuery& q) {
-  if (q.options.use_tcp) {
-    auto [sender, receiver] = MakeTcpChannelPair();
-    ByteChannel* s = sender.get();
-    ByteChannel* r = receiver.get();
-    q.channels.push_back(std::move(sender));
-    q.channels.push_back(std::move(receiver));
-    return {s, r};
-  }
-  auto channel = std::make_unique<InMemoryChannel>();
-  ByteChannel* c = channel.get();
-  q.channels.push_back(std::move(channel));
-  return {c, c};
+  return AddChannelTo(q.channels, q.options.use_tcp);
 }
 
 // Inserts an SU (fused, or composed per Figure 5B when the ablation option is

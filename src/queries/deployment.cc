@@ -24,15 +24,11 @@ BaselineResolverOptions MakeResolverOptions(const QuerySpec& spec,
 }
 
 // Stamps the data-plane knobs (batch size, edge kind, adaptive batching) on
-// a topology; unset optionals keep the process-wide env defaults.
+// a topology. Every knob — including use_tcp and composed_unfolders read by
+// the assembly below — flows through the one EngineOptions slice of the
+// build options; fields left untouched carry the process-wide env defaults.
 void ApplyDataPlane(Topology& topo, const QueryBuildOptions& options) {
-  topo.set_default_batch_size(options.batch_size);
-  if (options.spsc_edges.has_value()) {
-    topo.set_spsc_edges(*options.spsc_edges);
-  }
-  if (options.adaptive_batch.has_value()) {
-    topo.set_adaptive_batch(*options.adaptive_batch);
-  }
+  topo.Configure(options.engine());
 }
 
 // Intra-process deployment: everything in SPE instance 1 (Figures 1/9A/10A/11A

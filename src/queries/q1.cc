@@ -45,7 +45,8 @@ Node* BuildStoppedCarChain(Topology& topo, Node* input,
   auto* agg = topo.Add<AggregateNode<PositionReport, StoppedCarStats>>(
       prefix + "agg.stopped",
       AggregateOptions{kQ1WindowSize, kQ1WindowAdvance,
-                       WindowBounds::kLeftClosedRightOpen, EmitAt::kWindowStart},
+                       WindowBounds::kLeftClosedRightOpen,
+                       EmitAt::kWindowStart},
       [](const PositionReport& t) { return t.car_id; }, StoppedCarCombiner());
   auto* f_stopped = topo.Add<FilterNode<StoppedCarStats>>(
       prefix + "filter.stopped", [](const StoppedCarStats& t) {
@@ -90,6 +91,42 @@ BuiltQuery BuildQ1(const lr::LinearRoadData& data, QueryBuildOptions options) {
     return Stage2{{agg}, f_stopped};
   };
   return Assemble(spec, std::move(options));
+}
+
+// The same query on the fluent builder: the logical plan is the Figure 1
+// chain plus a deployment cut (Figure 7) when distributed; everything the
+// hand-wired builder spells out — SU/MU placement, provenance sink,
+// channels, ports — is woven by Dataflow::Build from options.mode.
+BuiltDataflow BuildQ1Fluent(const lr::LinearRoadData& data,
+                            QueryBuildOptions options) {
+  DataflowOptions opts;
+  opts.mode = options.mode;
+  opts.engine = options.engine();
+  opts.provenance_file = options.provenance_file;
+  opts.provenance_consumer = options.provenance_consumer;
+  opts.baseline_oracle_eviction = options.baseline_oracle_eviction;
+  Dataflow df(std::move(opts));
+
+  Stream<PositionReport> reports =
+      df.Source<PositionReport>("source", data.reports, options.source)
+          .Filter("filter.speed0",
+                  [](const PositionReport& t) { return t.speed == 0.0; });
+  // Figure 7: Source + Filter on instance 1, the rest on instance 2.
+  if (options.distributed) reports = reports.At(2);
+  reports
+      .Aggregate<StoppedCarStats>(
+          "agg.stopped",
+          AggregateOptions{kQ1WindowSize, kQ1WindowAdvance,
+                           WindowBounds::kLeftClosedRightOpen,
+                           EmitAt::kWindowStart},
+          [](const PositionReport& t) { return t.car_id; },
+          StoppedCarCombiner())
+      .Filter("filter.stopped",
+              [](const StoppedCarStats& t) {
+                return t.count == kQ1StopCount && t.dist_pos == 1;
+              })
+      .Sink("K", options.sink_consumer);
+  return df.Build();
 }
 
 }  // namespace genealog::queries

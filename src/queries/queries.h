@@ -13,6 +13,7 @@
 #include "lr/linear_road.h"
 #include "queries/common.h"
 #include "smartgrid/smartgrid.h"
+#include "spe/dataflow.h"
 
 namespace genealog::queries {
 
@@ -29,6 +30,12 @@ inline constexpr double kQ4DiffThreshold = 200.0;
 
 BuiltQuery BuildQ1(const lr::LinearRoadData& data, QueryBuildOptions options);
 BuiltQuery BuildQ2(const lr::LinearRoadData& data, QueryBuildOptions options);
+// Q1 on the fluent dataflow builder (spe/dataflow.h): the same logical query
+// in ~20 lines, with the SU/MU/provenance-sink machinery woven automatically
+// from `options.mode`. dataflow_equivalence_test pins its output — sink
+// stream and provenance records — to the hand-wired BuildQ1 above.
+BuiltDataflow BuildQ1Fluent(const lr::LinearRoadData& data,
+                            QueryBuildOptions options);
 BuiltQuery BuildQ3(const sg::SmartGridData& data, QueryBuildOptions options);
 BuiltQuery BuildQ4(const sg::SmartGridData& data, QueryBuildOptions options);
 

@@ -1,0 +1,77 @@
+#include "spe/dataflow.h"
+
+#include "genealog/instrument.h"
+
+namespace genealog {
+
+using dataflow_internal::OpKind;
+using dataflow_internal::PlanInput;
+using dataflow_internal::PlanOp;
+
+namespace {
+
+// Structural validation before lowering: every stream consumed exactly once,
+// sources and sinks present, provenance modes single-sink.
+void Validate(const dataflow_internal::Plan& plan) {
+  const auto& ops = plan.ops;
+  if (ops.empty()) {
+    throw std::logic_error("Dataflow: empty plan");
+  }
+  size_t n_sources = 0;
+  size_t n_sinks = 0;
+  // consumers[op] counts, per output index, how often that tap is consumed.
+  std::vector<std::vector<int>> consumed(ops.size());
+  for (size_t i = 0; i < ops.size(); ++i) {
+    consumed[i].assign(ops[i].n_outputs, 0);
+  }
+  for (const PlanOp& op : ops) {
+    if (op.kind == OpKind::kSource) ++n_sources;
+    if (op.kind == OpKind::kSink) ++n_sinks;
+    for (const PlanInput& in : op.inputs) {
+      if (in.op >= ops.size() || in.out >= ops[in.op].n_outputs) {
+        throw std::logic_error("Dataflow: '" + op.name +
+                               "' consumes a stream that does not exist");
+      }
+      ++consumed[in.op][in.out];
+    }
+  }
+  for (size_t i = 0; i < ops.size(); ++i) {
+    for (size_t out = 0; out < consumed[i].size(); ++out) {
+      if (consumed[i][out] == 0) {
+        throw std::logic_error(
+            "Dataflow: output of '" + ops[i].name +
+            "' is never consumed (terminate every stream in a Sink)");
+      }
+      if (consumed[i][out] > 1) {
+        throw std::logic_error("Dataflow: output of '" + ops[i].name +
+                               "' is consumed more than once (streams are "
+                               "single-consumer; use Multiplex to fan out)");
+      }
+    }
+  }
+  if (n_sources == 0) throw std::logic_error("Dataflow: no Source");
+  if (n_sinks == 0) throw std::logic_error("Dataflow: no Sink");
+  if (plan.options.mode != ProvenanceMode::kNone && n_sinks != 1) {
+    throw std::logic_error(
+        "Dataflow: provenance modes support exactly one Sink (the paper's "
+        "per-sink provenance construction); found " +
+        std::to_string(n_sinks));
+  }
+}
+
+}  // namespace
+
+BuiltDataflow Dataflow::Build() {
+  if (plan_->built) {
+    throw std::logic_error("Dataflow: Build() called twice");
+  }
+  Validate(*plan_);
+  plan_->built = true;
+  BuiltDataflow out;
+  LowerDataflow(*plan_, out);
+  return out;
+}
+
+void BuiltDataflow::Run() { RunTopologies(topologies, channels); }
+
+}  // namespace genealog

@@ -2,7 +2,7 @@
 
 #include <atomic>
 
-#include "common/env_knob.h"
+#include "common/engine_options.h"
 
 namespace genealog {
 namespace {
@@ -11,15 +11,9 @@ std::atomic<uint64_t> g_next_node_uid{1};
 
 }  // namespace
 
-bool DefaultSpscEdges() {
-  static const bool enabled = EnvKnobEnabled("GENEALOG_SPSC_RING");
-  return enabled;
-}
+bool DefaultSpscEdges() { return engine_defaults::SpscEdges(); }
 
-bool DefaultAdaptiveBatch() {
-  static const bool enabled = EnvKnobEnabled("GENEALOG_ADAPTIVE_BATCH");
-  return enabled;
-}
+bool DefaultAdaptiveBatch() { return engine_defaults::AdaptiveBatch(); }
 
 Node::Node(std::string name)
     : name_(std::move(name)),

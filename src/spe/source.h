@@ -88,7 +88,9 @@ class VectorSourceNode final : public SourceNodeBase {
         }
         // Sources may replay shared datasets; each emission is a fresh tuple
         // object so provenance graphs and instance attribution stay exact.
-        TuplePtr t = data_[i]->CloneTuple();
+        // T is known statically, so this is the same-class clone fast path
+        // by construction — no virtual dispatch.
+        TuplePtr t = MakeTuple<T>(*data_[i]);
         t->ts = data_[i]->ts + ts_shift;
         t->id = NextTupleId();
         if (stimulus_every == 1 || emitted % stimulus_every == 0) {

@@ -12,6 +12,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/type_registry.h"
 #include "spe/node.h"
 
 namespace genealog {
@@ -139,7 +140,7 @@ class MultiplexNode final : public SingleInputNode {
     for (size_t i = 0; i < num_outputs(); ++i) {
       StreamBatch out_chunk;
       for (const TuplePtr& t : batch.tuples) {
-        TuplePtr copy = t->CloneTuple();
+        TuplePtr copy = clone_cache_.Clone(*t);
         copy->id = t->id;
         InstrumentUnary(mode(), *copy, TupleKind::kMultiplex, *t);
         out_chunk.tuples.push_back(std::move(copy));
@@ -151,12 +152,17 @@ class MultiplexNode final : public SingleInputNode {
 
   void OnTuple(TuplePtr t) override {
     for (size_t i = 0; i < num_outputs(); ++i) {
-      TuplePtr copy = t->CloneTuple();
+      TuplePtr copy = clone_cache_.Clone(*t);
       copy->id = t->id;
       InstrumentUnary(mode(), *copy, TupleKind::kMultiplex, *t);
       if (!EmitTupleTo(i, std::move(copy))) return;
     }
   }
+
+ private:
+  // Same-class clone fast path: one stream carries runs of one concrete
+  // type, so the cached direct cloner replaces per-copy virtual dispatch.
+  CloneCache clone_cache_;
 };
 
 // Union: merges multiple timestamp-sorted input streams into one sorted
@@ -189,7 +195,7 @@ class RouterNode final : public SingleInputNode {
     assert(conditions_.size() == num_outputs());
     for (size_t i = 0; i < num_outputs(); ++i) {
       if (!conditions_[i](static_cast<const T&>(*t))) continue;
-      TuplePtr copy = t->CloneTuple();
+      TuplePtr copy = clone_cache_.Clone(*t);
       copy->id = t->id;
       InstrumentUnary(mode(), *copy, TupleKind::kMultiplex, *t);
       if (!EmitTupleTo(i, std::move(copy))) return;
@@ -198,6 +204,7 @@ class RouterNode final : public SingleInputNode {
 
  private:
   std::vector<Condition> conditions_;
+  CloneCache clone_cache_;
 };
 
 }  // namespace genealog

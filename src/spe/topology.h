@@ -15,6 +15,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/engine_options.h"
 #include "spe/node.h"
 
 namespace genealog {
@@ -55,6 +56,17 @@ class Topology {
   // at batch size 1.
   bool adaptive_batch() const { return adaptive_batch_; }
   void set_adaptive_batch(bool enabled) { adaptive_batch_ = enabled; }
+
+  // Stamps the data-plane subset of a unified EngineOptions (batch size, edge
+  // implementation, adaptive batching) in one call; the per-knob setters
+  // above remain for targeted overrides. The process-wide knobs
+  // (tuple_pool, epoch_traversal) and the provenance-sink policy are not
+  // topology state and are ignored here.
+  void Configure(const EngineOptions& engine) {
+    set_default_batch_size(engine.batch_size);
+    set_spsc_edges(engine.spsc_edges);
+    set_adaptive_batch(engine.adaptive_batch);
+  }
 
   // Constructs a node in this topology; instance id and provenance mode are
   // inherited. Returns a non-owning pointer valid for the topology's life.

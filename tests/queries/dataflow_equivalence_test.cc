@@ -1,0 +1,185 @@
+// The fluent dataflow builder must be a pure re-spelling of the hand-wired
+// deployments: BuildQ1Fluent (spe/dataflow.h + genealog/instrument weaving)
+// and the hand-wired BuildQ1 (queries/assemble.h) must produce identical
+// sink streams (in emission order) and byte-identical provenance files —
+// compared after masking the run-dependent header fields (tuple ids derive
+// from node uids drawn off a global counter, stimuli are wall-clock reads,
+// and record file order follows watermark arrival granularity; see
+// provenance_plane_determinism_test for why those can never match between
+// two runs) and putting records in canonical order. Every remaining byte —
+// type tags, kinds, timestamps, payloads, origin sets — must match exactly.
+// Swept across batch {1, 64} x edge {ring, mutex}, intra and distributed.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/type_registry.h"
+#include "lr/linear_road.h"
+#include "queries/queries.h"
+
+namespace genealog::queries {
+namespace {
+
+// Canonical provenance-file bytes: each record re-serialized with id and
+// stimulus zeroed, origins and records sorted canonically, then
+// re-concatenated. Two runs of the same logical query yield identical bytes.
+std::vector<uint8_t> CanonicalProvenanceBytes(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  EXPECT_NE(f, nullptr) << path;
+  if (f == nullptr) return {};
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  std::vector<uint8_t> bytes(static_cast<size_t>(size));
+  EXPECT_EQ(std::fread(bytes.data(), 1, bytes.size(), f), bytes.size());
+  std::fclose(f);
+
+  auto mask_and_serialize = [](const TuplePtr& t, ByteWriter& w) {
+    t->id = 0;
+    t->stimulus = 0;
+    SerializeTuple(*t, w);
+  };
+
+  std::vector<std::vector<uint8_t>> records;
+  ByteReader reader(bytes);
+  while (!reader.AtEnd()) {
+    TuplePtr derived = DeserializeTuple(reader);
+    const uint32_t n = reader.GetU32();
+    std::vector<std::vector<uint8_t>> origins;
+    ByteWriter w;
+    for (uint32_t i = 0; i < n; ++i) {
+      w.Clear();
+      mask_and_serialize(DeserializeTuple(reader), w);
+      origins.emplace_back(w.bytes().begin(), w.bytes().end());
+    }
+    std::sort(origins.begin(), origins.end());
+    w.Clear();
+    mask_and_serialize(derived, w);
+    w.PutU32(n);
+    std::vector<uint8_t> record(w.bytes().begin(), w.bytes().end());
+    for (const auto& o : origins) {
+      record.insert(record.end(), o.begin(), o.end());
+    }
+    records.push_back(std::move(record));
+  }
+  std::sort(records.begin(), records.end());
+  std::vector<uint8_t> canonical;
+  for (const auto& r : records) {
+    canonical.insert(canonical.end(), r.begin(), r.end());
+  }
+  return canonical;
+}
+
+lr::LinearRoadData SmallLr() {
+  lr::LinearRoadConfig config;
+  config.n_cars = 30;
+  config.duration_s = 1800;
+  config.stop_probability = 0.03;
+  config.seed = 17;
+  return lr::GenerateLinearRoad(config);
+}
+
+struct RunArtifacts {
+  std::vector<std::string> ordered_sink;  // emission order
+  std::vector<uint8_t> provenance;        // canonical file bytes
+  uint64_t records = 0;
+};
+
+QueryBuildOptions MakeOptions(bool distributed, size_t batch, bool spsc,
+                              const std::string& file,
+                              std::vector<std::string>& sink_out) {
+  QueryBuildOptions options;
+  options.mode = ProvenanceMode::kGenealog;
+  options.distributed = distributed;
+  options.batch_size = batch;
+  options.spsc_edges = spsc;
+  options.provenance_file = file;
+  options.sink_consumer = [&sink_out](const TuplePtr& t) {
+    sink_out.push_back(std::to_string(t->ts) + "|" + t->DebugPayload());
+  };
+  return options;
+}
+
+RunArtifacts RunHandWired(const lr::LinearRoadData& data, bool distributed,
+                          size_t batch, bool spsc) {
+  const std::string path = ::testing::TempDir() + "/dfeq_hand.bin";
+  RunArtifacts out;
+  BuiltQuery q = BuildQ1(
+      data, MakeOptions(distributed, batch, spsc, path, out.ordered_sink));
+  q.Run();
+  out.records = q.provenance_sink->records();
+  out.provenance = CanonicalProvenanceBytes(path);
+  std::remove(path.c_str());
+  return out;
+}
+
+RunArtifacts RunFluent(const lr::LinearRoadData& data, bool distributed,
+                       size_t batch, bool spsc) {
+  const std::string path = ::testing::TempDir() + "/dfeq_fluent.bin";
+  RunArtifacts out;
+  BuiltDataflow flow = BuildQ1Fluent(
+      data, MakeOptions(distributed, batch, spsc, path, out.ordered_sink));
+  flow.Run();
+  out.records = flow.provenance_records();
+  out.provenance = CanonicalProvenanceBytes(path);
+  std::remove(path.c_str());
+  return out;
+}
+
+void SweepEquivalence(bool distributed) {
+  const lr::LinearRoadData data = SmallLr();
+  for (const size_t batch : {size_t{1}, size_t{64}}) {
+    for (const bool spsc : {true, false}) {
+      const RunArtifacts hand = RunHandWired(data, distributed, batch, spsc);
+      const RunArtifacts fluent = RunFluent(data, distributed, batch, spsc);
+      ASSERT_FALSE(hand.ordered_sink.empty());
+      ASSERT_GT(hand.records, 0u);
+      EXPECT_EQ(fluent.ordered_sink, hand.ordered_sink)
+          << "batch " << batch << " spsc " << spsc;
+      EXPECT_EQ(fluent.records, hand.records)
+          << "batch " << batch << " spsc " << spsc;
+      EXPECT_EQ(fluent.provenance, hand.provenance)
+          << "provenance file bytes diverged at batch " << batch << " spsc "
+          << spsc;
+    }
+  }
+}
+
+TEST(DataflowEquivalenceTest, Q1GenealogIntra) {
+  SweepEquivalence(/*distributed=*/false);
+}
+
+TEST(DataflowEquivalenceTest, Q1GenealogDistributed) {
+  SweepEquivalence(/*distributed=*/true);
+}
+
+// The fluent lowering must mirror the hand-wired deployment structurally
+// too: same instance count, same SU placement, same probe surface.
+TEST(DataflowEquivalenceTest, Q1StructureMatchesHandWired) {
+  const lr::LinearRoadData data = SmallLr();
+  {
+    QueryBuildOptions options;
+    options.mode = ProvenanceMode::kGenealog;
+    BuiltQuery hand = BuildQ1(data, options);
+    BuiltDataflow fluent = BuildQ1Fluent(data, options);
+    EXPECT_EQ(fluent.n_instances, hand.n_instances);
+    EXPECT_EQ(fluent.su_nodes.size(), hand.su_nodes.size());
+    EXPECT_EQ(fluent.total_window_span, hand.total_window_span);
+  }
+  {
+    QueryBuildOptions options;
+    options.mode = ProvenanceMode::kGenealog;
+    options.distributed = true;
+    BuiltQuery hand = BuildQ1(data, options);
+    BuiltDataflow fluent = BuildQ1Fluent(data, options);
+    EXPECT_EQ(fluent.n_instances, hand.n_instances);      // 3
+    EXPECT_EQ(fluent.su_nodes.size(), hand.su_nodes.size());
+    EXPECT_EQ(fluent.channels.size(), hand.channels.size());
+  }
+}
+
+}  // namespace
+}  // namespace genealog::queries

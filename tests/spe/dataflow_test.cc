@@ -1,0 +1,336 @@
+// The fluent dataflow builder's plan lowering: port assignment (Join
+// left/right, Union merge order, Multiplex taps), provenance weaving per
+// ProvenanceMode (SU/MU/provenance sink for GL, taps + resolver for BL,
+// nothing for NP), deployment cuts (Send/Receive over channels), edge
+// policies (EngineOptions batch size / SPSC vs mutex edges), and plan
+// validation errors.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "baseline/resolver.h"
+#include "genealog/provenance_sink.h"
+#include "genealog/su.h"
+#include "spe/dataflow.h"
+#include "testing/test_tuples.h"
+
+namespace genealog {
+namespace {
+
+using testing::KeyedTuple;
+using testing::V;
+using testing::ValueTuple;
+
+std::vector<IntrusivePtr<ValueTuple>> Values(int n) {
+  std::vector<IntrusivePtr<ValueTuple>> out;
+  for (int i = 0; i < n; ++i) out.push_back(V(i, i * 10));
+  return out;
+}
+
+std::vector<std::string> NodeNames(const Topology& topo) {
+  std::vector<std::string> names;
+  for (const auto& node : topo.nodes()) names.push_back(node->name());
+  return names;
+}
+
+bool HasNode(const Topology& topo, const std::string& name) {
+  const auto names = NodeNames(topo);
+  return std::find(names.begin(), names.end(), name) != names.end();
+}
+
+// --- ports ------------------------------------------------------------------
+
+// Join: the stream the combinator is invoked on must land on port 0 (left),
+// the argument stream on port 1 (right). The combiner's argument order makes
+// a swap visible in the data.
+TEST(DataflowTest, JoinPortsFollowCallOrder) {
+  Dataflow df;
+  auto taps = df.Source<ValueTuple>("src", Values(8)).Multiplex("mux", 2);
+  auto left = taps[0].Filter("keep.left",
+                             [](const ValueTuple&) { return true; });
+  std::vector<std::pair<int64_t, int64_t>> pairs;
+  left.Join<KeyedTuple>(
+          "join", taps[1], JoinOptions{0},
+          [](const ValueTuple&, const ValueTuple&) { return true; },
+          [](const ValueTuple& l, const ValueTuple& r) {
+            return MakeTuple<KeyedTuple>(0, l.value * 1000,
+                                         static_cast<double>(r.value));
+          })
+      .Sink("k", [&pairs](const TuplePtr& t) {
+        const auto& k = static_cast<const KeyedTuple&>(*t);
+        pairs.emplace_back(k.key, static_cast<int64_t>(k.value));
+      });
+  BuiltDataflow flow = df.Build();
+  flow.Run();
+  ASSERT_EQ(pairs.size(), 8u);
+  for (int i = 0; i < 8; ++i) {
+    // left value rode through key*1000, right through value: a port swap
+    // would flip the factor.
+    EXPECT_EQ(pairs[i].first, i * 10 * 1000);
+    EXPECT_EQ(pairs[i].second, i * 10);
+  }
+}
+
+// Union input ports follow argument order; the deterministic merge releases
+// timestamp ties by (ts, port), so putting stream B on port 1 is observable.
+TEST(DataflowTest, UnionMergeOrderFollowsPortOrder) {
+  std::vector<IntrusivePtr<ValueTuple>> a, b;
+  for (int i = 0; i < 4; ++i) {
+    a.push_back(V(i, 100 + i));  // port 0
+    b.push_back(V(i, 200 + i));  // port 1, same timestamps
+  }
+  Dataflow df;
+  auto sa = df.Source<ValueTuple>("a", a);
+  auto sb = df.Source<ValueTuple>("b", b);
+  std::vector<int64_t> order;
+  sa.Union("u", sb).Sink("k", [&order](const TuplePtr& t) {
+    order.push_back(static_cast<const ValueTuple&>(*t).value);
+  });
+  BuiltDataflow flow = df.Build();
+  flow.Run();
+  const std::vector<int64_t> want = {100, 200, 101, 201, 102, 202, 103, 203};
+  EXPECT_EQ(order, want);
+}
+
+TEST(DataflowTest, MultiplexTapsAreIndependentCopies) {
+  Dataflow df;
+  auto taps = df.Source<ValueTuple>("src", Values(5)).Multiplex("mux", 2);
+  std::vector<int64_t> evens, all;
+  taps[0]
+      .Filter("evens",
+              [](const ValueTuple& t) { return t.value % 20 == 0; })
+      .Sink("k0", [&evens](const TuplePtr& t) {
+        evens.push_back(static_cast<const ValueTuple&>(*t).value);
+      });
+  taps[1].Sink("k1", [&all](const TuplePtr& t) {
+    all.push_back(static_cast<const ValueTuple&>(*t).value);
+  });
+  BuiltDataflow flow = df.Build();
+  flow.Run();
+  EXPECT_EQ(evens, (std::vector<int64_t>{0, 20, 40}));
+  EXPECT_EQ(all, (std::vector<int64_t>{0, 10, 20, 30, 40}));
+}
+
+// --- provenance weaving per mode --------------------------------------------
+
+Dataflow MakeChain(DataflowOptions opts,
+                   std::vector<IntrusivePtr<ValueTuple>> data) {
+  Dataflow df(std::move(opts));
+  df.Source<ValueTuple>("src", std::move(data))
+      .Filter("keep", [](const ValueTuple&) { return true; })
+      .Sink("k");
+  return df;
+}
+
+TEST(DataflowTest, NoneModeAddsNoMachinery) {
+  Dataflow df = MakeChain({}, Values(4));
+  BuiltDataflow flow = df.Build();
+  ASSERT_EQ(flow.topologies.size(), 1u);
+  EXPECT_EQ(flow.topologies[0]->nodes().size(), 3u);  // src, keep, k
+  EXPECT_EQ(flow.provenance_sink, nullptr);
+  EXPECT_EQ(flow.baseline_resolver, nullptr);
+  EXPECT_TRUE(flow.su_nodes.empty());
+  EXPECT_EQ(flow.n_instances, 1);
+  flow.Run();
+  EXPECT_EQ(flow.sink()->count(), 4u);
+}
+
+TEST(DataflowTest, GenealogIntraWeavesSuBeforeSink) {
+  DataflowOptions opts;
+  opts.mode = ProvenanceMode::kGenealog;
+  Dataflow df = MakeChain(std::move(opts), Values(4));
+  BuiltDataflow flow = df.Build();
+  ASSERT_EQ(flow.topologies.size(), 1u);
+  ASSERT_NE(flow.provenance_sink, nullptr);
+  ASSERT_EQ(flow.su_nodes.size(), 1u);  // the Theorem 5.3 SU
+  EXPECT_TRUE(HasNode(*flow.topologies[0], "SU"));
+  EXPECT_TRUE(HasNode(*flow.topologies[0], "K2"));
+  // SU: output 0 = SO, output 1 = U.
+  EXPECT_EQ(flow.su_nodes[0]->num_outputs(), 2u);
+  flow.Run();
+  EXPECT_EQ(flow.sink()->count(), 4u);
+  EXPECT_EQ(flow.provenance_records(), 4u);
+  EXPECT_DOUBLE_EQ(flow.mean_origins_per_record(), 1.0);
+}
+
+TEST(DataflowTest, GenealogDistributedWeavesSuPerCutAndMu) {
+  DataflowOptions opts;
+  opts.mode = ProvenanceMode::kGenealog;
+  Dataflow df(std::move(opts));
+  df.Source<ValueTuple>("src", Values(6))
+      .Filter("stage1", [](const ValueTuple&) { return true; })
+      .At(2)
+      .Filter("stage2", [](const ValueTuple&) { return true; })
+      .Sink("k");
+  BuiltDataflow flow = df.Build();
+  // Instances 1 and 2 plus the woven provenance instance 3.
+  ASSERT_EQ(flow.topologies.size(), 3u);
+  EXPECT_EQ(flow.n_instances, 3);
+  EXPECT_EQ(flow.topologies[0]->instance_id(), 1);
+  EXPECT_EQ(flow.topologies[1]->instance_id(), 2);
+  EXPECT_EQ(flow.topologies[2]->instance_id(), 3);
+  // One SU at the cut (instance 1), one before the sink (instance 2).
+  ASSERT_EQ(flow.su_nodes.size(), 2u);
+  EXPECT_TRUE(HasNode(*flow.topologies[1], "SU.sink"));
+  EXPECT_TRUE(HasNode(*flow.topologies[0], "SU.send0"));
+  // The provenance instance holds MU + K2 + the two unfolded receives.
+  EXPECT_TRUE(HasNode(*flow.topologies[2], "MU"));
+  EXPECT_TRUE(HasNode(*flow.topologies[2], "K2"));
+  EXPECT_TRUE(HasNode(*flow.topologies[2], "recv.U_sink"));
+  EXPECT_TRUE(HasNode(*flow.topologies[2], "recv.U0"));
+  // Channels: data + U at the cut, derived U to the MU.
+  EXPECT_EQ(flow.channels.size(), 3u);
+  flow.Run();
+  EXPECT_EQ(flow.sink()->count(), 6u);
+  EXPECT_EQ(flow.provenance_records(), 6u);
+}
+
+TEST(DataflowTest, BaselineWeavesTapsAndResolver) {
+  DataflowOptions opts;
+  opts.mode = ProvenanceMode::kBaseline;
+  Dataflow df = MakeChain(std::move(opts), Values(4));
+  BuiltDataflow flow = df.Build();
+  ASSERT_EQ(flow.topologies.size(), 1u);
+  ASSERT_NE(flow.baseline_resolver, nullptr);
+  EXPECT_EQ(flow.provenance_sink, nullptr);
+  EXPECT_TRUE(HasNode(*flow.topologies[0], "bl.source_tap.src"));
+  EXPECT_TRUE(HasNode(*flow.topologies[0], "bl.sink_tap"));
+  EXPECT_TRUE(HasNode(*flow.topologies[0], "bl.resolver"));
+  // Resolver ports: 0 = annotated sink stream, 1 = the source stream.
+  EXPECT_EQ(flow.baseline_resolver->num_inputs(), 2u);
+  flow.Run();
+  EXPECT_EQ(flow.sink()->count(), 4u);
+  EXPECT_EQ(flow.provenance_records(), 4u);
+}
+
+TEST(DataflowTest, BaselineDistributedShipsSourceStream) {
+  DataflowOptions opts;
+  opts.mode = ProvenanceMode::kBaseline;
+  Dataflow df(std::move(opts));
+  df.Source<ValueTuple>("src", Values(5))
+      .At(2)
+      .Filter("stage2", [](const ValueTuple&) { return true; })
+      .Sink("k");
+  BuiltDataflow flow = df.Build();
+  ASSERT_EQ(flow.topologies.size(), 3u);
+  EXPECT_TRUE(HasNode(*flow.topologies[2], "bl.resolver"));
+  EXPECT_TRUE(HasNode(*flow.topologies[0], "send.source_copy0"));
+  EXPECT_TRUE(HasNode(*flow.topologies[2], "recv.sink_ann"));
+  flow.Run();
+  EXPECT_EQ(flow.sink()->count(), 5u);
+  EXPECT_EQ(flow.provenance_records(), 5u);
+  EXPECT_GT(flow.network_bytes(), 0u);
+}
+
+// --- edge policies ----------------------------------------------------------
+
+TEST(DataflowTest, EngineOptionsStampEveryTopology) {
+  DataflowOptions opts;
+  opts.engine.batch_size = 64;
+  opts.engine.spsc_edges = false;
+  opts.engine.adaptive_batch = false;
+  Dataflow df(std::move(opts));
+  df.Source<ValueTuple>("src", Values(4))
+      .At(2)
+      .Filter("f", [](const ValueTuple&) { return true; })
+      .Sink("k");
+  BuiltDataflow flow = df.Build();
+  for (const auto& topo : flow.topologies) {
+    EXPECT_EQ(topo->default_batch_size(), 64u);
+    EXPECT_FALSE(topo->spsc_edges());
+    EXPECT_FALSE(topo->adaptive_batch());
+  }
+  // With SPSC disabled, even single-producer edges use the mutex queue.
+  for (const auto& topo : flow.topologies) {
+    for (const auto& node : topo->nodes()) {
+      if (node->input_queue() != nullptr) {
+        EXPECT_EQ(node->input_queue()->kind(), StreamEdge::Kind::kMutex);
+      }
+    }
+  }
+  flow.Run();
+  EXPECT_EQ(flow.sink()->count(), 4u);
+}
+
+TEST(DataflowTest, SingleProducerEdgesUpgradeToSpscRing) {
+  DataflowOptions opts;
+  opts.engine.spsc_edges = true;
+  Dataflow df(std::move(opts));
+  auto a = df.Source<ValueTuple>("a", Values(4));
+  auto b = df.Source<ValueTuple>("b", Values(4));
+  // The Union is fed by two *distinct* producer nodes (two threads) — it
+  // must stay on the mutex queue; the single-producer sink edge rides the
+  // ring. A Multiplex's taps both come from one node, so even a fan-out
+  // into one consumer keeps the ring (covered by the mux flow below).
+  a.Union("u", b).Sink("k");
+  BuiltDataflow flow = df.Build();
+  const Topology& topo = *flow.topologies[0];
+  for (const auto& node : topo.nodes()) {
+    if (node->input_queue() == nullptr) continue;
+    const auto want = node->name() == "u" ? StreamEdge::Kind::kMutex
+                                          : StreamEdge::Kind::kSpsc;
+    EXPECT_EQ(node->input_queue()->kind(), want) << node->name();
+  }
+  flow.Run();
+  EXPECT_EQ(flow.sink()->count(), 8u);
+
+  // One producer node, two taps into one merging consumer: still SPSC.
+  Dataflow df2;
+  auto taps = df2.Source<ValueTuple>("src", Values(4)).Multiplex("mux", 2);
+  taps[0].Union("u2", taps[1]).Sink("k2");
+  BuiltDataflow flow2 = df2.Build();
+  for (const auto& node : flow2.topologies[0]->nodes()) {
+    if (node->input_queue() == nullptr) continue;
+    EXPECT_EQ(node->input_queue()->kind(), StreamEdge::Kind::kSpsc)
+        << node->name();
+  }
+  flow2.Run();
+  EXPECT_EQ(flow2.sink()->count(), 8u);
+}
+
+// --- validation -------------------------------------------------------------
+
+TEST(DataflowTest, RejectsUnconsumedAndDoublyConsumedStreams) {
+  {
+    Dataflow df;
+    df.Source<ValueTuple>("src", Values(1));  // never sinked
+    EXPECT_THROW(df.Build(), std::logic_error);
+  }
+  {
+    Dataflow df;
+    auto s = df.Source<ValueTuple>("src", Values(1));
+    s.Sink("k1");
+    s.Sink("k2");  // same stream consumed twice
+    EXPECT_THROW(df.Build(), std::logic_error);
+  }
+}
+
+TEST(DataflowTest, RejectsMultipleSinksInProvenanceModes) {
+  DataflowOptions opts;
+  opts.mode = ProvenanceMode::kGenealog;
+  Dataflow df(std::move(opts));
+  auto taps = df.Source<ValueTuple>("src", Values(1)).Multiplex("mux", 2);
+  taps[0].Sink("k1");
+  taps[1].Sink("k2");
+  EXPECT_THROW(df.Build(), std::logic_error);
+}
+
+TEST(DataflowTest, RejectsEmptyPlanAndDoubleBuild) {
+  {
+    Dataflow df;
+    EXPECT_THROW(df.Build(), std::logic_error);
+  }
+  {
+    Dataflow df;
+    df.Source<ValueTuple>("src", Values(1)).Sink("k");
+    BuiltDataflow flow = df.Build();
+    EXPECT_THROW(df.Build(), std::logic_error);
+    flow.Run();
+  }
+}
+
+}  // namespace
+}  // namespace genealog
