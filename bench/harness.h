@@ -8,8 +8,13 @@
 //   GENEALOG_BENCH_REPLAYS  dataset replays per run (default 20) — each run
 //                           streams replays × dataset tuples, giving seconds
 //                           of steady state per measurement
-//   GENEALOG_BATCH_SIZE     stream batch size for every edge (default 1,
-//                           the unbatched data plane)
+//   GENEALOG_BATCH_SIZE     stream batch size for every edge (default 64;
+//                           1 reproduces the unbatched seed data plane)
+//   GENEALOG_SCHEDULER      pool runs schedulable nodes on the shared
+//                           morsel-driven worker pool; thread-per-node
+//                           (default) keeps one OS thread per operator
+//   GENEALOG_WORKERS        pool worker threads (default 0 = one per
+//                           hardware thread, capped by the task count)
 //   GENEALOG_TUPLE_POOL     0 disables the recycling tuple pool (heap
 //                           allocation fallback; default on)
 //   GENEALOG_SPSC_RING      0 pins every edge to the mutex BatchQueue

@@ -10,22 +10,24 @@
 // builder forwards it to every topology it lowers, and the bench harness
 // records the same instance in BENCH_*.json.
 //
-// | Field            | Env var                  | Default |
-// |------------------|--------------------------|---------|
-// | batch_size       | GENEALOG_BATCH_SIZE      | 1       |
-// | spsc_edges       | GENEALOG_SPSC_RING       | on      |
-// | adaptive_batch   | GENEALOG_ADAPTIVE_BATCH  | on      |
-// | tuple_pool       | GENEALOG_TUPLE_POOL      | on      |
-// | epoch_traversal  | GENEALOG_EPOCH_TRAVERSAL | on      |
-// | async_prov_sink  | GENEALOG_ASYNC_PROV_SINK | on      |
-// | use_tcp          | —                        | off     |
-// | composed_unfolders | —                      | off     |
+// | Field            | Env var                  | Default         |
+// |------------------|--------------------------|-----------------|
+// | batch_size       | GENEALOG_BATCH_SIZE      | 64              |
+// | spsc_edges       | GENEALOG_SPSC_RING       | on              |
+// | adaptive_batch   | GENEALOG_ADAPTIVE_BATCH  | on              |
+// | tuple_pool       | GENEALOG_TUPLE_POOL      | on              |
+// | epoch_traversal  | GENEALOG_EPOCH_TRAVERSAL | on              |
+// | async_prov_sink  | GENEALOG_ASYNC_PROV_SINK | on              |
+// | scheduler        | GENEALOG_SCHEDULER       | thread-per-node |
+// | workers          | GENEALOG_WORKERS         | 0 (= all cores) |
+// | use_tcp          | —                        | off             |
+// | composed_unfolders | —                      | off             |
 //
 // batch_size is deliberately *not* read from the environment by the default
-// constructor: a plain `EngineOptions{}` is the engine default (batch 1, the
-// seed data plane). FromEnv() additionally honors GENEALOG_BATCH_SIZE — the
-// bench harness and ad-hoc tools use it so one exported variable sweeps a
-// whole binary.
+// constructor: a plain `EngineOptions{}` is the engine default (batch 64,
+// with adaptive batching holding idle latency at the batch-1 seed level).
+// FromEnv() additionally honors GENEALOG_BATCH_SIZE — the bench harness and
+// ad-hoc tools use it so one exported variable sweeps a whole binary.
 //
 // tuple_pool and epoch_traversal are process-wide switches (the allocator and
 // the traversal fast path are globals, not per-topology state); they ride
@@ -36,11 +38,21 @@
 #define GENEALOG_COMMON_ENGINE_OPTIONS_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <cstdlib>
+#include <cstring>
 
 #include "common/env_knob.h"
 
 namespace genealog {
+
+// How a Runner executes the nodes of its topologies:
+//  * kThreadPerNode — one dedicated std::thread per operator node (the Liebre
+//    model the paper inherits; the seed behavior and the fallback mode);
+//  * kPool — a shared morsel-driven worker pool: nodes become re-armable
+//    tasks woken by batch arrival, executed by GENEALOG_WORKERS threads with
+//    work stealing and per-query round-robin fairness (spe/scheduler.h).
+enum class SchedulerMode : uint8_t { kThreadPerNode, kPool };
 
 namespace engine_defaults {
 
@@ -72,8 +84,28 @@ inline bool AsyncProvSink() {
 inline size_t BatchSize() {
   static const size_t v = [] {
     const char* s = std::getenv("GENEALOG_BATCH_SIZE");
-    const int n = s != nullptr ? std::atoi(s) : 1;
+    const int n = s != nullptr ? std::atoi(s) : 64;
     return static_cast<size_t>(n < 1 ? 1 : n);
+  }();
+  return v;
+}
+inline SchedulerMode Scheduler() {
+  static const SchedulerMode v = [] {
+    const char* s = std::getenv("GENEALOG_SCHEDULER");
+    if (s != nullptr && std::strcmp(s, "pool") == 0) {
+      return SchedulerMode::kPool;
+    }
+    // Anything else (unset, "thread-per-node", typos) keeps the safe
+    // thread-per-node fallback.
+    return SchedulerMode::kThreadPerNode;
+  }();
+  return v;
+}
+inline size_t Workers() {
+  static const size_t v = [] {
+    const char* s = std::getenv("GENEALOG_WORKERS");
+    const int n = s != nullptr ? std::atoi(s) : 0;
+    return static_cast<size_t>(n < 0 ? 0 : n);
   }();
   return v;
 }
@@ -82,8 +114,9 @@ inline size_t BatchSize() {
 
 struct EngineOptions {
   // Stream batch size for every edge (1 = item-at-a-time handover, the seed
-  // data plane).
-  size_t batch_size = 1;
+  // data plane; 64 = the production default, >2x throughput with adaptive
+  // batching keeping idle latency at the seed level).
+  size_t batch_size = 64;
   // Lock-free SPSC ring on single-producer edges (mutex BatchQueue everywhere
   // when false).
   bool spsc_edges = engine_defaults::SpscEdges();
@@ -99,6 +132,14 @@ struct EngineOptions {
   // Double-buffered background provenance-file writer (sync fwrite when
   // false). File bytes are identical either way.
   bool async_prov_sink = engine_defaults::AsyncProvSink();
+  // Execution model for the Runner: thread-per-node (the seed fallback) or
+  // the shared morsel-driven worker pool. Sink/provenance output is byte
+  // identical across modes (the scheduler sweeps in the determinism suites
+  // pin this); the pool is what lets thousands of queries share a few cores.
+  SchedulerMode scheduler = engine_defaults::Scheduler();
+  // Worker threads for the pool scheduler; 0 = one per hardware thread
+  // (capped by the task count). Ignored under thread-per-node.
+  size_t workers = engine_defaults::Workers();
   // Distributed deployments: TCP loopback channels when true, in-memory
   // serializing channels otherwise.
   bool use_tcp = false;

@@ -13,10 +13,35 @@ std::atomic<bool>& EpochFlag() {
   return enabled;
 }
 
-// Tickets are globally unique and monotonically drawn, so a stale mark left
-// on a tuple by a finished traversal can never alias a live one. 0 is the
-// "never visited" initializer stamped by the Tuple constructor.
+// Tickets are globally unique, so a stale mark left on a tuple by a finished
+// traversal can never alias a live one. 0 is the "never visited" initializer
+// stamped by the Tuple constructor (the counter starts past it and only
+// grows). Marks are equality-compared only, so uniqueness is the whole
+// contract — global monotonicity is not needed, which lets each thread draw
+// tickets from a private block and touch the shared counter once per
+// kTicketBlock traversals instead of once per traversal. Under the pool
+// scheduler every SU in the process funnels through a handful of worker
+// threads, so the shared fetch_add would otherwise become a per-traversal
+// contention point.
 std::atomic<uint64_t> g_next_ticket{1};
+
+constexpr uint64_t kTicketBlock = 256;
+
+struct TicketBlock {
+  uint64_t next = 0;
+  uint64_t end = 0;
+};
+thread_local TicketBlock t_ticket_block;
+
+uint64_t DrawTicket() {
+  TicketBlock& block = t_ticket_block;
+  if (block.next == block.end) {
+    block.next =
+        g_next_ticket.fetch_add(kTicketBlock, std::memory_order_relaxed);
+    block.end = block.next + kTicketBlock;
+  }
+  return block.next++;
+}
 
 // Number of epoch traversals in flight. The fast path requires exclusive
 // ownership of the mark words it stamps; the counter hands that ownership to
@@ -181,8 +206,7 @@ void FindProvenance(Tuple* root, std::vector<Tuple*>& result,
   if (root == nullptr) return;
   if (path == TraversalPath::kAuto && EpochTraversalEnabled()) {
     if (g_active_epoch_walkers.fetch_add(1, std::memory_order_acq_rel) == 0) {
-      EpochVisited visited{
-          g_next_ticket.fetch_add(1, std::memory_order_relaxed)};
+      EpochVisited visited{DrawTicket()};
       Walk(root, result, scratch.ring_, visited);
       g_active_epoch_walkers.fetch_sub(1, std::memory_order_acq_rel);
       // A root-claim collision aborts before anything was appended; redo on

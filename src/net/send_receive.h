@@ -29,6 +29,10 @@ class SendNode final : public SingleInputNode {
   SendNode(std::string name, ByteChannel* channel)
       : SingleInputNode(std::move(name)), channel_(channel) {}
 
+  // Channel sends can block on the transport (TCP back-pressure), which a
+  // pool task must never do; Send keeps a dedicated thread under the pool.
+  bool NeedsDedicatedThread() const override { return true; }
+
  protected:
   void OnBatch(StreamBatch& batch) override {
     if (batch.tuples.size() > 1) {

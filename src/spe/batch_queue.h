@@ -74,6 +74,47 @@ class BatchQueue {
     return true;
   }
 
+  // Non-blocking push for the pool scheduler: where Push would wait for
+  // room, TryPush leaves `batch` untouched and reports kFull so the caller
+  // can park the batch in a spill buffer and retry on the edge's room-freed
+  // signal. Coalescing and admission rules are exactly Push's.
+  PushStatus TryPush(StreamBatch& batch, size_t max_coalesce) {
+    std::unique_lock lock(mu_);
+    if (aborted_) return PushStatus::kAborted;
+    if (TryCoalesce(batch, max_coalesce)) {
+      NotifyConsumer(lock);
+      return PushStatus::kOk;
+    }
+    const size_t w = batch.weight();
+    if (weight_ + w > capacity_ && !items_.empty()) return PushStatus::kFull;
+    SetWeight(weight_ + w);
+    items_.push_back(std::move(batch));
+    NotifyConsumer(lock);
+    return PushStatus::kOk;
+  }
+
+  // Non-blocking bounded drain for the pool scheduler: moves up to
+  // `max_batches` queued batches into `out` (appending) without waiting.
+  // kAborted is only reported once the queue is also drained, preserving the
+  // abort-then-drain teardown contract of Pop/PopMany.
+  PopStatus TryPopSome(std::vector<StreamBatch>& out, size_t max_batches) {
+    std::unique_lock lock(mu_);
+    if (items_.empty()) {
+      return aborted_ ? PopStatus::kAborted : PopStatus::kEmpty;
+    }
+    size_t taken = 0;
+    size_t released = 0;
+    while (!items_.empty() && taken < max_batches) {
+      released += items_.front().weight();
+      out.push_back(std::move(items_.front()));
+      items_.pop_front();
+      ++taken;
+    }
+    SetWeight(weight_ - released);
+    NotifyProducers(lock);
+    return PopStatus::kPopped;
+  }
+
   // Blocks while empty. Returns nullopt once aborted and drained.
   std::optional<StreamBatch> Pop() {
     std::unique_lock lock(mu_);

@@ -76,6 +76,26 @@ bool Node::ForwardBatchAll(StreamBatch&& batch) {
   return true;
 }
 
+StepResult Node::Step(size_t /*max_batches*/) {
+  // Schedulable node types override this; pinned nodes (the base default of
+  // NeedsDedicatedThread) are never stepped.
+  assert(false && "Step() called on a node without a step implementation");
+  return StepResult::kDone;
+}
+
+bool SingleInputNode::ProcessBatch(StreamBatch& batch) {
+  CountProcessed(batch.tuples.size());
+  const bool flush = batch.flush;
+  batch.flush = false;  // Run/Step own end-of-stream, OnBatch never sees it
+  OnBatch(batch);
+  if (flush) {
+    OnFlush();
+    EmitFlushAll();
+    return true;
+  }
+  return false;
+}
+
 void SingleInputNode::Run() {
   StreamQueue* in = input_queue();
   std::vector<StreamBatch> burst;
@@ -83,44 +103,63 @@ void SingleInputNode::Run() {
     burst.clear();
     if (!in->PopMany(burst)) return;  // aborted
     for (StreamBatch& batch : burst) {
-      CountProcessed(batch.tuples.size());
-      const bool flush = batch.flush;
-      batch.flush = false;  // Run owns end-of-stream, OnBatch never sees it
-      OnBatch(batch);
-      if (flush) {
-        OnFlush();
-        EmitFlushAll();
-        return;
-      }
+      if (ProcessBatch(batch)) return;
     }
   }
 }
 
-int64_t MergingNode::MinWatermark(const std::vector<PortState>& ports) const {
+StepResult SingleInputNode::Step(size_t max_batches) {
+  // Poll until the queue reports empty/aborted or the budget runs out. A
+  // quantum must never park after an underfull drain without re-polling: an
+  // abort that lands between two drains leaves a residue whose one DataReady
+  // signal was already consumed, and the kAborted verdict only shows once
+  // the residue is gone (the abort-then-drain contract).
+  size_t remaining = max_batches;
+  while (remaining > 0) {
+    step_burst_.clear();
+    switch (input_queue()->TryPopSome(step_burst_, remaining)) {
+      case PopStatus::kAborted:
+        return StepResult::kDone;
+      case PopStatus::kEmpty:
+        // Parking is safe: any push or abort after this observation fires
+        // DataReady at the task.
+        return StepResult::kIdle;
+      case PopStatus::kPopped:
+        break;
+    }
+    remaining -= std::min(remaining, step_burst_.size());
+    for (StreamBatch& batch : step_burst_) {
+      if (ProcessBatch(batch)) return StepResult::kDone;
+    }
+  }
+  return StepResult::kReady;
+}
+
+int64_t MergingNode::MinWatermark() const {
   int64_t min_wm = kWatermarkMax;
-  for (const PortState& p : ports) {
+  for (const PortState& p : ports_) {
     if (!p.flushed && p.wm < min_wm) min_wm = p.wm;
   }
   return min_wm;
 }
 
-void MergingNode::ReleaseReady(std::vector<PortState>& ports) {
-  const int64_t min_wm = MinWatermark(ports);
+void MergingNode::ReleaseReady() {
+  const int64_t min_wm = MinWatermark();
   for (;;) {
-    size_t best = ports.size();
+    size_t best = ports_.size();
     int64_t best_ts = 0;
-    for (size_t i = 0; i < ports.size(); ++i) {
-      if (ports[i].buffer.empty()) continue;
-      const int64_t head_ts = ports[i].buffer.front()->ts;
+    for (size_t i = 0; i < ports_.size(); ++i) {
+      if (ports_[i].buffer.empty()) continue;
+      const int64_t head_ts = ports_[i].buffer.front()->ts;
       if (head_ts >= min_wm) continue;
-      if (best == ports.size() || head_ts < best_ts) {
+      if (best == ports_.size() || head_ts < best_ts) {
         best = i;
         best_ts = head_ts;
       }
     }
-    if (best == ports.size()) break;
-    TuplePtr t = std::move(ports[best].buffer.front());
-    ports[best].buffer.pop_front();
+    if (best == ports_.size()) break;
+    TuplePtr t = std::move(ports_[best].buffer.front());
+    ports_[best].buffer.pop_front();
     CountProcessed();
     OnMergedTuple(best, std::move(t));
   }
@@ -130,38 +169,77 @@ void MergingNode::ReleaseReady(std::vector<PortState>& ports) {
   }
 }
 
+void MergingNode::EnsureMergeState() {
+  if (merge_state_ready_) return;
+  merge_state_ready_ = true;
+  ports_.resize(num_inputs());
+}
+
+void MergingNode::ConsumeBatch(StreamBatch& batch) {
+  PortState& port = ports_[batch.port];
+  for (TuplePtr& t : batch.tuples) {
+    // A sorted stream implies future ts on this port are >= this ts, so
+    // the tuple itself raises the port watermark to its own ts.
+    const int64_t ts = t->ts;
+    port.buffer.push_back(std::move(t));
+    if (ts > port.wm) port.wm = ts;
+  }
+  if (batch.watermark > port.wm) port.wm = batch.watermark;
+  if (batch.flush) {
+    port.flushed = true;
+    ++flushed_ports_;
+  }
+  // Once per batch (not per tuple): the release order is a pure function
+  // of the buffered data, so chunked releases are correct — and at batch
+  // size 1 this is exactly the unbatched engine's per-item cadence of
+  // merged-watermark forwarding.
+  ReleaseReady();
+}
+
 void MergingNode::Run() {
-  std::vector<PortState> ports(num_inputs());
-  size_t flushed_ports = 0;
+  EnsureMergeState();
   std::vector<StreamBatch> burst;
-  while (flushed_ports < ports.size()) {
+  while (flushed_ports_ < ports_.size()) {
     burst.clear();
     if (!input_queue()->PopMany(burst)) return;  // aborted
-    for (StreamBatch& batch : burst) {
-      PortState& port = ports[batch.port];
-      for (TuplePtr& t : batch.tuples) {
-        // A sorted stream implies future ts on this port are >= this ts, so
-        // the tuple itself raises the port watermark to its own ts.
-        const int64_t ts = t->ts;
-        port.buffer.push_back(std::move(t));
-        if (ts > port.wm) port.wm = ts;
-      }
-      if (batch.watermark > port.wm) port.wm = batch.watermark;
-      if (batch.flush) {
-        port.flushed = true;
-        ++flushed_ports;
-      }
-      // Once per batch (not per tuple): the release order is a pure function
-      // of the buffered data, so chunked releases are correct — and at batch
-      // size 1 this is exactly the unbatched engine's per-item cadence of
-      // merged-watermark forwarding.
-      ReleaseReady(ports);
-    }
+    for (StreamBatch& batch : burst) ConsumeBatch(batch);
   }
   // All inputs flushed: the merged watermark is +inf and ReleaseReady above
   // already drained the buffers in order.
   OnAllFlushed();
   EmitFlushAll();
+}
+
+StepResult MergingNode::Step(size_t max_batches) {
+  EnsureMergeState();
+  if (flushed_ports_ >= ports_.size()) {
+    // A previous quantum saw the last flush mid-burst; finish now.
+    OnAllFlushed();
+    EmitFlushAll();
+    return StepResult::kDone;
+  }
+  // Same polling discipline as SingleInputNode::Step: never park after an
+  // underfull drain without re-polling, or an abort residue strands the task.
+  size_t remaining = max_batches;
+  while (remaining > 0) {
+    step_burst_.clear();
+    switch (input_queue()->TryPopSome(step_burst_, remaining)) {
+      case PopStatus::kAborted:
+        return StepResult::kDone;
+      case PopStatus::kEmpty:
+        return StepResult::kIdle;
+      case PopStatus::kPopped:
+        break;
+    }
+    remaining -= std::min(remaining, step_burst_.size());
+    for (StreamBatch& batch : step_burst_) ConsumeBatch(batch);
+    if (flushed_ports_ >= ports_.size()) {
+      OnAllFlushed();
+      EmitFlushAll();
+      return StepResult::kDone;
+    }
+  }
+  return StepResult::kReady;
 }
 
 }  // namespace genealog

@@ -40,7 +40,7 @@
 namespace genealog {
 
 inline constexpr size_t kDefaultQueueCapacity = 4096;
-inline constexpr size_t kDefaultBatchSize = 1;
+inline constexpr size_t kDefaultBatchSize = 64;
 inline constexpr int64_t kWatermarkMin = std::numeric_limits<int64_t>::min();
 inline constexpr int64_t kWatermarkMax = std::numeric_limits<int64_t>::max();
 
@@ -76,6 +76,20 @@ class StreamEdge {
  public:
   enum class Kind : uint8_t { kMutex, kSpsc };
 
+  // Readiness listener for the pool scheduler (spe/scheduler.h). At most one
+  // per edge, attached after the topology is built and before execution
+  // starts, detached after every node retired. Callbacks fire on the calling
+  // thread with no queue lock held.
+  class Signal {
+   public:
+    virtual ~Signal() = default;
+    // A batch was pushed: the consumer has input and is runnable.
+    virtual void DataReady() = 0;
+    // A pop freed capacity after a producer declared itself waiting: spilled
+    // producers can retry.
+    virtual void RoomFreed() = 0;
+  };
+
   explicit StreamEdge(size_t capacity)
       : capacity_(capacity == 0 ? 1 : capacity),
         mutex_(std::make_unique<BatchQueue>(capacity_)) {}
@@ -104,25 +118,70 @@ class StreamEdge {
 
   Kind kind() const { return ring_ != nullptr ? Kind::kSpsc : Kind::kMutex; }
 
+  // Attaches/detaches the scheduler's readiness listener. Pushes and pops by
+  // any thread (pool workers and pinned node threads alike) fire through it,
+  // so readiness crosses the pool boundary.
+  void set_signal(Signal* signal) { signal_ = signal; }
+
+  // A producer whose TryPush reported kFull publishes its interest here,
+  // *then* retries once: either the retry succeeds, or a pop after the flag
+  // became visible claims it and fires RoomFreed — no lost wakeup either
+  // way.
+  void MarkProducerWaiting() {
+    producer_waiting_.store(true, std::memory_order_seq_cst);
+  }
+
   // --- data plane (forwarded to the selected implementation) ---------------
   bool Push(StreamBatch batch, size_t max_coalesce) {
-    if (ring_ != nullptr) return ring_->Push(std::move(batch), max_coalesce);
-    return mutex_->Push(std::move(batch), max_coalesce);
+    const bool ok = ring_ != nullptr
+                        ? ring_->Push(std::move(batch), max_coalesce)
+                        : mutex_->Push(std::move(batch), max_coalesce);
+    if (ok) NotifyData();
+    return ok;
+  }
+  PushStatus TryPush(StreamBatch& batch, size_t max_coalesce) {
+    const PushStatus status = ring_ != nullptr
+                                  ? ring_->TryPush(batch, max_coalesce)
+                                  : mutex_->TryPush(batch, max_coalesce);
+    if (status == PushStatus::kOk) NotifyData();
+    return status;
   }
   std::optional<StreamBatch> Pop() {
-    return ring_ != nullptr ? ring_->Pop() : mutex_->Pop();
+    std::optional<StreamBatch> batch =
+        ring_ != nullptr ? ring_->Pop() : mutex_->Pop();
+    if (batch.has_value()) NotifyRoom();
+    return batch;
   }
   bool PopMany(std::vector<StreamBatch>& out) {
-    return ring_ != nullptr ? ring_->PopMany(out) : mutex_->PopMany(out);
+    const bool ok = ring_ != nullptr ? ring_->PopMany(out) : mutex_->PopMany(out);
+    if (ok) NotifyRoom();
+    return ok;
   }
   std::optional<StreamBatch> TryPop() {
-    return ring_ != nullptr ? ring_->TryPop() : mutex_->TryPop();
+    std::optional<StreamBatch> batch =
+        ring_ != nullptr ? ring_->TryPop() : mutex_->TryPop();
+    if (batch.has_value()) NotifyRoom();
+    return batch;
+  }
+  PopStatus TryPopSome(std::vector<StreamBatch>& out, size_t max_batches) {
+    const PopStatus status = ring_ != nullptr
+                                 ? ring_->TryPopSome(out, max_batches)
+                                 : mutex_->TryPopSome(out, max_batches);
+    if (status == PopStatus::kPopped) NotifyRoom();
+    return status;
   }
   void Abort() {
     if (ring_ != nullptr) {
       ring_->Abort();
     } else {
       mutex_->Abort();
+    }
+    // Parked tasks on either side must observe the abort: wake the consumer
+    // (next TryPopSome reports kAborted once drained) and any spilled
+    // producers (their retry discards the spill).
+    if (signal_ != nullptr) {
+      signal_->DataReady();
+      NotifyRoom();
     }
   }
   size_t Size() const {
@@ -137,6 +196,21 @@ class StreamEdge {
   size_t capacity() const { return capacity_; }
 
  private:
+  void NotifyData() {
+    Signal* signal = signal_;
+    if (signal != nullptr) signal->DataReady();
+  }
+  // Fires RoomFreed only when a producer declared itself waiting, claiming
+  // the flag so each wait round costs one callback.
+  void NotifyRoom() {
+    Signal* signal = signal_;
+    if (signal == nullptr) return;
+    if (producer_waiting_.load(std::memory_order_seq_cst) &&
+        producer_waiting_.exchange(false, std::memory_order_seq_cst)) {
+      signal->RoomFreed();
+    }
+  }
+
   void ReselectImpl() {
     const bool want_ring = allow_spsc_ && producers_.size() == 1;
     if (want_ring == (ring_ != nullptr)) return;
@@ -159,6 +233,9 @@ class StreamEdge {
   // used without declaring producers (tests, ad-hoc harnesses).
   std::unique_ptr<BatchQueue> mutex_;
   std::unique_ptr<SpscRing> ring_;
+  // Scheduler plumbing: null (and never fired) under thread-per-node.
+  Signal* signal_ = nullptr;
+  std::atomic<bool> producer_waiting_{false};
 };
 
 using StreamQueue = StreamEdge;
@@ -217,6 +294,49 @@ class Endpoint {
 
   // The current flush threshold (== batch_size unless adaptive).
   size_t effective_batch_size() const { return effective_batch_; }
+
+  // --- pool mode (flipped by the scheduler before execution starts) --------
+  // In non-blocking mode a handoff that would block instead parks the batch
+  // in a per-endpoint spill buffer (order-preserving: once anything is
+  // spilled, later handoffs append behind it) and marks the edge
+  // producer-waiting so the consumer's next pop signals RoomFreed. The
+  // emitting operator code is unchanged — it still sees `true` — and the
+  // spill is bounded by what one morsel can emit, because the owning task is
+  // not re-run until DrainSpill succeeds.
+  void set_nonblocking(bool nonblocking) { nonblocking_ = nonblocking; }
+  bool HasSpill() const { return !spill_.empty(); }
+
+  // Re-offers spilled batches to the queue; returns true when the spill is
+  // empty again. An aborted queue discards the spill (the consumer is gone),
+  // matching the blocking push's failed-push semantics.
+  bool DrainSpill() {
+    while (!spill_.empty()) {
+      switch (queue_->TryPush(spill_.front(), batch_size_)) {
+        case PushStatus::kOk:
+          spill_.pop_front();
+          continue;
+        case PushStatus::kAborted:
+          spill_.clear();
+          return true;
+        case PushStatus::kFull:
+          break;
+      }
+      queue_->MarkProducerWaiting();
+      switch (queue_->TryPush(spill_.front(), batch_size_)) {
+        case PushStatus::kOk:
+          spill_.pop_front();
+          continue;
+        case PushStatus::kAborted:
+          spill_.clear();
+          return true;
+        case PushStatus::kFull:
+          return false;
+      }
+    }
+    return true;
+  }
+
+  StreamQueue* queue() const { return queue_; }
 
   // All return false when the downstream queue was aborted, which the Run
   // loops treat as a request to stop.
@@ -277,9 +397,36 @@ class Endpoint {
   // queue-side chunk-building is unaffected by the adaptive threshold; the
   // depth sample afterwards steers the next flush decision.
   bool Handoff(StreamBatch&& batch) {
-    const bool ok = queue_->Push(std::move(batch), batch_size_);
-    if (adaptive_ && ok) Adapt();
-    return ok;
+    if (!nonblocking_) {
+      const bool ok = queue_->Push(std::move(batch), batch_size_);
+      if (adaptive_ && ok) Adapt();
+      return ok;
+    }
+    if (!spill_.empty()) {
+      spill_.push_back(std::move(batch));
+      return true;
+    }
+    switch (queue_->TryPush(batch, batch_size_)) {
+      case PushStatus::kOk:
+        if (adaptive_) Adapt();
+        return true;
+      case PushStatus::kAborted:
+        return false;
+      case PushStatus::kFull:
+        break;
+    }
+    queue_->MarkProducerWaiting();
+    switch (queue_->TryPush(batch, batch_size_)) {
+      case PushStatus::kOk:
+        if (adaptive_) Adapt();
+        return true;
+      case PushStatus::kAborted:
+        return false;
+      case PushStatus::kFull:
+        break;
+    }
+    spill_.push_back(std::move(batch));
+    return true;
   }
 
   void Adapt() {
@@ -296,8 +443,18 @@ class Endpoint {
   size_t batch_size_ = 1;
   size_t effective_batch_ = 1;
   bool adaptive_ = false;
+  bool nonblocking_ = false;
   StreamBatch pending_;
+  std::deque<StreamBatch> spill_;
 };
+
+// Outcome of one pool-scheduler execution quantum (Node::Step):
+//  * kIdle  — out of input: park until an edge signal re-arms the task;
+//  * kReady — the morsel budget ran out with work left: reschedule through
+//             the fair injector;
+//  * kDone  — end of stream (flush processed, or input queue aborted and
+//             drained): the task retires once its output spills drain.
+enum class StepResult : uint8_t { kIdle, kReady, kDone };
 
 class Node {
  public:
@@ -308,6 +465,44 @@ class Node {
 
   // Thread body. Must drain inputs until flush/abort and emit a final flush.
   virtual void Run() = 0;
+
+  // --- pool-scheduler surface (spe/scheduler.h) ----------------------------
+  // One non-blocking execution quantum: consume up to `max_batches` input
+  // batches (the morsel), emit downstream (spilling instead of blocking),
+  // and report how to reschedule. Must never block on a stream queue. Only
+  // called when NeedsDedicatedThread() is false.
+  virtual StepResult Step(size_t max_batches);
+
+  // Nodes whose Run() blocks on resources other than their stream queues —
+  // network channels (Receive/Send), rate-limiter clocks — keep a dedicated
+  // thread even under the pool scheduler. Defaults to true so node types
+  // without a Step implementation are pinned rather than broken; the
+  // steppable bases (SingleInputNode, MergingNode, sources) opt in.
+  virtual bool NeedsDedicatedThread() const { return true; }
+
+  // Flips every output endpoint to non-blocking spill mode. Called once by
+  // the scheduler between topology build and execution.
+  void EnterPoolMode() {
+    for (Endpoint& e : outputs_) e.set_nonblocking(true);
+  }
+  // Re-offers spilled output batches; true when every endpoint drained.
+  bool DrainSpills() {
+    bool all = true;
+    for (Endpoint& e : outputs_) all = e.DrainSpill() && all;
+    return all;
+  }
+  bool HasSpills() const {
+    for (const Endpoint& e : outputs_) {
+      if (e.HasSpill()) return true;
+    }
+    return false;
+  }
+  // Enumerates the downstream queues this node produces into (the scheduler
+  // maps them to producer tasks for RoomFreed wiring).
+  template <typename Fn>
+  void ForEachOutputQueue(Fn&& fn) {
+    for (Endpoint& e : outputs_) fn(e.queue());
+  }
 
   const std::string& name() const { return name_; }
   uint64_t uid() const { return uid_; }
@@ -397,6 +592,8 @@ class SingleInputNode : public Node {
   using Node::Node;
 
   void Run() final;
+  StepResult Step(size_t max_batches) override;
+  bool NeedsDedicatedThread() const override { return false; }
 
  protected:
   virtual void OnTuple(TuplePtr t) = 0;
@@ -413,6 +610,12 @@ class SingleInputNode : public Node {
     for (TuplePtr& t : batch.tuples) OnTuple(std::move(t));
     if (batch.has_watermark()) OnWatermark(batch.watermark);
   }
+
+ private:
+  // Shared by Run and Step: returns true when the batch carried the
+  // end-of-stream marker (flush forwarded, node done).
+  bool ProcessBatch(StreamBatch& batch);
+  std::vector<StreamBatch> step_burst_;
 };
 
 // Base for multi-input operators (Union, Join, MU). Implements the
@@ -422,6 +625,8 @@ class MergingNode : public Node {
   using Node::Node;
 
   void Run() final;
+  StepResult Step(size_t max_batches) override;
+  bool NeedsDedicatedThread() const override { return false; }
 
  protected:
   // Tuples arrive in deterministic (ts, port, arrival) order.
@@ -439,10 +644,21 @@ class MergingNode : public Node {
     bool flushed = false;
   };
 
+  // The merge state lives in members (not Run-locals) so the pool scheduler
+  // can execute the node as a resumable sequence of Steps; Run uses the same
+  // state, initialized once.
+  void EnsureMergeState();
+  // Folds one input batch into the per-port buffers and releases what the
+  // advanced watermark allows.
+  void ConsumeBatch(StreamBatch& batch);
   // Releases buffered tuples with ts < min watermark, in (ts, port) order.
-  void ReleaseReady(std::vector<PortState>& ports);
-  int64_t MinWatermark(const std::vector<PortState>& ports) const;
+  void ReleaseReady();
+  int64_t MinWatermark() const;
 
+  std::vector<PortState> ports_;
+  size_t flushed_ports_ = 0;
+  bool merge_state_ready_ = false;
+  std::vector<StreamBatch> step_burst_;
   int64_t last_merged_wm_ = kWatermarkMin;
 };
 

@@ -130,11 +130,95 @@ class VectorSourceNode final : public SourceNodeBase {
            start_ns_.load(std::memory_order_relaxed);
   }
 
+  // Rate-limited sources spin/sleep on the pacing clock — an external wait
+  // the pool must not absorb — so they keep a dedicated thread. Unthrottled
+  // sources are re-armable tasks.
+  bool NeedsDedicatedThread() const override {
+    return options_.max_rate_tps > 0;
+  }
+
+  // Pool-mode emission quantum: the Run loop unrolled into a resumable step
+  // that emits up to max_batches chunks' worth of tuples, then yields
+  // kReady (sources re-arm through the fair injector, so one hot source
+  // cannot starve other queries). Emission into a full edge spills at the
+  // endpoint; the scheduler then holds this task until the consumer frees
+  // room, which is what bounds an unthrottled source's memory footprint.
+  StepResult Step(size_t max_batches) override {
+    if (!step_started_) {
+      step_started_ = true;
+      const int64_t start_ns = NowNanos();
+      start_ns_.store(start_ns, std::memory_order_relaxed);
+      step_stimulus_ = start_ns;
+      // Same stimulus granularity rule as Run: steppable sources are always
+      // unthrottled, so the wall-clock read is refreshed per outgoing chunk.
+      step_stimulus_every_ = 1;
+      if (!outputs_.empty()) {
+        step_stimulus_every_ = outputs_[0].batch_size();
+        for (const Endpoint& e : outputs_) {
+          step_stimulus_every_ = std::min(step_stimulus_every_, e.batch_size());
+        }
+      }
+    }
+    if (data_.empty()) return FinishStep();
+    size_t budget = max_batches * step_stimulus_every_;
+    if (budget < max_batches) budget = max_batches;  // overflow guard
+    while (budget-- > 0) {
+      if (step_lap_ >= options_.replays) return FinishStep();
+      if (options_.stop != nullptr &&
+          options_.stop->load(std::memory_order_relaxed)) {
+        return FinishStep();
+      }
+      const int64_t ts_shift =
+          static_cast<int64_t>(step_lap_) * options_.replay_ts_shift;
+      TuplePtr t = MakeTuple<T>(*data_[step_index_]);
+      t->ts = data_[step_index_]->ts + ts_shift;
+      t->id = NextTupleId();
+      if (step_stimulus_every_ == 1 ||
+          step_emitted_ % step_stimulus_every_ == 0) {
+        step_stimulus_ = NowNanos();
+      }
+      t->stimulus = step_stimulus_;
+      InstrumentSource(mode(), *t);
+      CountProcessed();
+      ++step_emitted_;
+      if (!EmitTupleAll(t)) return FinishStep();
+      int64_t wm = t->ts;
+      if (step_index_ + 1 < data_.size()) {
+        const int64_t next_ts = data_[step_index_ + 1]->ts + ts_shift;
+        if (next_ts > t->ts) wm = next_ts;
+      } else if (step_lap_ + 1 < options_.replays) {
+        const int64_t next_ts =
+            data_[0]->ts + ts_shift + options_.replay_ts_shift;
+        if (next_ts > t->ts) wm = next_ts;
+      }
+      if (!ForwardWatermark(wm)) return FinishStep();
+      if (++step_index_ >= data_.size()) {
+        step_index_ = 0;
+        ++step_lap_;
+      }
+    }
+    return StepResult::kReady;
+  }
+
  private:
+  StepResult FinishStep() {
+    end_ns_.store(NowNanos(), std::memory_order_relaxed);
+    EmitFlushAll();
+    return StepResult::kDone;
+  }
+
   std::vector<IntrusivePtr<T>> data_;
   SourceOptions options_;
   std::atomic<int64_t> start_ns_{0};
   std::atomic<int64_t> end_ns_{0};
+  // Step-mode cursor (touched only by the executing worker; the task state
+  // machine hands the node from worker to worker with release/acquire).
+  bool step_started_ = false;
+  int step_lap_ = 0;
+  size_t step_index_ = 0;
+  uint64_t step_emitted_ = 0;
+  size_t step_stimulus_every_ = 1;
+  int64_t step_stimulus_ = 0;
 };
 
 // Callback-driven source for tests and examples: `gen` returns tuples in
@@ -159,6 +243,28 @@ class CallbackSourceNode final : public SourceNodeBase {
       if (!ForwardWatermark(last_ts)) break;
     }
     EmitFlushAll();
+  }
+
+  bool NeedsDedicatedThread() const override { return false; }
+
+  StepResult Step(size_t max_batches) override {
+    for (size_t i = 0; i < max_batches; ++i) {
+      IntrusivePtr<T> t = gen_();
+      if (t == nullptr) {
+        EmitFlushAll();
+        return StepResult::kDone;
+      }
+      t->id = NextTupleId();
+      t->stimulus = NowNanos();
+      InstrumentSource(mode(), *t);
+      const int64_t last_ts = t->ts;
+      CountProcessed();
+      if (!EmitTupleAll(t) || !ForwardWatermark(last_ts)) {
+        EmitFlushAll();
+        return StepResult::kDone;
+      }
+    }
+    return StepResult::kReady;
   }
 
  private:

@@ -113,6 +113,55 @@ class SpscRing {
     return true;
   }
 
+  // Non-blocking push for the pool scheduler: where Push would park waiting
+  // for room, TryPush leaves `batch` untouched and reports kFull so the
+  // caller can spill and retry on the edge's room-freed signal. Producer
+  // thread only (under the pool, producer-at-a-time — the task state machine
+  // serializes executions of the producing node and carries the
+  // happens-before edge between consecutive workers).
+  PushStatus TryPush(StreamBatch& batch, size_t max_coalesce) {
+    if (aborted_.load(std::memory_order_acquire)) return PushStatus::kAborted;
+    if (TryCoalesceTail(batch, max_coalesce)) {
+      WakeConsumer();
+      return PushStatus::kOk;
+    }
+    const size_t w = batch.weight();
+    if (!CanAdmit(w)) return PushStatus::kFull;
+    const uint64_t tail = tail_.load(std::memory_order_relaxed);
+    Slot& slot = slots_[tail & mask_];
+    last_tuple_count_ = batch.tuples.size();
+    slot.batch = std::move(batch);
+    pushed_weight_.store(pushed_weight_.load(std::memory_order_relaxed) + w,
+                         std::memory_order_release);
+    slot.state.store(kReady, std::memory_order_release);
+    tail_.store(tail + 1, std::memory_order_release);
+    WakeConsumer();
+    return PushStatus::kOk;
+  }
+
+  // Non-blocking bounded drain for the pool scheduler: moves up to
+  // `max_batches` published batches into `out` (appending) without waiting.
+  // Consumer thread only (consumer-at-a-time under the pool). kAborted is
+  // only reported once the ring is also empty, preserving the
+  // abort-then-drain teardown contract.
+  PopStatus TryPopSome(std::vector<StreamBatch>& out, size_t max_batches) {
+    if (Empty()) {
+      return aborted_.load(std::memory_order_acquire) ? PopStatus::kAborted
+                                                      : PopStatus::kEmpty;
+    }
+    const uint64_t head = head_.load(std::memory_order_relaxed);
+    const uint64_t tail = tail_.load(std::memory_order_acquire);
+    uint64_t take = tail - head;
+    if (take > max_batches) take = max_batches;
+    size_t drained = 0;
+    for (uint64_t i = head; i != head + take; ++i) {
+      out.push_back(TakeSlot(i, /*may_merge=*/i + 1 == tail));
+      drained += out.back().weight();
+    }
+    FinishPop(head + take, drained);
+    return PopStatus::kPopped;
+  }
+
   // Blocks while empty. Consumer thread only. Returns nullopt once aborted
   // and drained.
   std::optional<StreamBatch> Pop() {

@@ -38,6 +38,13 @@ namespace genealog {
 // meanings coincide.
 inline constexpr int64_t kNoWatermark = std::numeric_limits<int64_t>::min();
 
+// Results of the non-blocking queue operations shared by BatchQueue and
+// SpscRing (the pool scheduler's data plane: tasks must never block on an
+// edge, so every wait turns into one of these statuses plus a readiness
+// signal).
+enum class PushStatus : uint8_t { kOk, kFull, kAborted };
+enum class PopStatus : uint8_t { kPopped, kEmpty, kAborted };
+
 struct StreamBatch {
   // Inline capacity: batches under flush pressure (watermark advances, small
   // batch knobs) stay off the heap.

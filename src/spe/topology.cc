@@ -1,8 +1,10 @@
 #include "spe/topology.h"
 
+#include <algorithm>
 #include <thread>
 
 #include "common/memory_accounting.h"
+#include "spe/scheduler.h"
 
 namespace genealog {
 
@@ -28,40 +30,98 @@ void Topology::AbortAll() {
   for (Abortable* resource : abortables_) resource->Abort();
 }
 
+Runner::Runner(std::vector<Topology*> topologies, RunnerOptions options)
+    : topologies_(std::move(topologies)), options_(options) {}
+
 Runner::~Runner() {
-  if (!threads_.empty() && !joined_) {
+  if (started_ && !joined_) {
     Abort();
     for (auto& t : threads_) {
       if (t.joinable()) t.join();
     }
+    if (pool_ != nullptr) pool_->Join();
   }
 }
 
+void Runner::RecordFailure(std::exception_ptr error) {
+  {
+    std::lock_guard lock(error_mu_);
+    if (first_error_ == nullptr) first_error_ = error;
+  }
+  failed_.store(true, std::memory_order_release);
+  Abort();
+}
+
 void Runner::Start() {
-  for (Topology* topology : topologies_) {
-    for (auto& node : topology->nodes()) {
-      Node* raw = node.get();
-      threads_.emplace_back([this, raw] {
-        mem::SetCurrentInstance(raw->instance_id());
-        try {
-          raw->Run();
-        } catch (...) {
-          {
-            std::lock_guard lock(error_mu_);
-            if (first_error_ == nullptr) first_error_ = std::current_exception();
-          }
-          failed_.store(true, std::memory_order_release);
-          Abort();
-        }
-      });
+  started_ = true;
+
+  // Resolve the effective mode: an explicit override wins; otherwise the
+  // pool runs only when every topology asked for it.
+  if (options_.scheduler.has_value()) {
+    scheduler_ = *options_.scheduler;
+  } else {
+    scheduler_ = SchedulerMode::kPool;
+    for (Topology* topology : topologies_) {
+      if (topology->scheduler() != SchedulerMode::kPool) {
+        scheduler_ = SchedulerMode::kThreadPerNode;
+        break;
+      }
+    }
+    if (topologies_.empty()) scheduler_ = SchedulerMode::kThreadPerNode;
+  }
+
+  auto spawn_thread = [this](Node* raw) {
+    threads_.emplace_back([this, raw] {
+      mem::SetCurrentInstance(raw->instance_id());
+      try {
+        raw->Run();
+      } catch (...) {
+        RecordFailure(std::current_exception());
+      }
+    });
+  };
+
+  if (scheduler_ == SchedulerMode::kThreadPerNode) {
+    for (Topology* topology : topologies_) {
+      for (auto& node : topology->nodes()) spawn_thread(node.get());
+    }
+    return;
+  }
+
+  // Pool mode: schedulable nodes join the shared pool under their topology's
+  // fairness bucket; nodes that block on non-queue resources (network, rate
+  // limiter clocks, unknown node types) keep dedicated threads.
+  WorkerPoolOptions pool_options;
+  if (options_.workers.has_value()) {
+    pool_options.workers = *options_.workers;
+  } else {
+    for (Topology* topology : topologies_) {
+      pool_options.workers = std::max(pool_options.workers, topology->workers());
     }
   }
+  pool_ = std::make_unique<WorkerPool>(pool_options);
+  std::vector<Node*> pinned;
+  for (uint32_t q = 0; q < topologies_.size(); ++q) {
+    for (auto& node : topologies_[q]->nodes()) {
+      if (node->NeedsDedicatedThread()) {
+        pinned.push_back(node.get());
+      } else {
+        pool_->AddNode(node.get(), q);
+      }
+    }
+  }
+  // Start the pool (which attaches the edge signal hooks) before any pinned
+  // node thread runs: a pinned producer's first Push may race the signal
+  // attachment otherwise.
+  pool_->Start([this](std::exception_ptr error) { RecordFailure(error); });
+  for (Node* node : pinned) spawn_thread(node);
 }
 
 void Runner::Join() {
   for (auto& t : threads_) {
     if (t.joinable()) t.join();
   }
+  if (pool_ != nullptr) pool_->Join();
   joined_ = true;
   if (failed_.load(std::memory_order_acquire)) {
     std::lock_guard lock(error_mu_);
@@ -71,6 +131,7 @@ void Runner::Join() {
 
 void Runner::Abort() {
   for (Topology* topology : topologies_) topology->AbortAll();
+  if (pool_ != nullptr) pool_->Kick();
 }
 
 void RunToCompletion(Topology& topology) {

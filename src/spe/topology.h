@@ -10,6 +10,7 @@
 #include <exception>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <utility>
@@ -57,15 +58,29 @@ class Topology {
   bool adaptive_batch() const { return adaptive_batch_; }
   void set_adaptive_batch(bool enabled) { adaptive_batch_ = enabled; }
 
+  // Execution model requested for this topology (default from
+  // GENEALOG_SCHEDULER): thread-per-node, or the shared morsel-driven worker
+  // pool. The Runner resolves the effective mode across all its topologies
+  // (see RunnerOptions).
+  SchedulerMode scheduler() const { return scheduler_; }
+  void set_scheduler(SchedulerMode mode) { scheduler_ = mode; }
+
+  // Worker threads for pool mode; 0 = auto (one per hardware thread, capped
+  // by the task count). Default from GENEALOG_WORKERS.
+  size_t workers() const { return workers_; }
+  void set_workers(size_t n) { workers_ = n; }
+
   // Stamps the data-plane subset of a unified EngineOptions (batch size, edge
-  // implementation, adaptive batching) in one call; the per-knob setters
-  // above remain for targeted overrides. The process-wide knobs
+  // implementation, adaptive batching, scheduler) in one call; the per-knob
+  // setters above remain for targeted overrides. The process-wide knobs
   // (tuple_pool, epoch_traversal) and the provenance-sink policy are not
   // topology state and are ignored here.
   void Configure(const EngineOptions& engine) {
     set_default_batch_size(engine.batch_size);
     set_spsc_edges(engine.spsc_edges);
     set_adaptive_batch(engine.adaptive_batch);
+    set_scheduler(engine.scheduler);
+    set_workers(engine.workers);
   }
 
   // Constructs a node in this topology; instance id and provenance mode are
@@ -106,18 +121,37 @@ class Topology {
   size_t default_batch_size_ = kDefaultBatchSize;
   bool spsc_edges_ = DefaultSpscEdges();
   bool adaptive_batch_ = DefaultAdaptiveBatch();
+  SchedulerMode scheduler_ = engine_defaults::Scheduler();
+  size_t workers_ = engine_defaults::Workers();
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<Abortable*> abortables_;
+};
+
+class WorkerPool;
+
+// Execution overrides a harness can impose on a Runner regardless of what the
+// individual topologies were configured with (benches compare modes on the
+// same topology objects this way).
+struct RunnerOptions {
+  // Unset: pool mode iff every topology asked for it (mixed requests fall
+  // back to thread-per-node, the conservative mode).
+  std::optional<SchedulerMode> scheduler;
+  // Unset: the max of the topologies' nonzero worker counts (0 = auto).
+  std::optional<size_t> workers;
 };
 
 // Runs topologies to completion. Usage:
 //   Runner runner({&t1, &t2});
 //   runner.Start();
 //   runner.Join();   // rethrows the first node failure, if any
+//
+// Thread-per-node mode gives every node its own thread (the Liebre model).
+// Pool mode hands schedulable nodes to one shared morsel-driven WorkerPool
+// (see spe/scheduler.h) keyed by topology index for fairness; nodes that
+// report NeedsDedicatedThread() keep a thread of their own either way.
 class Runner {
  public:
-  explicit Runner(std::vector<Topology*> topologies)
-      : topologies_(std::move(topologies)) {}
+  explicit Runner(std::vector<Topology*> topologies, RunnerOptions options = {});
   ~Runner();
   Runner(const Runner&) = delete;
   Runner& operator=(const Runner&) = delete;
@@ -128,12 +162,22 @@ class Runner {
   // Cooperative teardown: aborts every queue; nodes unwind promptly.
   void Abort();
 
+  // Effective mode after resolving overrides (valid after Start).
+  SchedulerMode scheduler() const { return scheduler_; }
+  const WorkerPool* pool() const { return pool_.get(); }
+
  private:
+  void RecordFailure(std::exception_ptr error);
+
   std::vector<Topology*> topologies_;
+  RunnerOptions options_;
+  SchedulerMode scheduler_ = SchedulerMode::kThreadPerNode;
   std::vector<std::thread> threads_;
+  std::unique_ptr<WorkerPool> pool_;
   std::atomic<bool> failed_{false};
   std::exception_ptr first_error_;
   std::mutex error_mu_;
+  bool started_ = false;
   bool joined_ = false;
 };
 

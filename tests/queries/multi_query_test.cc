@@ -2,10 +2,16 @@
 // trivial to extend ... to scenarios in which more queries are defined".
 // This test deploys two queries over one source (split by a Multiplex) in a
 // single SPE instance, each with its own SU and provenance sink, and checks
-// that the two provenance pipelines are correct and fully isolated.
+// that the two provenance pipelines are correct and fully isolated — under
+// the thread-per-node scheduler AND the worker pool (the multi-query
+// scenario the pool exists for), with byte-identical provenance between the
+// two.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
+#include <string>
+#include <vector>
 
 #include "genealog/provenance_sink.h"
 #include "genealog/su.h"
@@ -23,15 +29,36 @@ namespace {
 using lr::PositionReport;
 using lr::StoppedCarStats;
 
-TEST(MultiQueryTest, TwoQueriesShareOneSourceWithIsolatedProvenance) {
-  lr::LinearRoadConfig config;
-  config.n_cars = 20;
-  config.duration_s = 1200;
-  config.stop_probability = 0.03;
-  config.seed = 13;
-  auto data = lr::GenerateLinearRoad(config);
+struct TwoQueryRun {
+  std::vector<ProvenanceRecord> a_records;
+  std::vector<ProvenanceRecord> b_records;
+  size_t a_sink_count = 0;
+  size_t b_sink_count = 0;
+};
 
+std::vector<std::string> Canonical(const std::vector<ProvenanceRecord>& recs) {
+  std::vector<std::string> out;
+  for (const auto& r : recs) {
+    std::string line =
+        std::to_string(r.derived_ts) + "|" + r.derived->DebugPayload() + "|";
+    std::vector<std::string> origins;
+    for (const auto& o : r.origins) {
+      origins.push_back(std::to_string(o->ts) + "/" + o->DebugPayload());
+    }
+    std::sort(origins.begin(), origins.end());
+    for (const auto& o : origins) line += o + ";";
+    out.push_back(std::move(line));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TwoQueryRun RunTwoQueries(const lr::LinearRoadData& data, SchedulerMode mode,
+                          size_t workers) {
+  TwoQueryRun run;
   Topology topo(1, ProvenanceMode::kGenealog);
+  topo.set_scheduler(mode);
+  topo.set_workers(workers);
   auto* source =
       topo.Add<VectorSourceNode<PositionReport>>("source", data.reports);
   auto* split = topo.Add<MultiplexNode>("split");
@@ -56,11 +83,10 @@ TEST(MultiQueryTest, TwoQueriesShareOneSourceWithIsolatedProvenance) {
       });
   auto* a_su = topo.Add<SuNode>("a.su");
   auto* a_sink = topo.Add<SinkNode>("a.sink");
-  std::vector<ProvenanceRecord> a_records;
   ProvenanceSinkOptions a_pso;
   a_pso.finalize_slack = 120;
-  a_pso.consumer = [&a_records](const ProvenanceRecord& r) {
-    a_records.push_back(r);
+  a_pso.consumer = [&run](const ProvenanceRecord& r) {
+    run.a_records.push_back(r);
   };
   auto* a_prov = topo.Add<ProvenanceSinkNode>("a.k2", a_pso);
   topo.Connect(split, a_filter);
@@ -84,11 +110,10 @@ TEST(MultiQueryTest, TwoQueriesShareOneSourceWithIsolatedProvenance) {
       });
   auto* b_su = topo.Add<SuNode>("b.su");
   auto* b_sink = topo.Add<SinkNode>("b.sink");
-  std::vector<ProvenanceRecord> b_records;
   ProvenanceSinkOptions b_pso;
   b_pso.finalize_slack = 300;
-  b_pso.consumer = [&b_records](const ProvenanceRecord& r) {
-    b_records.push_back(r);
+  b_pso.consumer = [&run](const ProvenanceRecord& r) {
+    run.b_records.push_back(r);
   };
   auto* b_prov = topo.Add<ProvenanceSinkNode>("b.k2", b_pso);
   topo.Connect(split, b_filter);
@@ -98,25 +123,64 @@ TEST(MultiQueryTest, TwoQueriesShareOneSourceWithIsolatedProvenance) {
   topo.Connect(b_su, b_prov);
 
   RunToCompletion(topo);
+  run.a_sink_count = a_sink->count();
+  run.b_sink_count = b_sink->count();
+  return run;
+}
 
+lr::LinearRoadData TestData() {
+  lr::LinearRoadConfig config;
+  config.n_cars = 20;
+  config.duration_s = 1200;
+  config.stop_probability = 0.03;
+  config.seed = 13;
+  return lr::GenerateLinearRoad(config);
+}
+
+void CheckIsolation(const TwoQueryRun& run) {
   // Query A's provenance: zero-speed reports only, 4 per record.
-  ASSERT_FALSE(a_records.empty());
-  for (const auto& record : a_records) {
+  ASSERT_FALSE(run.a_records.empty());
+  for (const auto& record : run.a_records) {
     EXPECT_EQ(record.origins.size(), 4u);
     for (const auto& origin : record.origins) {
       EXPECT_EQ(static_cast<const PositionReport&>(*origin).speed, 0.0);
     }
   }
   // Query B's provenance: fast reports only.
-  ASSERT_FALSE(b_records.empty());
-  for (const auto& record : b_records) {
+  ASSERT_FALSE(run.b_records.empty());
+  for (const auto& record : run.b_records) {
     EXPECT_FALSE(record.origins.empty());
     for (const auto& origin : record.origins) {
       EXPECT_GT(static_cast<const PositionReport&>(*origin).speed, 30.0);
     }
   }
-  EXPECT_EQ(a_sink->count(), a_records.size());
-  EXPECT_EQ(b_sink->count(), b_records.size());
+  EXPECT_EQ(run.a_sink_count, run.a_records.size());
+  EXPECT_EQ(run.b_sink_count, run.b_records.size());
+}
+
+TEST(MultiQueryTest, TwoQueriesShareOneSourceWithIsolatedProvenance) {
+  const auto data = TestData();
+  CheckIsolation(RunTwoQueries(data, SchedulerMode::kThreadPerNode, 0));
+}
+
+// The same two-query deployment on the worker pool, swept across worker
+// counts (1 = fully serialized). The provenance of both queries must be
+// byte-identical to the thread-per-node run: the scheduler is pure
+// mechanism, invisible in every record.
+TEST(MultiQueryTest, SchedulerChoiceIsInvisibleInProvenance) {
+  const auto data = TestData();
+  const TwoQueryRun reference =
+      RunTwoQueries(data, SchedulerMode::kThreadPerNode, 0);
+  CheckIsolation(reference);
+  const auto ref_a = Canonical(reference.a_records);
+  const auto ref_b = Canonical(reference.b_records);
+  for (size_t workers : {1u, 2u, 4u}) {
+    const TwoQueryRun pool =
+        RunTwoQueries(data, SchedulerMode::kPool, workers);
+    CheckIsolation(pool);
+    EXPECT_EQ(Canonical(pool.a_records), ref_a) << "workers " << workers;
+    EXPECT_EQ(Canonical(pool.b_records), ref_b) << "workers " << workers;
+  }
 }
 
 }  // namespace

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -184,11 +185,17 @@ std::vector<IntrusivePtr<KeyedTuple>> MakeInput(uint64_t seed) {
 std::vector<CanonicalRecord> RunPlan(const PipelinePlan& plan, uint64_t seed,
                                      ProvenanceMode mode, size_t batch_size = 1,
                                      bool spsc_edges = true,
-                                     bool adaptive_batch = true) {
+                                     bool adaptive_batch = true,
+                                     std::optional<SchedulerMode> scheduler = {},
+                                     size_t workers = 0) {
   Topology topo(1, mode);
   topo.set_default_batch_size(batch_size);
   topo.set_spsc_edges(spsc_edges);
   topo.set_adaptive_batch(adaptive_batch);
+  // Scheduler left unset keeps the environment default, so the CI scheduler
+  // sweeps (GENEALOG_SCHEDULER=pool) cover every test in this file.
+  if (scheduler.has_value()) topo.set_scheduler(*scheduler);
+  if (workers > 0) topo.set_workers(workers);
   auto* source =
       topo.Add<VectorSourceNode<KeyedTuple>>("source", MakeInput(seed));
   std::vector<CanonicalRecord> records;
@@ -278,6 +285,38 @@ TEST_P(RandomPipelineFuzzTest, GenealogIsDataPlaneInvariant) {
               reference)
         << "seed " << seed << " batch " << config.batch << " spsc "
         << config.spsc << " adaptive " << config.adaptive;
+  }
+}
+
+// Scheduler invariance: the worker pool — at any worker count, over either
+// edge implementation — must reproduce the thread-per-node seed
+// configuration's provenance byte for byte on every randomly generated
+// pipeline. workers=1 is the fully serialized round-robin case; the larger
+// counts migrate tasks between workers mid-stream.
+TEST_P(RandomPipelineFuzzTest, GenealogIsSchedulerInvariant) {
+  const uint64_t seed = GetParam();
+  const PipelinePlan plan = MakePlan(seed);
+  const auto reference = RunPlan(plan, seed, ProvenanceMode::kGenealog,
+                                 /*batch_size=*/1, /*spsc_edges=*/false,
+                                 /*adaptive_batch=*/false,
+                                 SchedulerMode::kThreadPerNode);
+  struct Config {
+    size_t workers;
+    size_t batch;
+    bool spsc;
+  };
+  constexpr Config kConfigs[] = {
+      {1, 1, false},  // serialized pool over the seed data plane
+      {2, 16, true},  // two workers, batched rings
+      {4, 64, true},  // production default shape on the pool
+  };
+  for (const Config& config : kConfigs) {
+    EXPECT_EQ(RunPlan(plan, seed, ProvenanceMode::kGenealog, config.batch,
+                      config.spsc, /*adaptive_batch=*/false,
+                      SchedulerMode::kPool, config.workers),
+              reference)
+        << "seed " << seed << " workers " << config.workers << " batch "
+        << config.batch << " spsc " << config.spsc;
   }
 }
 

@@ -278,7 +278,9 @@ TEST(DataflowTest, SingleProducerEdgesUpgradeToSpscRing) {
   EXPECT_EQ(flow.sink()->count(), 8u);
 
   // One producer node, two taps into one merging consumer: still SPSC.
-  Dataflow df2;
+  DataflowOptions opts2;
+  opts2.engine.spsc_edges = true;  // pin against GENEALOG_SPSC_RING=0
+  Dataflow df2(std::move(opts2));
   auto taps = df2.Source<ValueTuple>("src", Values(4)).Multiplex("mux", 2);
   taps[0].Union("u2", taps[1]).Sink("k2");
   BuiltDataflow flow2 = df2.Build();
