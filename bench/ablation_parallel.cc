@@ -86,7 +86,7 @@ double RunOnce(const SgWorkload& workload, int replays, int parallelism,
   }
   auto* su = topo.Add<SuNode>("su");
   auto* sink = topo.Add<SinkNode>("sink");
-  ProvenanceSinkOptions pso;
+  ProvenanceSinkSpec pso;
   pso.finalize_slack = ws;
   auto* prov = topo.Add<ProvenanceSinkNode>("k2", pso);
   topo.Connect(exit, su);

@@ -14,6 +14,7 @@
 #include "bench/harness.h"
 #include "core/instrumentation.h"
 #include "core/type_registry.h"
+#include "genealog/lineage_store.h"
 #include "genealog/su.h"
 #include "genealog/traversal.h"
 #include "lr/linear_road.h"
@@ -291,6 +292,80 @@ void BM_AnnotationMerge(benchmark::State& state) {
 }
 BENCHMARK(BM_AnnotationMerge)->Arg(4)->Arg(96)->Arg(1024);
 
+// --- lineage store -----------------------------------------------------------
+// Per-record ingest cost of the live lineage index (serialize + intern +
+// adjacency + amortized whole-epoch eviction at a steady retained size). The
+// disabled-store cost is pinned elsewhere: BM_StatelessChain_GL runs with the
+// store off, and the sink pays one null check per record.
+void BM_LineageIngest(benchmark::State& state) {
+  LineageOptions lo;
+  lo.retain_records = 1 << 16;
+  LineageStore store(lo);
+  // Q1-shaped record: 4 source origins per derived sink tuple. The same
+  // tuple objects are re-stamped with fresh ids each iteration, so every
+  // Ingest takes the fresh-record path (no merge) at flat memory.
+  auto derived = Report(0);
+  std::vector<IntrusivePtr<PositionReport>> origins;
+  ProvenanceRecord rec;
+  rec.derived = TuplePtr(derived.get());
+  for (int i = 0; i < 4; ++i) {
+    origins.push_back(Report(i));
+    rec.origins.push_back(TuplePtr(origins.back().get()));
+  }
+  uint64_t seq = 1;
+  for (auto _ : state) {
+    derived->ts = static_cast<int64_t>(seq);
+    derived->id = (uint64_t{9} << 40) | seq;
+    rec.derived_id = derived->id;
+    rec.derived_ts = derived->ts;
+    for (size_t i = 0; i < origins.size(); ++i) {
+      origins[i]->id = (uint64_t{1} << 40) | (seq * 4 + i);
+    }
+    ++seq;
+    store.Ingest(rec);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LineageIngest);
+
+// Backward-closure lookup latency against retained index size. Records are
+// Q1-shaped with a sliding 4-origin window over one source stream, so
+// consecutive records share 3 of their 4 origins — the adjacency shape a
+// live Q1 store actually holds.
+void BM_LineageLookup(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  LineageStore store(LineageOptions{/*retain_records=*/0, 0, 1024});
+  auto derived = Report(0);
+  std::vector<IntrusivePtr<PositionReport>> origins;
+  ProvenanceRecord rec;
+  rec.derived = TuplePtr(derived.get());
+  for (int i = 0; i < 4; ++i) {
+    origins.push_back(Report(i));
+    rec.origins.push_back(TuplePtr(origins.back().get()));
+  }
+  for (size_t r = 0; r < n; ++r) {
+    derived->ts = static_cast<int64_t>(r);
+    derived->id = (uint64_t{9} << 40) | (r + 1);
+    rec.derived_id = derived->id;
+    rec.derived_ts = derived->ts;
+    // Serialized bytes only matter on first sight of an id, so re-stamping
+    // the same 4 objects walks the whole sliding source stream.
+    for (size_t i = 0; i < 4; ++i) {
+      origins[i]->id = (uint64_t{1} << 40) | (r + i + 1);
+    }
+    store.Ingest(rec);
+  }
+  const std::vector<uint64_t> ids = store.RetainedRecordIds();
+  size_t j = 0;
+  for (auto _ : state) {
+    const auto result = store.Contributors(ids[j]);
+    benchmark::DoNotOptimize(result.data());
+    if (++j == ids.size()) j = 0;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LineageLookup)->Arg(1024)->Arg(32768)->Arg(262144);
+
 // --- data-plane sweep --------------------------------------------------------
 // End-to-end stateless chain, GL mode: Source -> Map (creates, instrumented
 // U1) -> Filter -> Multiplex -> Sink, every operator on its own thread. The
@@ -451,6 +526,41 @@ void WritePoolStatsJson(const CapturingReporter& reporter) {
   std::printf("wrote %s\n", path.c_str());
 }
 
+// Machine-readable lineage-store numbers for bench-smoke: the BM_Lineage*
+// rows (ingest cost, lookup latency vs retained size) land in their own
+// BENCH_lineage.json so the serving-path trajectory is tracked per commit
+// separately from the pool stats. No-op when no lineage micro ran.
+void WriteLineageJson(const CapturingReporter& reporter) {
+  std::vector<const CapturingReporter::Row*> rows;
+  for (const auto& row : reporter.rows()) {
+    if (row.name.find("Lineage") != std::string::npos) rows.push_back(&row);
+  }
+  if (rows.empty()) return;
+  const char* dir = std::getenv("GENEALOG_BENCH_JSON_DIR");
+  const std::string json_dir = dir != nullptr ? dir : ".";
+  if (json_dir.empty()) return;
+  const std::string path = json_dir + "/BENCH_lineage.json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "WriteLineageJson: cannot open %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"lineage\",\n  \"rows\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"iterations\": %lld, "
+                 "\"real_time\": %.4f, \"time_unit\": \"%s\", "
+                 "\"items_per_second\": %.1f}%s\n",
+                 rows[i]->name.c_str(),
+                 static_cast<long long>(rows[i]->iterations),
+                 rows[i]->real_time, rows[i]->time_unit,
+                 rows[i]->items_per_second, i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
 }  // namespace
 }  // namespace genealog
 
@@ -461,5 +571,6 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();
   genealog::WritePoolStatsJson(reporter);
+  genealog::WriteLineageJson(reporter);
   return 0;
 }

@@ -18,8 +18,12 @@
 // | tuple_pool       | GENEALOG_TUPLE_POOL      | on              |
 // | epoch_traversal  | GENEALOG_EPOCH_TRAVERSAL | on              |
 // | async_prov_sink  | GENEALOG_ASYNC_PROV_SINK | on              |
+// | prov_buffer_bytes | —                       | 256 KiB         |
 // | scheduler        | GENEALOG_SCHEDULER       | thread-per-node |
 // | workers          | GENEALOG_WORKERS         | 0 (= all cores) |
+// | lineage_store    | GENEALOG_LINEAGE_STORE   | off             |
+// | lineage_retain_records | GENEALOG_LINEAGE_RETAIN_RECORDS | 1M (0 = unbounded) |
+// | lineage_retain_span    | GENEALOG_LINEAGE_RETAIN_SPAN    | 0 (= no horizon)   |
 // | use_tcp          | —                        | off             |
 // | composed_unfolders | —                      | off             |
 //
@@ -109,6 +113,29 @@ inline size_t Workers() {
   }();
   return v;
 }
+// The lineage store is the one opt-in knob: it buys a live query surface at
+// the price of retaining records in memory, so it must cost nothing unless
+// asked for (GENEALOG_LINEAGE_STORE unset/0 == off).
+inline bool LineageStore() {
+  static const bool v = EnvKnobOptIn("GENEALOG_LINEAGE_STORE");
+  return v;
+}
+inline size_t LineageRetainRecords() {
+  static const size_t v = [] {
+    const char* s = std::getenv("GENEALOG_LINEAGE_RETAIN_RECORDS");
+    const long long n = s != nullptr ? std::atoll(s) : (1ll << 20);
+    return static_cast<size_t>(n < 0 ? 0 : n);
+  }();
+  return v;
+}
+inline int64_t LineageRetainSpan() {
+  static const int64_t v = [] {
+    const char* s = std::getenv("GENEALOG_LINEAGE_RETAIN_SPAN");
+    const long long n = s != nullptr ? std::atoll(s) : 0;
+    return static_cast<int64_t>(n < 0 ? 0 : n);
+  }();
+  return v;
+}
 
 }  // namespace engine_defaults
 
@@ -132,6 +159,9 @@ struct EngineOptions {
   // Double-buffered background provenance-file writer (sync fwrite when
   // false). File bytes are identical either way.
   bool async_prov_sink = engine_defaults::AsyncProvSink();
+  // Swap threshold of the async writer's buffers; tests shrink it to force
+  // many background handoffs.
+  size_t prov_buffer_bytes = 256 * 1024;
   // Execution model for the Runner: thread-per-node (the seed fallback) or
   // the shared morsel-driven worker pool. Sink/provenance output is byte
   // identical across modes (the scheduler sweeps in the determinism suites
@@ -140,6 +170,17 @@ struct EngineOptions {
   // Worker threads for the pool scheduler; 0 = one per hardware thread
   // (capped by the task count). Ignored under thread-per-node.
   size_t workers = engine_defaults::Workers();
+  // Maintain a live in-memory lineage index (genealog/lineage_store.h) fed by
+  // the provenance consumer, queryable through LineageQuery while the
+  // topology runs. Off by default: when false no store exists and the emit
+  // path pays only a null-pointer check.
+  bool lineage_store = engine_defaults::LineageStore();
+  // Lineage retention: evict whole epochs once more than this many records
+  // are retained (0 = unbounded) ...
+  size_t lineage_retain_records = engine_defaults::LineageRetainRecords();
+  // ... and/or once an epoch's newest derived event-time falls more than this
+  // many time units behind the newest ingested record (0 = no horizon).
+  int64_t lineage_retain_span = engine_defaults::LineageRetainSpan();
   // Distributed deployments: TCP loopback channels when true, in-memory
   // serializing channels otherwise.
   bool use_tcp = false;

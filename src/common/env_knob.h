@@ -15,6 +15,14 @@ inline bool EnvKnobEnabled(const char* name) {
   return v == nullptr || v[0] == '\0' || std::atoi(v) != 0;
 }
 
+// Opt-in variant for features that default *off* (GENEALOG_LINEAGE_STORE):
+// enabled only when the variable is set to a non-zero value. Unset or empty
+// keeps the feature disabled, so an idle knob costs nothing.
+inline bool EnvKnobOptIn(const char* name) {
+  const char* v = std::getenv(name);
+  return v != nullptr && v[0] != '\0' && std::atoi(v) != 0;
+}
+
 }  // namespace genealog
 
 #endif  // GENEALOG_COMMON_ENV_KNOB_H_

@@ -135,11 +135,16 @@ void LowerDataflow(const Plan& plan, BuiltDataflow& out) {
   // --- provenance weaving around the sink -----------------------------------
   MuEnds mu{nullptr, nullptr};
   if (mode == ProvenanceMode::kGenealog) {
-    ProvenanceSinkOptions pso;
+    ProvenanceSinkSpec pso;
     pso.finalize_slack = slack;
     pso.file_path = opts.provenance_file;
     pso.consumer = opts.provenance_consumer;
-    pso.async_writer = engine.async_prov_sink;
+    pso.engine = engine;
+    if (engine.lineage_store) {
+      out.lineage_store =
+          std::make_shared<LineageStore>(MakeLineageOptions(engine));
+    }
+    pso.lineage = out.lineage_store.get();
     Topology& sink_topo = *topo_of.at(plan.ops[sink_op].instance);
     Node* sink_node = node_of[sink_op];
     if (!distributed) {

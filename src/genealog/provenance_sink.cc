@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "common/engine_options.h"
+#include "genealog/lineage_store.h"
 
 namespace genealog {
 
@@ -12,7 +13,7 @@ bool DefaultAsyncProvSink() {
 }
 
 ProvenanceSinkNode::ProvenanceSinkNode(std::string name,
-                                       ProvenanceSinkOptions options)
+                                       ProvenanceSinkSpec options)
     : SingleInputNode(std::move(name)), options_(std::move(options)) {
   if (!options_.file_path.empty()) {
     file_ = std::fopen(options_.file_path.c_str(), "wb");
@@ -20,9 +21,9 @@ ProvenanceSinkNode::ProvenanceSinkNode(std::string name,
       throw std::runtime_error("cannot open provenance file " +
                                options_.file_path);
     }
-    if (options_.async_writer.value_or(DefaultAsyncProvSink())) {
-      writer_ = std::make_unique<AsyncFileWriter>(file_,
-                                                  options_.async_buffer_bytes);
+    if (options_.engine.async_prov_sink) {
+      writer_ = std::make_unique<AsyncFileWriter>(
+          file_, options_.engine.prov_buffer_bytes);
     }
   }
 }
@@ -118,6 +119,9 @@ void ProvenanceSinkNode::Finalize(Group& group) {
     writer_->Append(scratch_.bytes().data(), scratch_.size());
   } else if (file_ != nullptr) {
     std::fwrite(scratch_.bytes().data(), 1, scratch_.size(), file_);
+  }
+  if (options_.lineage != nullptr) {
+    options_.lineage->Ingest(group.record);
   }
   if (options_.consumer) {
     options_.consumer(group.record);

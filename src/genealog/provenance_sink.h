@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "common/async_writer.h"
+#include "common/engine_options.h"
 #include "common/int_math.h"
 #include "core/type_registry.h"
 #include "genealog/provenance_record.h"
@@ -35,11 +36,18 @@
 
 namespace genealog {
 
+class LineageStore;
+
 // Process-wide default for the asynchronous provenance writer, read from the
 // environment once (on unless GENEALOG_ASYNC_PROV_SINK=0).
 bool DefaultAsyncProvSink();
 
-struct ProvenanceSinkOptions {
+// What a provenance sink does with finalized records. Engine-wide knobs
+// (async writer on/off, writer buffer size) live in the embedded
+// EngineOptions — one struct, one FromEnv() — so this spec only adds the
+// sink-specific wiring: where the file goes, who consumes records in
+// process, and which lineage store (if any) indexes them.
+struct ProvenanceSinkSpec {
   // Event-time slack before a group is considered complete; pass the total
   // stateful window span of the deployment (0 is fine for intra-process SU
   // streams, whose groups arrive contiguously).
@@ -49,18 +57,28 @@ struct ProvenanceSinkOptions {
   std::string file_path;
   // Optional in-process consumer, called per finalized record.
   std::function<void(const ProvenanceRecord&)> consumer;
-  // Double-buffered asynchronous file writing; unset follows the process
-  // default (on unless GENEALOG_ASYNC_PROV_SINK=0). Ignored without
-  // file_path. Output bytes are identical either way.
-  std::optional<bool> async_writer;
-  // Swap threshold of the async writer's buffers; tests shrink it to force
-  // many background handoffs.
-  size_t async_buffer_bytes = 256 * 1024;
+  // Optional live lineage index (genealog/lineage_store.h): each finalized
+  // record is Ingest()ed after it is written. Not owned; must outlive the
+  // node. Null (the default) costs one pointer check per record.
+  LineageStore* lineage = nullptr;
+  // Engine knobs the sink honors: async_prov_sink (double-buffered
+  // asynchronous file writing — ignored without file_path, output bytes
+  // identical either way) and prov_buffer_bytes (writer buffer swap
+  // threshold). A default-constructed EngineOptions carries the GENEALOG_*
+  // environment defaults.
+  EngineOptions engine;
 };
+
+// Deprecated spelling from before the EngineOptions fold; out-of-tree
+// callers get one PR of grace. The old `async_writer` / `async_buffer_bytes`
+// fields are now `engine.async_prov_sink` / `engine.prov_buffer_bytes`.
+using ProvenanceSinkOptions [[deprecated(
+    "use ProvenanceSinkSpec; async knobs moved into its EngineOptions "
+    "member")]] = ProvenanceSinkSpec;
 
 class ProvenanceSinkNode final : public SingleInputNode {
  public:
-  ProvenanceSinkNode(std::string name, ProvenanceSinkOptions options);
+  ProvenanceSinkNode(std::string name, ProvenanceSinkSpec options);
   ~ProvenanceSinkNode() override;
 
   uint64_t records() const { return records_; }
@@ -93,7 +111,7 @@ class ProvenanceSinkNode final : public SingleInputNode {
   void Finalize(Group& group);
   void WarnOnWriteError();
 
-  ProvenanceSinkOptions options_;
+  ProvenanceSinkSpec options_;
   std::FILE* file_ = nullptr;
   std::unique_ptr<AsyncFileWriter> writer_;  // null in synchronous mode
   // Groups in creation (= derived ts) order, with an id index.

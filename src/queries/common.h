@@ -19,6 +19,8 @@
 
 #include "baseline/resolver.h"
 #include "common/engine_options.h"
+#include "genealog/lineage_query.h"
+#include "genealog/lineage_store.h"
 #include "genealog/mu.h"
 #include "genealog/provenance_sink.h"
 #include "genealog/su.h"
@@ -73,9 +75,18 @@ struct BuiltQuery {
   BaselineResolverNode* baseline_resolver = nullptr;  // BL only
   std::vector<SuNode*> su_nodes;  // fused SU per instance (instance order)
 
+  // Live lineage index (GL with EngineOptions::lineage_store only); fed by
+  // the provenance sink, shared with LineageQuery handles.
+  std::shared_ptr<LineageStore> lineage_store;
+
   // Sum of the stateful window sizes (the MU join window / resolver slack).
   int64_t total_window_span = 0;
   int n_instances = 1;
+
+  // Handle for querying lineage while (or after) the query runs. Throws on
+  // use unless the query was built with mode GL and
+  // EngineOptions::lineage_store (GENEALOG_LINEAGE_STORE=1).
+  LineageQuery lineage() const { return LineageQuery(lineage_store); }
 
   uint64_t network_bytes() const {
     uint64_t total = 0;

@@ -3,13 +3,14 @@
 namespace genealog::queries {
 namespace {
 
-ProvenanceSinkOptions MakeProvenanceSinkOptions(const QuerySpec& spec,
-                                                const QueryBuildOptions& options) {
-  ProvenanceSinkOptions pso;
+ProvenanceSinkSpec MakeProvenanceSinkSpec(const QuerySpec& spec,
+                                          const BuiltQuery& q) {
+  ProvenanceSinkSpec pso;
   pso.finalize_slack = spec.total_window_span;
-  pso.file_path = options.provenance_file;
-  pso.consumer = options.provenance_consumer;
-  pso.async_writer = options.async_prov_sink;
+  pso.file_path = q.options.provenance_file;
+  pso.consumer = q.options.provenance_consumer;
+  pso.lineage = q.lineage_store.get();
+  pso.engine = q.options.engine();
   return pso;
 }
 
@@ -64,7 +65,7 @@ void AssembleIntra(const QuerySpec& spec, BuiltQuery& q) {
       break;
     case ProvenanceMode::kGenealog: {
       auto* psink = topo.Add<ProvenanceSinkNode>(
-          "K2", MakeProvenanceSinkOptions(spec, q.options));
+          "K2", MakeProvenanceSinkSpec(spec, q));
       q.provenance_sink = psink;
       Node* su = AddSu(q, topo, "SU", sink, psink);
       topo.Connect(stage2.exit, su);
@@ -136,7 +137,7 @@ void AssembleDistributed(const QuerySpec& spec, BuiltQuery& q) {
       topo3 = std::make_unique<Topology>(3, q.options.mode);
       ApplyDataPlane(*topo3, q.options);
       auto* psink = topo3->Add<ProvenanceSinkNode>(
-          "K2", MakeProvenanceSinkOptions(spec, q.options));
+          "K2", MakeProvenanceSinkSpec(spec, q));
       q.provenance_sink = psink;
       MuHandles mu = AddMu(q, *topo3, "MU", spec.mu_ws, psink);
 
@@ -224,6 +225,13 @@ BuiltQuery Assemble(const QuerySpec& spec, QueryBuildOptions options) {
   q.options = std::move(options);
   q.name = spec.name;
   q.total_window_span = spec.total_window_span;
+  // The live lineage index is created before assembly so the provenance sink
+  // can be handed its pointer; GL only (BL records resolve through the
+  // resolver path, NP records nothing).
+  if (q.options.mode == ProvenanceMode::kGenealog && q.options.lineage_store) {
+    q.lineage_store =
+        std::make_shared<LineageStore>(MakeLineageOptions(q.options.engine()));
+  }
   if (q.options.distributed) {
     AssembleDistributed(spec, q);
   } else {

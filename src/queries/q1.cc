@@ -17,11 +17,12 @@
 #include "queries/queries.h"
 
 namespace genealog::queries {
-namespace {
 
 using lr::PositionReport;
 using lr::StoppedCarStats;
 
+// Shared with q2.cc's fluent builder (the Q2 plan starts with the whole Q1
+// chain).
 AggregateCombiner<PositionReport, StoppedCarStats, int64_t>
 StoppedCarCombiner() {
   return [](const WindowView<PositionReport, int64_t>& w) {
@@ -32,8 +33,6 @@ StoppedCarCombiner() {
         static_cast<int64_t>(positions.size()), w.tuples.back()->pos);
   };
 }
-
-}  // namespace
 
 // Shared with q2.cc: builds Filter(speed==0) -> Aggregate -> Filter(stopped)
 // and returns the final node.
@@ -99,13 +98,7 @@ BuiltQuery BuildQ1(const lr::LinearRoadData& data, QueryBuildOptions options) {
 // channels, ports — is woven by Dataflow::Build from options.mode.
 BuiltDataflow BuildQ1Fluent(const lr::LinearRoadData& data,
                             QueryBuildOptions options) {
-  DataflowOptions opts;
-  opts.mode = options.mode;
-  opts.engine = options.engine();
-  opts.provenance_file = options.provenance_file;
-  opts.provenance_consumer = options.provenance_consumer;
-  opts.baseline_oracle_eviction = options.baseline_oracle_eviction;
-  Dataflow df(std::move(opts));
+  Dataflow df(ToDataflowOptions(options));
 
   Stream<PositionReport> reports =
       df.Source<PositionReport>("source", data.reports, options.source)

@@ -16,10 +16,13 @@ namespace genealog::queries {
 
 Node* BuildStoppedCarChain(Topology& topo, Node* input,
                            const std::string& prefix);  // defined in q1.cc
+AggregateCombiner<lr::PositionReport, lr::StoppedCarStats, int64_t>
+StoppedCarCombiner();  // defined in q1.cc
 
 namespace {
 
 using lr::AccidentStats;
+using lr::PositionReport;
 using lr::StoppedCarStats;
 
 AggregateCombiner<StoppedCarStats, AccidentStats, int64_t> AccidentCombiner() {
@@ -60,6 +63,42 @@ BuiltQuery BuildQ2(const lr::LinearRoadData& data, QueryBuildOptions options) {
     return Stage2{{agg}, f_accident};
   };
   return Assemble(spec, std::move(options));
+}
+
+// Q2 on the fluent builder: the whole Q1 chain, then the accident aggregate.
+// Figure 9C's split puts everything up to the stopped-car filter on instance
+// 1 and the accident stage on instance 2 — one At(2) cut.
+BuiltDataflow BuildQ2Fluent(const lr::LinearRoadData& data,
+                            QueryBuildOptions options) {
+  Dataflow df(ToDataflowOptions(options));
+
+  Stream<StoppedCarStats> stopped =
+      df.Source<PositionReport>("source", data.reports, options.source)
+          .Filter("q1.filter.speed0",
+                  [](const PositionReport& t) { return t.speed == 0.0; })
+          .Aggregate<StoppedCarStats>(
+              "q1.agg.stopped",
+              AggregateOptions{kQ1WindowSize, kQ1WindowAdvance,
+                               WindowBounds::kLeftClosedRightOpen,
+                               EmitAt::kWindowStart},
+              [](const PositionReport& t) { return t.car_id; },
+              StoppedCarCombiner())
+          .Filter("q1.filter.stopped", [](const StoppedCarStats& t) {
+            return t.count == kQ1StopCount && t.dist_pos == 1;
+          });
+  if (options.distributed) stopped = stopped.At(2);
+  stopped
+      .Aggregate<AccidentStats>(
+          "agg.accidents",
+          AggregateOptions{kQ2WindowSize, kQ2WindowAdvance,
+                           WindowBounds::kLeftClosedRightOpen,
+                           EmitAt::kWindowStart},
+          [](const StoppedCarStats& t) { return t.last_pos; },
+          AccidentCombiner())
+      .Filter("filter.accident",
+              [](const AccidentStats& t) { return t.count > 1; })
+      .Sink("K", options.sink_consumer);
+  return df.Build();
 }
 
 }  // namespace genealog::queries

@@ -16,12 +16,12 @@
 #include "queries/queries.h"
 
 namespace genealog::queries {
-namespace {
 
 using sg::DailyConsumption;
 using sg::MeterReading;
 using sg::ZeroDayCount;
 
+// Shared with q4.cc's fluent builder (both queries open with the daily sum).
 AggregateCombiner<MeterReading, DailyConsumption, int64_t> DailySumCombiner() {
   return [](const WindowView<MeterReading, int64_t>& w) {
     double sum = 0.0;
@@ -29,8 +29,6 @@ AggregateCombiner<MeterReading, DailyConsumption, int64_t> DailySumCombiner() {
     return MakeTuple<DailyConsumption>(/*ts=*/0, /*meter_id=*/w.key, sum);
   };
 }
-
-}  // namespace
 
 // Shared with q4.cc.
 AggregateNode<MeterReading, DailyConsumption>* AddDailySumAggregate(
@@ -78,6 +76,44 @@ BuiltQuery BuildQ3(const sg::SmartGridData& data, QueryBuildOptions options) {
     return Stage2{{agg}, f_alert};
   };
   return Assemble(spec, std::move(options));
+}
+
+// Q3 on the fluent builder; Figure 10C's split cuts between the zero-sum
+// filter (instance 1) and the counting day-aggregate (instance 2).
+BuiltDataflow BuildQ3Fluent(const sg::SmartGridData& data,
+                            QueryBuildOptions options) {
+  Dataflow df(ToDataflowOptions(options));
+
+  Stream<DailyConsumption> zero_days =
+      df.Source<MeterReading>("source", data.readings, options.source)
+          .Aggregate<DailyConsumption>(
+              "agg.daily_sum",
+              AggregateOptions{kDayHours, kDayHours,
+                               WindowBounds::kLeftClosedRightOpen,
+                               EmitAt::kWindowEnd},
+              [](const MeterReading& t) { return t.meter_id; },
+              DailySumCombiner())
+          .Filter("filter.zero_sum", [](const DailyConsumption& t) {
+            return t.cons_sum == 0.0;
+          });
+  if (options.distributed) zero_days = zero_days.At(2);
+  zero_days
+      .Aggregate<ZeroDayCount>(
+          "agg.zero_count",
+          AggregateOptions{kDayHours, kDayHours,
+                           WindowBounds::kLeftClosedRightOpen,
+                           EmitAt::kWindowStart},
+          [](const DailyConsumption&) { return int64_t{0}; },
+          [](const WindowView<DailyConsumption, int64_t>& w) {
+            return MakeTuple<ZeroDayCount>(
+                /*ts=*/0, static_cast<int64_t>(w.tuples.size()));
+          })
+      .Filter("filter.blackout",
+              [](const ZeroDayCount& t) {
+                return t.count > kQ3ZeroMeterThreshold;
+              })
+      .Sink("K", options.sink_consumer);
+  return df.Build();
 }
 
 }  // namespace genealog::queries

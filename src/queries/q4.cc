@@ -33,6 +33,8 @@ using sg::MeterReading;
 
 AggregateNode<MeterReading, DailyConsumption>* AddDailySumAggregate(
     Topology& topo, const std::string& name);  // defined in q3.cc
+AggregateCombiner<MeterReading, DailyConsumption, int64_t>
+DailySumCombiner();  // defined in q3.cc
 
 BuiltQuery BuildQ4(const sg::SmartGridData& data, QueryBuildOptions options) {
   QuerySpec spec;
@@ -75,6 +77,45 @@ BuiltQuery BuildQ4(const sg::SmartGridData& data, QueryBuildOptions options) {
     return Stage2{{join, join}, f_alert};
   };
   return Assemble(spec, std::move(options));
+}
+
+// Q4 on the fluent builder: the only query with fan-out and a Join. Figure
+// 11C's split keeps Multiplex/Aggregate/Filter on instance 1 and runs the
+// Join on instance 2 — rebinding the Join's left input with At(2) places the
+// operator there, and both delivering streams get their SU + MU upstream
+// port automatically.
+BuiltDataflow BuildQ4Fluent(const sg::SmartGridData& data,
+                            QueryBuildOptions options) {
+  Dataflow df(ToDataflowOptions(options));
+
+  std::vector<Stream<MeterReading>> taps =
+      df.Source<MeterReading>("source", data.readings, options.source)
+          .Multiplex("multiplex", 2);
+  Stream<DailyConsumption> daily = taps[0].Aggregate<DailyConsumption>(
+      "agg.daily_sum",
+      AggregateOptions{kDayHours, kDayHours, WindowBounds::kLeftClosedRightOpen,
+                       EmitAt::kWindowEnd},
+      [](const MeterReading& t) { return t.meter_id; }, DailySumCombiner());
+  Stream<MeterReading> midnight = taps[1].Filter(
+      "filter.midnight",
+      [](const MeterReading& t) { return t.ts % kDayHours == 0; });
+  if (options.distributed) daily = daily.At(2);
+  daily
+      .Join<ConsumptionDiff>(
+          "join.meter", midnight, JoinOptions{kQ4JoinWindowHours},
+          [](const DailyConsumption& l, const MeterReading& r) {
+            return l.meter_id == r.meter_id;
+          },
+          [](const DailyConsumption& l, const MeterReading& r) {
+            return MakeTuple<ConsumptionDiff>(
+                /*ts=*/0, l.meter_id, std::abs(l.cons_sum - r.cons));
+          })
+      .Filter("filter.anomaly",
+              [](const ConsumptionDiff& t) {
+                return t.cons_diff > kQ4DiffThreshold;
+              })
+      .Sink("K", options.sink_consumer);
+  return df.Build();
 }
 
 }  // namespace genealog::queries

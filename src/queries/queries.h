@@ -30,14 +30,35 @@ inline constexpr double kQ4DiffThreshold = 200.0;
 
 BuiltQuery BuildQ1(const lr::LinearRoadData& data, QueryBuildOptions options);
 BuiltQuery BuildQ2(const lr::LinearRoadData& data, QueryBuildOptions options);
-// Q1 on the fluent dataflow builder (spe/dataflow.h): the same logical query
-// in ~20 lines, with the SU/MU/provenance-sink machinery woven automatically
-// from `options.mode`. dataflow_equivalence_test pins its output — sink
-// stream and provenance records — to the hand-wired BuildQ1 above.
-BuiltDataflow BuildQ1Fluent(const lr::LinearRoadData& data,
-                            QueryBuildOptions options);
 BuiltQuery BuildQ3(const sg::SmartGridData& data, QueryBuildOptions options);
 BuiltQuery BuildQ4(const sg::SmartGridData& data, QueryBuildOptions options);
+
+// The same four queries on the fluent dataflow builder (spe/dataflow.h):
+// each logical plan in ~20 lines, with the SU/MU/provenance-sink machinery
+// woven automatically from `options.mode` and the paper's distributed split
+// expressed as a single At(2) deployment cut. dataflow_equivalence_test pins
+// their output — sink stream and canonical provenance — to the hand-wired
+// builders above.
+BuiltDataflow BuildQ1Fluent(const lr::LinearRoadData& data,
+                            QueryBuildOptions options);
+BuiltDataflow BuildQ2Fluent(const lr::LinearRoadData& data,
+                            QueryBuildOptions options);
+BuiltDataflow BuildQ3Fluent(const sg::SmartGridData& data,
+                            QueryBuildOptions options);
+BuiltDataflow BuildQ4Fluent(const sg::SmartGridData& data,
+                            QueryBuildOptions options);
+
+// Translates the hand-wired build options into the fluent builder's options;
+// deployment cuts and sink consumers stay per-query.
+inline DataflowOptions ToDataflowOptions(const QueryBuildOptions& options) {
+  DataflowOptions opts;
+  opts.mode = options.mode;
+  opts.engine = options.engine();
+  opts.provenance_file = options.provenance_file;
+  opts.provenance_consumer = options.provenance_consumer;
+  opts.baseline_oracle_eviction = options.baseline_oracle_eviction;
+  return opts;
+}
 
 }  // namespace genealog::queries
 

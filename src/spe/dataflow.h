@@ -51,6 +51,7 @@
 
 #include "common/engine_options.h"
 #include "core/instrumentation.h"
+#include "genealog/lineage_query.h"
 #include "genealog/provenance_record.h"
 #include "net/channel.h"
 #include "spe/aggregate.h"
@@ -143,6 +144,10 @@ struct BuiltDataflow {
   BaselineResolverNode* baseline_resolver = nullptr;  // BL only
   std::vector<SuNode*> su_nodes;  // fused SUs, in weave order
 
+  // Live lineage index (GL with EngineOptions::lineage_store only); fed by
+  // the provenance sink, shared with LineageQuery handles.
+  std::shared_ptr<LineageStore> lineage_store;
+
   int n_instances = 1;
   // Sum of the plan's stateful window spans (provenance finalize slack).
   int64_t total_window_span = 0;
@@ -162,6 +167,11 @@ struct BuiltDataflow {
   // genealog/instrument.cc; 0 when the mode records no provenance).
   uint64_t provenance_records() const;
   double mean_origins_per_record() const;
+
+  // Handle for querying lineage while (or after) the dataflow runs. Throws
+  // on use unless the plan was built with mode GL and
+  // EngineOptions::lineage_store (GENEALOG_LINEAGE_STORE=1).
+  LineageQuery lineage() const { return LineageQuery(lineage_store); }
 
   // Runs all topologies to completion (blocking); rethrows the first node
   // failure after aborting queues and channels.

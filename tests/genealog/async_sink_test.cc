@@ -80,10 +80,10 @@ std::string RunToFile(const PinnedStream& stream, const std::string& path,
   Topology topo(1, ProvenanceMode::kGenealog);
   auto* source =
       topo.Add<VectorSourceNode<UnfoldedTuple>>("src", stream.unfolded);
-  ProvenanceSinkOptions pso;
+  ProvenanceSinkSpec pso;
   pso.file_path = path;
-  pso.async_writer = async;
-  pso.async_buffer_bytes = buffer_bytes;
+  pso.engine.async_prov_sink = async;
+  pso.engine.prov_buffer_bytes = buffer_bytes;
   auto* prov = topo.Add<ProvenanceSinkNode>("k2", pso);
   EXPECT_EQ(prov->async(), async);
   topo.Connect(source, prov);
@@ -129,7 +129,7 @@ TEST(AsyncProvenanceSinkTest, EnvDefaultIsHonoredWhenUnset) {
   auto* source = topo.Add<VectorSourceNode<ValueTuple>>("src", std::move(data));
   auto* su = topo.Add<SuNode>("su");
   auto* sink = topo.Add<SinkNode>("sink");
-  ProvenanceSinkOptions pso;
+  ProvenanceSinkSpec pso;
   pso.file_path = path;
   auto* prov = topo.Add<ProvenanceSinkNode>("k2", pso);
   EXPECT_EQ(prov->async(), DefaultAsyncProvSink());

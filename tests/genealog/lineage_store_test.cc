@@ -1,0 +1,430 @@
+// LineageStore correctness: fuzzed random DAG record streams checked against
+// a naive adjacency-map reference (same idea as traversal_fuzz_test's DAG
+// generator), whole-epoch eviction under tight count and event-time
+// retention (truncated-but-correct answers, accurate Stats), and a
+// concurrent ingest + query stress for the TSan job.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "genealog/lineage_query.h"
+#include "genealog/lineage_store.h"
+#include "testing/test_tuples.h"
+
+namespace genealog {
+namespace {
+
+using testing::V;
+using testing::ValueTuple;
+
+// Deterministic PRNG (same generator the fuzz suites use).
+struct SplitMix64 {
+  uint64_t state;
+  uint64_t Next() {
+    state += 0x9e3779b97f4a7c15ull;
+    uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+  uint64_t Below(uint64_t n) { return Next() % n; }
+};
+
+// Ids carry a fake node uid in the high bits, exercising the uid dictionary
+// the same way Node::NextTupleId-produced ids do.
+uint64_t MakeId(uint64_t node_uid, uint64_t seq) {
+  return (node_uid << 40) | seq;
+}
+
+struct Workload {
+  // Every tuple ever created, by id (records need real TuplePtrs).
+  std::unordered_map<uint64_t, TuplePtr> tuples;
+  // Naive reference adjacency: derived -> origins and its mirror.
+  std::unordered_map<uint64_t, std::vector<uint64_t>> parents;
+  std::unordered_map<uint64_t, std::vector<uint64_t>> children;
+  std::vector<uint64_t> derived_ids;  // ingest order
+  std::vector<uint64_t> all_ids;
+
+  TuplePtr Make(uint64_t id, int64_t ts) {
+    auto t = V(ts, static_cast<int64_t>(id & 0xffff));
+    t->id = id;
+    tuples.emplace(id, t);
+    all_ids.push_back(id);
+    return TuplePtr(t.get());
+  }
+};
+
+// Streams `n` random records into the store and the reference. Origins mix
+// fresh source tuples with previously derived tuples, so backward closures
+// go multiple levels deep.
+Workload FuzzIngest(LineageStore& store, uint64_t seed, int n_records) {
+  SplitMix64 rng{seed};
+  Workload w;
+  uint64_t seq = 1;
+  for (int i = 0; i < n_records; ++i) {
+    const int64_t ts = i;
+    const uint64_t derived_id = MakeId(/*node_uid=*/9, seq++);
+    ProvenanceRecord rec;
+    rec.derived = w.Make(derived_id, ts);
+    rec.derived_id = derived_id;
+    rec.derived_ts = ts;
+
+    const int n_origins = 1 + static_cast<int>(rng.Below(5));
+    std::unordered_set<uint64_t> used;
+    for (int o = 0; o < n_origins; ++o) {
+      uint64_t origin_id;
+      if (!w.derived_ids.empty() && rng.Below(10) < 3) {
+        origin_id = w.derived_ids[rng.Below(w.derived_ids.size())];
+      } else {
+        origin_id = MakeId(/*node_uid=*/1 + rng.Below(4), seq++);
+        w.Make(origin_id, ts - 1 - static_cast<int64_t>(rng.Below(3)));
+      }
+      if (!used.insert(origin_id).second) continue;
+      rec.origins.push_back(TuplePtr(w.tuples.at(origin_id).get()));
+      w.parents[derived_id].push_back(origin_id);
+      w.children[origin_id].push_back(derived_id);
+    }
+    store.Ingest(rec);
+    w.derived_ids.push_back(derived_id);
+  }
+  return w;
+}
+
+// Naive BFS closure over an adjacency map, excluding the root.
+std::vector<uint64_t> NaiveClosure(
+    const std::unordered_map<uint64_t, std::vector<uint64_t>>& adj,
+    uint64_t root) {
+  std::unordered_set<uint64_t> visited{root};
+  std::vector<uint64_t> frontier{root};
+  std::vector<uint64_t> out;
+  while (!frontier.empty()) {
+    std::vector<uint64_t> next;
+    for (uint64_t id : frontier) {
+      auto it = adj.find(id);
+      if (it == adj.end()) continue;
+      for (uint64_t n : it->second) {
+        if (visited.insert(n).second) {
+          next.push_back(n);
+          out.push_back(n);
+        }
+      }
+    }
+    frontier.swap(next);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<uint64_t> Ids(const std::vector<LineageStore::Entry>& entries) {
+  std::vector<uint64_t> ids;
+  ids.reserve(entries.size());
+  for (const auto& e : entries) ids.push_back(e.id);
+  return ids;
+}
+
+TEST(LineageStoreTest, FuzzedClosuresMatchNaiveReference) {
+  for (const uint64_t seed : {1ull, 42ull, 1337ull}) {
+    LineageStore store(LineageOptions{/*retain_records=*/0, 0, 1024});
+    const Workload w = FuzzIngest(store, seed, 300);
+    SCOPED_TRACE("seed " + std::to_string(seed));
+
+    const LineageStore::Stats stats = store.stats();
+    EXPECT_EQ(stats.records_ingested, 300u);
+    EXPECT_EQ(stats.records_retained, 300u);
+    EXPECT_EQ(stats.records_evicted, 0u);
+    EXPECT_EQ(stats.tuples_retained, w.all_ids.size());
+    EXPECT_EQ(stats.node_uids, 5u);  // uids 9 and 1..4
+
+    for (uint64_t id : w.all_ids) {
+      EXPECT_EQ(Ids(store.Contributors(id)), NaiveClosure(w.parents, id))
+          << "backward closure of " << id;
+      EXPECT_EQ(Ids(store.DerivedFrom(id)), NaiveClosure(w.children, id))
+          << "forward closure of " << id;
+    }
+  }
+}
+
+TEST(LineageStoreTest, ExpandIsTheKHopNeighborhood) {
+  LineageStore store;
+  const Workload w = FuzzIngest(store, /*seed=*/7, 120);
+
+  // Union adjacency for the naive k-hop reference.
+  std::unordered_map<uint64_t, std::vector<uint64_t>> both;
+  for (const auto& [id, v] : w.parents) {
+    both[id].insert(both[id].end(), v.begin(), v.end());
+  }
+  for (const auto& [id, v] : w.children) {
+    both[id].insert(both[id].end(), v.begin(), v.end());
+  }
+
+  SplitMix64 rng{99};
+  for (int i = 0; i < 40; ++i) {
+    const uint64_t root = w.all_ids[rng.Below(w.all_ids.size())];
+    for (const int k : {0, 1, 2, 3}) {
+      std::unordered_set<uint64_t> visited{root};
+      std::vector<uint64_t> frontier{root};
+      std::vector<uint64_t> expect;
+      for (int hop = 0; hop < k; ++hop) {
+        std::vector<uint64_t> next;
+        for (uint64_t id : frontier) {
+          for (uint64_t n : both[id]) {
+            if (visited.insert(n).second) {
+              next.push_back(n);
+              expect.push_back(n);
+            }
+          }
+        }
+        frontier.swap(next);
+      }
+      std::sort(expect.begin(), expect.end());
+      EXPECT_EQ(Ids(store.Expand(root, k)), expect)
+          << "k=" << k << " root=" << root;
+    }
+  }
+}
+
+TEST(LineageStoreTest, LookupMaterializesStoredTuples) {
+  LineageStore store;
+  auto t = V(5, 123);
+  t->id = MakeId(3, 1);
+  ProvenanceRecord rec;
+  rec.derived = TuplePtr(t.get());
+  rec.derived_id = t->id;
+  rec.derived_ts = 5;
+  auto o = V(4, 77);
+  o->id = MakeId(1, 1);
+  rec.origins.push_back(TuplePtr(o.get()));
+  store.Ingest(rec);
+
+  const auto entry = store.Lookup(t->id);
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_EQ(entry->id, t->id);
+  EXPECT_EQ(entry->ts, 5);
+  EXPECT_EQ(entry->type_tag, ValueTuple::kTypeTag);
+  // A fresh materialized object, not the ingested pointer.
+  EXPECT_NE(entry->tuple.get(), t.get());
+  EXPECT_EQ(entry->tuple->DebugPayload(), "123");
+  const auto contributors = store.Contributors(t->id);
+  ASSERT_EQ(contributors.size(), 1u);
+  EXPECT_EQ(contributors[0].tuple->DebugPayload(), "77");
+  EXPECT_FALSE(store.Lookup(0xdead).has_value());
+}
+
+// Each record i gets 3 private origins, ts = i; tight count retention must
+// keep memory flat, answer retained records exactly, and answer evicted ones
+// with truncated-but-correct emptiness.
+TEST(LineageStoreTest, CountRetentionEvictsWholeEpochs) {
+  LineageOptions lo;
+  lo.retain_records = 8;
+  lo.epoch_records = 4;
+  LineageStore store(lo);
+
+  std::vector<uint64_t> derived_ids;
+  std::vector<std::vector<uint64_t>> origin_ids;
+  uint64_t seq = 1;
+  for (int i = 0; i < 20; ++i) {
+    ProvenanceRecord rec;
+    const uint64_t id = MakeId(9, seq++);
+    auto d = V(i, i);
+    d->id = id;
+    rec.derived = TuplePtr(d.get());
+    rec.derived_id = id;
+    rec.derived_ts = i;
+    origin_ids.emplace_back();
+    for (int o = 0; o < 3; ++o) {
+      auto src = V(i - 1, 100 * i + o);
+      src->id = MakeId(1, seq++);
+      origin_ids.back().push_back(src->id);
+      rec.origins.push_back(TuplePtr(src.get()));
+    }
+    store.Ingest(rec);
+    derived_ids.push_back(id);
+    EXPECT_LE(store.stats().records_retained, lo.retain_records);
+  }
+
+  const LineageStore::Stats stats = store.stats();
+  EXPECT_EQ(stats.records_ingested, 20u);
+  EXPECT_EQ(stats.records_retained + stats.records_evicted, 20u);
+  EXPECT_LE(stats.records_retained, 8u);
+  EXPECT_GE(stats.records_retained, 5u);  // whole-epoch granularity
+  EXPECT_EQ(stats.epochs_evicted,
+            (stats.records_evicted / lo.epoch_records));
+  // Origins are private per record: slots track records exactly.
+  EXPECT_EQ(stats.tuples_retained, stats.records_retained * 4);
+  EXPECT_EQ(stats.edges_retained, stats.records_retained * 3);
+  const size_t evicted = static_cast<size_t>(stats.records_evicted);
+  EXPECT_EQ(stats.min_retained_ts, static_cast<int64_t>(evicted));
+  EXPECT_EQ(stats.max_retained_ts, 19);
+
+  const auto retained = store.RetainedRecordIds();
+  EXPECT_EQ(retained.size(), stats.records_retained);
+  for (size_t i = 0; i < derived_ids.size(); ++i) {
+    const auto contributors = store.Contributors(derived_ids[i]);
+    if (i < evicted) {
+      // Truncated-but-correct: the record is gone, not misanswered.
+      EXPECT_TRUE(contributors.empty());
+      EXPECT_FALSE(store.Lookup(derived_ids[i]).has_value());
+      EXPECT_FALSE(store.Lookup(origin_ids[i][0]).has_value());
+    } else {
+      std::vector<uint64_t> expect = origin_ids[i];
+      std::sort(expect.begin(), expect.end());
+      EXPECT_EQ(Ids(contributors), expect);
+    }
+  }
+}
+
+TEST(LineageStoreTest, SpanRetentionFollowsEventTimeHorizon) {
+  LineageOptions lo;
+  lo.retain_records = 0;  // unbounded by count
+  lo.retain_span = 10;
+  lo.epoch_records = 2;
+  LineageStore store(lo);
+
+  uint64_t seq = 1;
+  for (int i = 0; i < 50; ++i) {
+    ProvenanceRecord rec;
+    auto d = V(i, i);
+    d->id = MakeId(9, seq++);
+    rec.derived = TuplePtr(d.get());
+    rec.derived_id = d->id;
+    rec.derived_ts = i;
+    auto o = V(i - 1, i);
+    o->id = MakeId(1, seq++);
+    rec.origins.push_back(TuplePtr(o.get()));
+    store.Ingest(rec);
+  }
+
+  const LineageStore::Stats stats = store.stats();
+  EXPECT_GT(stats.records_evicted, 0u);
+  // Everything older than the horizon is gone up to epoch granularity: an
+  // epoch survives only if its newest record is within the span.
+  EXPECT_GE(stats.min_retained_ts, 49 - 10 - 1);
+  EXPECT_EQ(stats.max_retained_ts, 49);
+}
+
+// A shared origin must survive until its *last* referencing record is
+// evicted, and a derived tuple referenced by a later record must outlive the
+// eviction of its own record (losing only its record edges).
+TEST(LineageStoreTest, SharedSlotsSurviveUntilLastReference) {
+  LineageOptions lo;
+  lo.retain_records = 1;
+  lo.epoch_records = 1;
+  LineageStore store(lo);
+
+  auto shared = V(0, 7);
+  shared->id = MakeId(1, 1);
+
+  auto d1 = V(1, 1);
+  d1->id = MakeId(9, 1);
+  ProvenanceRecord r1;
+  r1.derived = TuplePtr(d1.get());
+  r1.derived_id = d1->id;
+  r1.derived_ts = 1;
+  r1.origins.push_back(TuplePtr(shared.get()));
+  store.Ingest(r1);
+
+  // Record 2's origins: the shared source AND record 1's derived tuple.
+  auto d2 = V(2, 2);
+  d2->id = MakeId(9, 2);
+  ProvenanceRecord r2;
+  r2.derived = TuplePtr(d2.get());
+  r2.derived_id = d2->id;
+  r2.derived_ts = 2;
+  r2.origins.push_back(TuplePtr(shared.get()));
+  r2.origins.push_back(TuplePtr(d1.get()));
+  store.Ingest(r2);
+
+  // Record 1 was evicted (retain 1), but d1 lives on as r2's origin — with
+  // its own origin edges truncated away.
+  EXPECT_EQ(store.stats().records_retained, 1u);
+  EXPECT_TRUE(store.Lookup(d1->id).has_value());
+  EXPECT_TRUE(store.Contributors(d1->id).empty());
+  std::vector<uint64_t> expect{shared->id, d1->id};
+  std::sort(expect.begin(), expect.end());
+  EXPECT_EQ(Ids(store.Contributors(d2->id)), expect);
+  // Evicting record 1 dropped its shared->d1 edge: the shared origin's
+  // forward closure only reaches the retained record.
+  EXPECT_EQ(Ids(store.DerivedFrom(shared->id)),
+            (std::vector<uint64_t>{d2->id}));
+
+  // Evict record 2 too: every slot must unwind.
+  auto d3 = V(3, 3);
+  d3->id = MakeId(9, 3);
+  ProvenanceRecord r3;
+  r3.derived = TuplePtr(d3.get());
+  r3.derived_id = d3->id;
+  r3.derived_ts = 3;
+  store.Ingest(r3);
+  EXPECT_FALSE(store.Lookup(shared->id).has_value());
+  EXPECT_FALSE(store.Lookup(d1->id).has_value());
+  EXPECT_EQ(store.stats().tuples_retained, 1u);
+  EXPECT_EQ(store.stats().edges_retained, 0u);
+}
+
+// Lock contract under TSan: one ingester, concurrent readers issuing the
+// whole query surface against a store that is evicting under them.
+TEST(LineageStoreTest, ConcurrentIngestAndQuery) {
+  LineageOptions lo;
+  lo.retain_records = 256;
+  lo.epoch_records = 32;
+  LineageStore store(lo);
+  LineageQuery query(
+      std::shared_ptr<const LineageStore>(&store, [](const LineageStore*) {}));
+
+  std::atomic<bool> done{false};
+  std::atomic<uint64_t> reads{0};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&, r] {
+      SplitMix64 rng{static_cast<uint64_t>(r) + 1};
+      while (!done.load(std::memory_order_acquire)) {
+        const uint64_t id = MakeId(9, 1 + rng.Below(2000));
+        reads += query.Contributors(id).size();
+        reads += query.DerivedFrom(MakeId(1, 1 + rng.Below(4000))).size();
+        reads += query.Expand(id, 2).size();
+        const auto stats = query.Stats();
+        EXPECT_LE(stats.records_retained, 256u + 32u);
+        reads += query.RetainedRecordIds().size();
+      }
+    });
+  }
+
+  SplitMix64 rng{12345};
+  uint64_t seq = 1;
+  for (int i = 0; i < 2000; ++i) {
+    ProvenanceRecord rec;
+    auto d = V(i, i);
+    d->id = MakeId(9, static_cast<uint64_t>(i) + 1);
+    rec.derived = TuplePtr(d.get());
+    rec.derived_id = d->id;
+    rec.derived_ts = i;
+    const int n = 1 + static_cast<int>(rng.Below(3));
+    for (int o = 0; o < n; ++o) {
+      auto src = V(i - 1, o);
+      src->id = MakeId(1, seq++);
+      rec.origins.push_back(TuplePtr(src.get()));
+    }
+    store.Ingest(rec);
+  }
+  done.store(true, std::memory_order_release);
+  for (auto& t : readers) t.join();
+
+  EXPECT_EQ(store.stats().records_ingested, 2000u);
+}
+
+TEST(LineageQueryTest, InvalidHandleThrows) {
+  LineageQuery query;
+  EXPECT_FALSE(query.valid());
+  EXPECT_FALSE(static_cast<bool>(query));
+  EXPECT_THROW(query.Contributors(1), std::logic_error);
+  EXPECT_THROW(query.Stats(), std::logic_error);
+}
+
+}  // namespace
+}  // namespace genealog

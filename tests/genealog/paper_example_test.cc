@@ -85,7 +85,7 @@ Figure1Run RunFigure1Query(ProvenanceMode mode) {
   topo.Connect(f_zero, agg);
 
   if (mode == ProvenanceMode::kGenealog) {
-    ProvenanceSinkOptions pso;
+    ProvenanceSinkSpec pso;
     pso.consumer = [&run](const ProvenanceRecord& r) {
       run.records.push_back(r);
     };

@@ -47,7 +47,7 @@ std::vector<CanonicalRecord> RunWithParallelSu(int su_parallelism) {
   topo.Connect(source, agg);
 
   std::vector<CanonicalRecord> records;
-  ProvenanceSinkOptions pso;
+  ProvenanceSinkSpec pso;
   pso.finalize_slack = 20;
   pso.consumer = [&records](const ProvenanceRecord& r) {
     CanonicalRecord rec;

@@ -40,7 +40,7 @@ TEST(ProvenanceSinkDetailTest, WatermarkFinalizesBeforeFlush) {
   // Two groups; a watermark far past the first group must finalize it while
   // the stream is still open. We detect this by interleaving a probe tuple:
   // the consumer records how many records existed when the probe passed.
-  ProvenanceSinkOptions options;
+  ProvenanceSinkSpec options;
   SinkRun run;
   options.finalize_slack = 10;
   options.consumer = [&run](const ProvenanceRecord& r) {
@@ -70,7 +70,7 @@ TEST(ProvenanceSinkDetailTest, WatermarkFinalizesBeforeFlush) {
 TEST(ProvenanceSinkDetailTest, SlackDelaysFinalization) {
   // With slack larger than the stream span, only flush finalizes; all
   // records still appear exactly once.
-  ProvenanceSinkOptions options;
+  ProvenanceSinkSpec options;
   std::vector<uint64_t> finalized;
   options.finalize_slack = 1000000;
   options.consumer = [&finalized](const ProvenanceRecord& r) {
@@ -92,7 +92,7 @@ TEST(ProvenanceSinkDetailTest, InterleavedGroupsRegroupById) {
   // MU outputs can interleave unfolded tuples of different sink tuples, with
   // unfolded ts trailing derived_ts by up to the MU window — the reason the
   // deployments pass the query's window span as finalize_slack.
-  ProvenanceSinkOptions options;
+  ProvenanceSinkSpec options;
   options.finalize_slack = 10;
   std::vector<ProvenanceRecord> records;
   options.consumer = [&records](const ProvenanceRecord& r) {
@@ -118,7 +118,7 @@ TEST(ProvenanceSinkDetailTest, InterleavedGroupsRegroupById) {
 TEST(ProvenanceSinkDetailTest, DuplicateOriginIdsDeduplicated) {
   // The same source can reach a sink tuple over two MU paths; the record
   // keeps it once.
-  ProvenanceSinkOptions options;
+  ProvenanceSinkSpec options;
   std::vector<ProvenanceRecord> records;
   options.consumer = [&records](const ProvenanceRecord& r) {
     records.push_back(r);
@@ -138,7 +138,7 @@ TEST(ProvenanceSinkDetailTest, DuplicateOriginIdsDeduplicated) {
 }
 
 TEST(ProvenanceSinkDetailTest, CountsAndBytesAccumulate) {
-  ProvenanceSinkOptions options;
+  ProvenanceSinkSpec options;
   Topology topo;
   std::vector<IntrusivePtr<UnfoldedTuple>> data;
   data.push_back(U(1, 100, 1));
@@ -156,7 +156,7 @@ TEST(ProvenanceSinkDetailTest, CountsAndBytesAccumulate) {
 }
 
 TEST(ProvenanceSinkDetailTest, EmptyStreamProducesNoRecords) {
-  ProvenanceSinkOptions options;
+  ProvenanceSinkSpec options;
   Topology topo;
   auto* source = topo.Add<VectorSourceNode<UnfoldedTuple>>(
       "src", std::vector<IntrusivePtr<UnfoldedTuple>>{});

@@ -65,7 +65,7 @@ TEST_F(ReclamationTest, GenealogGraphsReclaimedOnceSinkTuplesDropped) {
         });
     auto* su = topo.Add<SuNode>("su");
     auto* sink = topo.Add<SinkNode>("sink");  // drops tuples on consumption
-    ProvenanceSinkOptions pso;
+    ProvenanceSinkSpec pso;
     auto* k2 = topo.Add<ProvenanceSinkNode>("k2", pso);
     topo.Connect(source, agg);
     topo.Connect(agg, su);

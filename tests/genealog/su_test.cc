@@ -201,7 +201,7 @@ TEST(ProvenanceSinkTest, GroupsUnfoldedStreamIntoRecords) {
   auto* su = topo.Add<SuNode>("su");
   auto* so_sink = topo.Add<SinkNode>("so");
   std::vector<ProvenanceRecord> records;
-  ProvenanceSinkOptions pso;
+  ProvenanceSinkSpec pso;
   pso.consumer = [&records](const ProvenanceRecord& r) {
     records.push_back(r);
   };
@@ -229,7 +229,7 @@ TEST(ProvenanceSinkTest, WritesRecordsToDisk) {
         topo.Add<VectorSourceNode<ValueTuple>>("src", Values({{1, 1}}));
     auto* su = topo.Add<SuNode>("su");
     auto* so_sink = topo.Add<SinkNode>("so");
-    ProvenanceSinkOptions pso;
+    ProvenanceSinkSpec pso;
     pso.file_path = path;
     auto* k2 = topo.Add<ProvenanceSinkNode>("k2", pso);
     topo.Connect(source, su);

@@ -110,7 +110,7 @@ TEST(MultiHopProvenanceTest, ThreeHopChainResolvesToSources) {
   auto* mu_x = i4.Add<MuNode>("mu_x", /*ws=*/16);
   auto* mu_y = i4.Add<MuNode>("mu_y", /*ws=*/16);
   std::vector<ProvenanceRecord> records;
-  ProvenanceSinkOptions pso;
+  ProvenanceSinkSpec pso;
   pso.finalize_slack = 16;
   pso.consumer = [&records](const ProvenanceRecord& r) {
     records.push_back(r);

@@ -1,77 +1,26 @@
 // The fluent dataflow builder must be a pure re-spelling of the hand-wired
-// deployments: BuildQ1Fluent (spe/dataflow.h + genealog/instrument weaving)
-// and the hand-wired BuildQ1 (queries/assemble.h) must produce identical
-// sink streams (in emission order) and byte-identical provenance files —
-// compared after masking the run-dependent header fields (tuple ids derive
-// from node uids drawn off a global counter, stimuli are wall-clock reads,
-// and record file order follows watermark arrival granularity; see
-// provenance_plane_determinism_test for why those can never match between
-// two runs) and putting records in canonical order. Every remaining byte —
-// type tags, kinds, timestamps, payloads, origin sets — must match exactly.
-// Swept across batch {1, 64} x edge {ring, mutex}, intra and distributed.
+// deployments, for every evaluation query: BuildQ{1..4}Fluent
+// (spe/dataflow.h + genealog/instrument weaving) and the hand-wired
+// BuildQ{1..4} (queries/assemble.h) must produce identical sink streams (in
+// emission order) and byte-identical canonical provenance files (see
+// CanonicalProvenanceBytes in query_helpers.h for what must be masked and
+// why). Q1 is swept across batch {1, 64} x edge {ring, mutex}; Q2–Q4 ride
+// the ring at batch {1, 64} — their plans exercise what Q1 cannot (chained
+// aggregates, window-end emission, Multiplex fan-out, Join), the edge
+// implementation is already pinned by Q1. Everything runs intra and
+// distributed.
 #include <gtest/gtest.h>
 
-#include <algorithm>
 #include <cstdio>
 #include <string>
 #include <vector>
 
-#include "core/type_registry.h"
 #include "lr/linear_road.h"
-#include "queries/queries.h"
+#include "queries/query_helpers.h"
+#include "smartgrid/smartgrid.h"
 
 namespace genealog::queries {
 namespace {
-
-// Canonical provenance-file bytes: each record re-serialized with id and
-// stimulus zeroed, origins and records sorted canonically, then
-// re-concatenated. Two runs of the same logical query yield identical bytes.
-std::vector<uint8_t> CanonicalProvenanceBytes(const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  EXPECT_NE(f, nullptr) << path;
-  if (f == nullptr) return {};
-  std::fseek(f, 0, SEEK_END);
-  const long size = std::ftell(f);
-  std::fseek(f, 0, SEEK_SET);
-  std::vector<uint8_t> bytes(static_cast<size_t>(size));
-  EXPECT_EQ(std::fread(bytes.data(), 1, bytes.size(), f), bytes.size());
-  std::fclose(f);
-
-  auto mask_and_serialize = [](const TuplePtr& t, ByteWriter& w) {
-    t->id = 0;
-    t->stimulus = 0;
-    SerializeTuple(*t, w);
-  };
-
-  std::vector<std::vector<uint8_t>> records;
-  ByteReader reader(bytes);
-  while (!reader.AtEnd()) {
-    TuplePtr derived = DeserializeTuple(reader);
-    const uint32_t n = reader.GetU32();
-    std::vector<std::vector<uint8_t>> origins;
-    ByteWriter w;
-    for (uint32_t i = 0; i < n; ++i) {
-      w.Clear();
-      mask_and_serialize(DeserializeTuple(reader), w);
-      origins.emplace_back(w.bytes().begin(), w.bytes().end());
-    }
-    std::sort(origins.begin(), origins.end());
-    w.Clear();
-    mask_and_serialize(derived, w);
-    w.PutU32(n);
-    std::vector<uint8_t> record(w.bytes().begin(), w.bytes().end());
-    for (const auto& o : origins) {
-      record.insert(record.end(), o.begin(), o.end());
-    }
-    records.push_back(std::move(record));
-  }
-  std::sort(records.begin(), records.end());
-  std::vector<uint8_t> canonical;
-  for (const auto& r : records) {
-    canonical.insert(canonical.end(), r.begin(), r.end());
-  }
-  return canonical;
-}
 
 lr::LinearRoadData SmallLr() {
   lr::LinearRoadConfig config;
@@ -80,6 +29,28 @@ lr::LinearRoadData SmallLr() {
   config.stop_probability = 0.03;
   config.seed = 17;
   return lr::GenerateLinearRoad(config);
+}
+
+lr::LinearRoadData AccidentLr() {
+  lr::LinearRoadConfig config;
+  config.n_cars = 50;
+  config.duration_s = 2400;
+  config.stop_probability = 0.02;
+  config.accident_probability = 0.08;
+  config.seed = 11;
+  return lr::GenerateLinearRoad(config);
+}
+
+sg::SmartGridData SmallSg() {
+  sg::SmartGridConfig config;
+  config.n_meters = 25;
+  config.n_days = 8;
+  config.blackout_probability = 0.4;
+  config.forced_blackout_days = {1, 4};
+  config.blackout_meters = 9;
+  config.anomaly_probability = 0.03;
+  config.seed = 23;
+  return sg::GenerateSmartGrid(config);
 }
 
 struct RunArtifacts {
@@ -103,68 +74,100 @@ QueryBuildOptions MakeOptions(bool distributed, size_t batch, bool spsc,
   return options;
 }
 
-RunArtifacts RunHandWired(const lr::LinearRoadData& data, bool distributed,
-                          size_t batch, bool spsc) {
-  const std::string path = ::testing::TempDir() + "/dfeq_hand.bin";
+template <typename Builder, typename Data>
+RunArtifacts RunOne(Builder&& builder, const Data& data, bool distributed,
+                    size_t batch, bool spsc, const std::string& path) {
   RunArtifacts out;
-  BuiltQuery q = BuildQ1(
-      data, MakeOptions(distributed, batch, spsc, path, out.ordered_sink));
+  auto q = builder(data,
+                   MakeOptions(distributed, batch, spsc, path,
+                               out.ordered_sink));
   q.Run();
-  out.records = q.provenance_sink->records();
+  out.records = [&] {
+    if constexpr (requires { q.provenance_records(); }) {
+      return q.provenance_records();  // BuiltDataflow
+    } else {
+      return q.provenance_sink->records();  // BuiltQuery
+    }
+  }();
   out.provenance = CanonicalProvenanceBytes(path);
   std::remove(path.c_str());
   return out;
 }
 
-RunArtifacts RunFluent(const lr::LinearRoadData& data, bool distributed,
-                       size_t batch, bool spsc) {
-  const std::string path = ::testing::TempDir() + "/dfeq_fluent.bin";
-  RunArtifacts out;
-  BuiltDataflow flow = BuildQ1Fluent(
-      data, MakeOptions(distributed, batch, spsc, path, out.ordered_sink));
-  flow.Run();
-  out.records = flow.provenance_records();
-  out.provenance = CanonicalProvenanceBytes(path);
-  std::remove(path.c_str());
-  return out;
-}
-
-void SweepEquivalence(bool distributed) {
-  const lr::LinearRoadData data = SmallLr();
+template <typename HandBuilder, typename FluentBuilder, typename Data>
+void SweepEquivalence(const char* name, HandBuilder hand_builder,
+                      FluentBuilder fluent_builder, const Data& data,
+                      bool distributed, std::vector<bool> spsc_values) {
+  const std::string hand_path = ::testing::TempDir() + "/dfeq_hand.bin";
+  const std::string fluent_path = ::testing::TempDir() + "/dfeq_fluent.bin";
   for (const size_t batch : {size_t{1}, size_t{64}}) {
-    for (const bool spsc : {true, false}) {
-      const RunArtifacts hand = RunHandWired(data, distributed, batch, spsc);
-      const RunArtifacts fluent = RunFluent(data, distributed, batch, spsc);
+    for (const bool spsc : spsc_values) {
+      SCOPED_TRACE(std::string(name) + " batch " + std::to_string(batch) +
+                   " spsc " + std::to_string(spsc));
+      const RunArtifacts hand =
+          RunOne(hand_builder, data, distributed, batch, spsc, hand_path);
+      const RunArtifacts fluent =
+          RunOne(fluent_builder, data, distributed, batch, spsc, fluent_path);
       ASSERT_FALSE(hand.ordered_sink.empty());
       ASSERT_GT(hand.records, 0u);
-      EXPECT_EQ(fluent.ordered_sink, hand.ordered_sink)
-          << "batch " << batch << " spsc " << spsc;
-      EXPECT_EQ(fluent.records, hand.records)
-          << "batch " << batch << " spsc " << spsc;
+      EXPECT_EQ(fluent.ordered_sink, hand.ordered_sink);
+      EXPECT_EQ(fluent.records, hand.records);
       EXPECT_EQ(fluent.provenance, hand.provenance)
-          << "provenance file bytes diverged at batch " << batch << " spsc "
-          << spsc;
+          << "canonical provenance bytes diverged";
     }
   }
 }
 
 TEST(DataflowEquivalenceTest, Q1GenealogIntra) {
-  SweepEquivalence(/*distributed=*/false);
+  SweepEquivalence("Q1", BuildQ1, BuildQ1Fluent, SmallLr(),
+                   /*distributed=*/false, {true, false});
 }
 
 TEST(DataflowEquivalenceTest, Q1GenealogDistributed) {
-  SweepEquivalence(/*distributed=*/true);
+  SweepEquivalence("Q1", BuildQ1, BuildQ1Fluent, SmallLr(),
+                   /*distributed=*/true, {true, false});
+}
+
+TEST(DataflowEquivalenceTest, Q2GenealogIntra) {
+  SweepEquivalence("Q2", BuildQ2, BuildQ2Fluent, AccidentLr(),
+                   /*distributed=*/false, {true});
+}
+
+TEST(DataflowEquivalenceTest, Q2GenealogDistributed) {
+  SweepEquivalence("Q2", BuildQ2, BuildQ2Fluent, AccidentLr(),
+                   /*distributed=*/true, {true});
+}
+
+TEST(DataflowEquivalenceTest, Q3GenealogIntra) {
+  SweepEquivalence("Q3", BuildQ3, BuildQ3Fluent, SmallSg(),
+                   /*distributed=*/false, {true});
+}
+
+TEST(DataflowEquivalenceTest, Q3GenealogDistributed) {
+  SweepEquivalence("Q3", BuildQ3, BuildQ3Fluent, SmallSg(),
+                   /*distributed=*/true, {true});
+}
+
+TEST(DataflowEquivalenceTest, Q4GenealogIntra) {
+  SweepEquivalence("Q4", BuildQ4, BuildQ4Fluent, SmallSg(),
+                   /*distributed=*/false, {true});
+}
+
+TEST(DataflowEquivalenceTest, Q4GenealogDistributed) {
+  SweepEquivalence("Q4", BuildQ4, BuildQ4Fluent, SmallSg(),
+                   /*distributed=*/true, {true});
 }
 
 // The fluent lowering must mirror the hand-wired deployment structurally
 // too: same instance count, same SU placement, same probe surface.
-TEST(DataflowEquivalenceTest, Q1StructureMatchesHandWired) {
-  const lr::LinearRoadData data = SmallLr();
+template <typename HandBuilder, typename FluentBuilder, typename Data>
+void CheckStructure(HandBuilder hand_builder, FluentBuilder fluent_builder,
+                    const Data& data) {
   {
     QueryBuildOptions options;
     options.mode = ProvenanceMode::kGenealog;
-    BuiltQuery hand = BuildQ1(data, options);
-    BuiltDataflow fluent = BuildQ1Fluent(data, options);
+    auto hand = hand_builder(data, options);
+    auto fluent = fluent_builder(data, options);
     EXPECT_EQ(fluent.n_instances, hand.n_instances);
     EXPECT_EQ(fluent.su_nodes.size(), hand.su_nodes.size());
     EXPECT_EQ(fluent.total_window_span, hand.total_window_span);
@@ -173,12 +176,28 @@ TEST(DataflowEquivalenceTest, Q1StructureMatchesHandWired) {
     QueryBuildOptions options;
     options.mode = ProvenanceMode::kGenealog;
     options.distributed = true;
-    BuiltQuery hand = BuildQ1(data, options);
-    BuiltDataflow fluent = BuildQ1Fluent(data, options);
-    EXPECT_EQ(fluent.n_instances, hand.n_instances);      // 3
+    auto hand = hand_builder(data, options);
+    auto fluent = fluent_builder(data, options);
+    EXPECT_EQ(fluent.n_instances, hand.n_instances);  // 3
     EXPECT_EQ(fluent.su_nodes.size(), hand.su_nodes.size());
     EXPECT_EQ(fluent.channels.size(), hand.channels.size());
   }
+}
+
+TEST(DataflowEquivalenceTest, Q1StructureMatchesHandWired) {
+  CheckStructure(BuildQ1, BuildQ1Fluent, SmallLr());
+}
+
+TEST(DataflowEquivalenceTest, Q2StructureMatchesHandWired) {
+  CheckStructure(BuildQ2, BuildQ2Fluent, AccidentLr());
+}
+
+TEST(DataflowEquivalenceTest, Q3StructureMatchesHandWired) {
+  CheckStructure(BuildQ3, BuildQ3Fluent, SmallSg());
+}
+
+TEST(DataflowEquivalenceTest, Q4StructureMatchesHandWired) {
+  CheckStructure(BuildQ4, BuildQ4Fluent, SmallSg());
 }
 
 }  // namespace

@@ -83,7 +83,7 @@ TwoQueryRun RunTwoQueries(const lr::LinearRoadData& data, SchedulerMode mode,
       });
   auto* a_su = topo.Add<SuNode>("a.su");
   auto* a_sink = topo.Add<SinkNode>("a.sink");
-  ProvenanceSinkOptions a_pso;
+  ProvenanceSinkSpec a_pso;
   a_pso.finalize_slack = 120;
   a_pso.consumer = [&run](const ProvenanceRecord& r) {
     run.a_records.push_back(r);
@@ -110,7 +110,7 @@ TwoQueryRun RunTwoQueries(const lr::LinearRoadData& data, SchedulerMode mode,
       });
   auto* b_su = topo.Add<SuNode>("b.su");
   auto* b_sink = topo.Add<SinkNode>("b.sink");
-  ProvenanceSinkOptions b_pso;
+  ProvenanceSinkSpec b_pso;
   b_pso.finalize_slack = 300;
   b_pso.consumer = [&run](const ProvenanceRecord& r) {
     run.b_records.push_back(r);

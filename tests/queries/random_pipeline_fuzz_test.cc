@@ -207,7 +207,7 @@ std::vector<CanonicalRecord> RunPlan(const PipelinePlan& plan, uint64_t seed,
     Node* exit = BuildStages(topo, source, plan);
     auto* su = topo.Add<SuNode>("su");
     auto* sink = topo.Add<SinkNode>("sink");
-    ProvenanceSinkOptions pso;
+    ProvenanceSinkSpec pso;
     pso.finalize_slack = plan.total_window_span;
     pso.consumer = on_record;
     auto* prov = topo.Add<ProvenanceSinkNode>("k2", pso);

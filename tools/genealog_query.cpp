@@ -1,13 +1,19 @@
 // Command-line driver for the four evaluation queries: build any
 // (query, provenance mode, deployment) configuration, run it over a
 // generated workload, and report alerts, provenance, and run metrics.
+// All lineage output is served through the library's LineageQuery API
+// (genealog/lineage_query.h) — live runs query the store the topology
+// maintains online, and --replay-provenance rebuilds the same store from a
+// provenance file written by an earlier run, with no query run at all.
 //
 //   genealog_query --query q2 --mode gl --print-provenance
 //   genealog_query --query q3 --mode bl --distributed --tcp
 //   genealog_query --query q1 --mode gl --provenance-file prov.bin --replays 5
+//   genealog_query --replay-provenance prov.bin --lineage-stats \
+//       --contributors 0x1000000000a
 //
 // Flags:
-//   --query q1|q2|q3|q4      (required)
+//   --query q1|q2|q3|q4      (required unless --replay-provenance)
 //   --mode np|gl|bl          (default gl)
 //   --distributed            3-instance deployment (Figures 7/9C/10C/11C)
 //   --tcp                    TCP loopback channels (with --distributed)
@@ -19,17 +25,34 @@
 //   --seed S                 workload seed (default 42)
 //   --provenance-file PATH   persist provenance records to disk
 //   --print-alerts           print every sink tuple
-//   --print-provenance       print every provenance record
+//   --print-provenance       print every retained record's lineage (GL)
+//   --replay-provenance PATH offline: load PATH into a LineageStore and serve
+//                            the lineage flags below without running a query
+//   --contributors ID        backward closure of tuple ID (repeatable)
+//   --derived-from ID        forward closure of tuple ID (repeatable)
+//   --expand ID:K            K-hop neighborhood of tuple ID (repeatable)
+//   --lineage-stats          print LineageStore retention/eviction counters
+//   --retain-records N       lineage retention bound (0 = unbounded)
+//   --retain-span T          lineage event-time horizon (0 = none)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
+#include <vector>
 
+#include "genealog/lineage_query.h"
+#include "genealog/lineage_store.h"
 #include "queries/queries.h"
 
 namespace {
 
 using namespace genealog;
+
+struct ExpandRequest {
+  uint64_t id;
+  int hops;
+};
 
 struct CliOptions {
   std::string query;
@@ -47,6 +70,18 @@ struct CliOptions {
   std::string provenance_file;
   bool print_alerts = false;
   bool print_provenance = false;
+  std::string replay_provenance;
+  std::vector<uint64_t> contributors;
+  std::vector<uint64_t> derived_from;
+  std::vector<ExpandRequest> expands;
+  bool lineage_stats = false;
+  size_t retain_records = 0;  // 0 = library default
+  int64_t retain_span = 0;
+
+  bool WantsLineage() const {
+    return print_provenance || lineage_stats || !contributors.empty() ||
+           !derived_from.empty() || !expands.empty();
+  }
 };
 
 [[noreturn]] void Usage(const char* argv0) {
@@ -55,9 +90,20 @@ struct CliOptions {
                "[--distributed] [--tcp] [--composed] [--replays N] "
                "[--rate TPS] [--cars N] [--meters N] [--duration S] "
                "[--days D] [--seed S] [--provenance-file PATH] "
-               "[--print-alerts] [--print-provenance]\n",
-               argv0);
+               "[--print-alerts] [--print-provenance]\n"
+               "       %s --replay-provenance PATH [lineage flags]\n"
+               "lineage flags: [--contributors ID] [--derived-from ID] "
+               "[--expand ID:K] [--lineage-stats] [--retain-records N] "
+               "[--retain-span T]\n",
+               argv0, argv0);
   std::exit(2);
+}
+
+uint64_t ParseId(const char* s, const char* argv0) {
+  char* end = nullptr;
+  const uint64_t id = std::strtoull(s, &end, 0);  // base 0: decimal or 0x...
+  if (end == s || *end != '\0') Usage(argv0);
+  return id;
 }
 
 CliOptions ParseArgs(int argc, char** argv) {
@@ -107,10 +153,33 @@ CliOptions ParseArgs(int argc, char** argv) {
       options.print_alerts = true;
     } else if (arg == "--print-provenance") {
       options.print_provenance = true;
+    } else if (arg == "--replay-provenance") {
+      options.replay_provenance = next_value(i);
+    } else if (arg == "--contributors") {
+      options.contributors.push_back(ParseId(next_value(i), argv[0]));
+    } else if (arg == "--derived-from") {
+      options.derived_from.push_back(ParseId(next_value(i), argv[0]));
+    } else if (arg == "--expand") {
+      const std::string value = next_value(i);
+      const size_t colon = value.find(':');
+      if (colon == std::string::npos) Usage(argv[0]);
+      options.expands.push_back(
+          {ParseId(value.substr(0, colon).c_str(), argv[0]),
+           std::atoi(value.c_str() + colon + 1)});
+    } else if (arg == "--lineage-stats") {
+      options.lineage_stats = true;
+    } else if (arg == "--retain-records") {
+      options.retain_records = std::strtoull(next_value(i), nullptr, 10);
+    } else if (arg == "--retain-span") {
+      options.retain_span = std::atol(next_value(i));
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       Usage(argv[0]);
     }
+  }
+  if (!options.replay_provenance.empty()) {
+    if (!options.query.empty()) Usage(argv[0]);
+    return options;
   }
   if (options.query != "q1" && options.query != "q2" && options.query != "q3" &&
       options.query != "q4") {
@@ -119,10 +188,89 @@ CliOptions ParseArgs(int argc, char** argv) {
   return options;
 }
 
+void PrintEntry(const char* prefix, const LineageQuery::Entry& entry) {
+  std::printf("%sid=0x%llx ts=%lld %s %s\n", prefix,
+              static_cast<unsigned long long>(entry.id),
+              static_cast<long long>(entry.ts), entry.tuple->type_name(),
+              entry.tuple->DebugPayload().c_str());
+}
+
+// Serves every requested lineage flag through the LineageQuery handle —
+// identical behavior whether the store was fed live or replayed from a file.
+void ServeLineage(const LineageQuery& lineage, const CliOptions& cli) {
+  if (cli.print_provenance) {
+    for (const uint64_t id : lineage.RetainedRecordIds()) {
+      const auto derived = lineage.Lookup(id);
+      if (!derived.has_value()) continue;  // evicted under our feet
+      const auto origins = lineage.Contributors(id);
+      std::printf("PROVENANCE of ts=%lld %s (%zu sources)\n",
+                  static_cast<long long>(derived->ts),
+                  derived->tuple->DebugPayload().c_str(), origins.size());
+      for (const auto& origin : origins) PrintEntry("  <- ", origin);
+    }
+  }
+  for (const uint64_t id : cli.contributors) {
+    const auto entries = lineage.Contributors(id);
+    std::printf("CONTRIBUTORS of 0x%llx (%zu)\n",
+                static_cast<unsigned long long>(id), entries.size());
+    for (const auto& e : entries) PrintEntry("  <- ", e);
+  }
+  for (const uint64_t id : cli.derived_from) {
+    const auto entries = lineage.DerivedFrom(id);
+    std::printf("DERIVED FROM 0x%llx (%zu)\n",
+                static_cast<unsigned long long>(id), entries.size());
+    for (const auto& e : entries) PrintEntry("  -> ", e);
+  }
+  for (const ExpandRequest& req : cli.expands) {
+    const auto entries = lineage.Expand(req.id, req.hops);
+    std::printf("EXPAND 0x%llx k=%d (%zu)\n",
+                static_cast<unsigned long long>(req.id), req.hops,
+                entries.size());
+    for (const auto& e : entries) PrintEntry("  <-> ", e);
+  }
+  if (cli.lineage_stats) {
+    const LineageStore::Stats s = lineage.Stats();
+    std::printf(
+        "lineage store     %llu/%llu records retained (%llu evicted in %llu "
+        "epochs), %llu tuples, %llu edges, %llu bytes, %llu node uids, "
+        "ts span [%lld, %lld]\n",
+        static_cast<unsigned long long>(s.records_retained),
+        static_cast<unsigned long long>(s.records_ingested),
+        static_cast<unsigned long long>(s.records_evicted),
+        static_cast<unsigned long long>(s.epochs_evicted),
+        static_cast<unsigned long long>(s.tuples_retained),
+        static_cast<unsigned long long>(s.edges_retained),
+        static_cast<unsigned long long>(s.bytes_retained),
+        static_cast<unsigned long long>(s.node_uids),
+        static_cast<long long>(s.min_retained_ts),
+        static_cast<long long>(s.max_retained_ts));
+  }
+}
+
+LineageOptions RetentionFromCli(const CliOptions& cli) {
+  LineageOptions lo;
+  if (cli.retain_records > 0) lo.retain_records = cli.retain_records;
+  lo.retain_span = cli.retain_span;
+  return lo;
+}
+
+// Offline mode: no query run — rebuild the store from a provenance file an
+// earlier run wrote and serve the same lineage flags against it.
+int ReplayAndServe(const CliOptions& cli) {
+  auto store = std::make_shared<LineageStore>(RetentionFromCli(cli));
+  const uint64_t n = ReplayProvenanceFile(cli.replay_provenance, *store);
+  std::printf("replayed %llu records from %s\n\n",
+              static_cast<unsigned long long>(n),
+              cli.replay_provenance.c_str());
+  ServeLineage(LineageQuery(store), cli);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const CliOptions cli = ParseArgs(argc, argv);
+  if (!cli.replay_provenance.empty()) return ReplayAndServe(cli);
   const bool is_lr = cli.query == "q1" || cli.query == "q2";
 
   queries::QueryBuildOptions options;
@@ -133,21 +281,20 @@ int main(int argc, char** argv) {
   options.provenance_file = cli.provenance_file;
   options.source.replays = cli.replays;
   options.source.max_rate_tps = cli.rate;
+  if (cli.WantsLineage()) {
+    if (cli.mode != ProvenanceMode::kGenealog) {
+      std::fprintf(stderr, "lineage flags require --mode gl\n");
+      return 2;
+    }
+    options.lineage_store = true;
+    const LineageOptions lo = RetentionFromCli(cli);
+    options.lineage_retain_records = lo.retain_records;
+    options.lineage_retain_span = lo.retain_span;
+  }
   if (cli.print_alerts) {
     options.sink_consumer = [](const TuplePtr& t) {
       std::printf("ALERT ts=%lld %s\n", static_cast<long long>(t->ts),
                   t->DebugPayload().c_str());
-    };
-  }
-  if (cli.print_provenance) {
-    options.provenance_consumer = [](const ProvenanceRecord& r) {
-      std::printf("PROVENANCE of ts=%lld %s (%zu sources)\n",
-                  static_cast<long long>(r.derived_ts),
-                  r.derived->DebugPayload().c_str(), r.origins.size());
-      for (const TuplePtr& origin : r.origins) {
-        std::printf("  <- ts=%lld %s\n", static_cast<long long>(origin->ts),
-                    origin->DebugPayload().c_str());
-      }
     };
   }
 
@@ -188,6 +335,10 @@ int main(int argc, char** argv) {
               cli.distributed ? (cli.tcp ? "distributed/tcp" : "distributed")
                               : "intra-process");
   query.Run();
+
+  if (cli.WantsLineage()) {
+    ServeLineage(query.lineage(), cli);
+  }
 
   const double seconds =
       static_cast<double>(query.source->active_ns()) / 1e9;
