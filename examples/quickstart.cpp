@@ -9,7 +9,10 @@
 // dataflow is all it takes — the SU before the sink and the provenance sink
 // are inserted automatically when the plan is lowered.
 //
-//   $ ./build/examples/quickstart [provenance_file]
+//   $ ./build/example_quickstart [provenance_file]
+//
+// Without an argument the provenance file lands next to the binary (the
+// build directory), never in the invoking shell's working directory.
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -85,6 +88,17 @@ std::vector<IntrusivePtr<Reading>> MakeReadings() {
   return readings;
 }
 
+// Default provenance path: alongside the binary, so running the example from
+// a source checkout never litters the working directory.
+std::string DefaultProvenancePath(const char* argv0) {
+  std::string path = argv0 != nullptr ? argv0 : "";
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string{}
+                              : path.substr(0, slash + 1);
+  return dir + "quickstart_provenance.bin";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -97,8 +111,9 @@ int main(int argc, char** argv) {
   DataflowOptions options;
   options.mode = ProvenanceMode::kGenealog;
   options.engine.batch_size = 64;
-  options.provenance_file =
-      argc > 1 ? argv[1] : "quickstart_provenance.bin";
+  const std::string provenance_path =
+      argc > 1 ? argv[1] : DefaultProvenancePath(argv[0]);
+  options.provenance_file = provenance_path;
   options.provenance_consumer = [](const ProvenanceRecord& record) {
     std::printf("  caused by %zu readings:\n", record.origins.size());
     for (const TuplePtr& origin : record.origins) {
@@ -141,6 +156,6 @@ int main(int argc, char** argv) {
       "persisted to %s). Memory for all other readings was reclaimed as\n"
       "soon as they stopped contributing.\n",
       static_cast<unsigned long long>(flow.provenance_records()),
-      argc > 1 ? argv[1] : "quickstart_provenance.bin");
+      provenance_path.c_str());
   return 0;
 }

@@ -10,6 +10,7 @@
 #include "genealog/provenance_sink.h"
 #include "genealog/su.h"
 #include "net/send_receive.h"
+#include "spe/parallel.h"
 
 namespace genealog {
 namespace {
@@ -107,8 +108,65 @@ void LowerDataflow(const Plan& plan, BuiltDataflow& out) {
   std::vector<std::pair<Topology*, Node*>> source_taps;  // BL, plan order
   size_t sink_op = plan.ops.size();
   for (size_t i = 0; i < plan.ops.size(); ++i) {
+    if (plan.ops[i].kind == OpKind::kSink) sink_op = i;
+  }
+  // U-stream exit of a parallel stage whose replicas got their own SUs (set
+  // below); the GL sink weaving routes it into the provenance sink instead
+  // of interposing another SU.
+  Node* parallel_u_exit = nullptr;
+  for (size_t i = 0; i < plan.ops.size(); ++i) {
     const PlanOp& op = plan.ops[i];
     Topology& topo = *topo_of.at(op.instance);
+    if (op.is_parallel_stage()) {
+      // Key-partitioned stage: partition -> N replicas -> keyed merge. The
+      // stage is atomic on one instance; producers connect into the
+      // partition, consumers read the merge.
+      //
+      // Parallel-SU placement: when the merged stream feeds the sink
+      // directly (same process, same instance, fused unfolders), each
+      // replica gets its own SU so the per-sink-tuple provenance traversal
+      // (the Figure 14 cost) runs inside the shards, in parallel, instead
+      // of serializing after the merge. SO streams keep flowing into the
+      // merge — the fused SU forwards the same tuple objects, so the
+      // merge's order-token handshake is unaffected — and the U streams
+      // union into the provenance sink. Every merged tuple reaches the sink
+      // (the merge filters nothing), so the record set is exactly the
+      // single-SU set. The composed (Figure 5B) SU clones tuples instead of
+      // forwarding them, which would break the token handshake: those
+      // builds keep the single SU after the merge.
+      const bool parallel_su =
+          mode == ProvenanceMode::kGenealog && !distributed &&
+          !engine.composed_unfolders && sink_op < plan.ops.size() &&
+          plan.ops[sink_op].inputs.size() == 1 &&
+          plan.ops[sink_op].inputs[0].op == i &&
+          plan.ops[sink_op].instance == op.instance;
+      auto* partition = op.make_partition(topo);
+      auto* merge = topo.Add<KeyedMergeNode>(op.name + ".merge");
+      Node* u_merge = parallel_su
+                          ? topo.Add<UnionNode>(op.name + ".u_merge")
+                          : nullptr;
+      for (int r = 0; r < op.parallelism; ++r) {
+        Node* replica = op.make_replica(topo, merge, r);
+        topo.Connect(partition, replica);
+        if (parallel_su) {
+          auto* su = topo.Add<SuNode>("SU.par" + std::to_string(r));
+          topo.Connect(replica, su);
+          topo.Connect(su, merge);    // output 0 = SO
+          topo.Connect(su, u_merge);  // output 1 = U
+          out.su_nodes.push_back(su);
+        } else {
+          topo.Connect(replica, merge);
+        }
+      }
+      if (parallel_su) parallel_u_exit = u_merge;
+      node_of[i] = merge;
+      entry_of[i] = partition;
+      exit_of[i] = merge;
+      if (op.kind == OpKind::kSink) {
+        throw std::logic_error("Dataflow: a Sink cannot be a parallel stage");
+      }
+      continue;
+    }
     node_of[i] = op.make(topo);
     entry_of[i] = exit_of[i] = node_of[i];
     switch (op.kind) {
@@ -149,10 +207,16 @@ void LowerDataflow(const Plan& plan, BuiltDataflow& out) {
     Node* sink_node = node_of[sink_op];
     if (!distributed) {
       // Theorem 5.3: one SU before the sink; U feeds the provenance sink.
+      // With parallel-SU placement the unfolding already happened inside
+      // the shards — route the unioned U streams straight in.
       auto* psink = sink_topo.Add<ProvenanceSinkNode>("K2", pso);
       out.provenance_sink = psink;
-      entry_of[sink_op] = WeaveSu(out, sink_topo, engine.composed_unfolders,
-                                  "SU", sink_node, psink);
+      if (parallel_u_exit != nullptr) {
+        sink_topo.Connect(parallel_u_exit, psink);
+      } else {
+        entry_of[sink_op] = WeaveSu(out, sink_topo, engine.composed_unfolders,
+                                    "SU", sink_node, psink);
+      }
     } else {
       auto* psink = prov_topo->Add<ProvenanceSinkNode>("K2", pso);
       out.provenance_sink = psink;

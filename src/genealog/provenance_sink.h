@@ -69,13 +69,6 @@ struct ProvenanceSinkSpec {
   EngineOptions engine;
 };
 
-// Deprecated spelling from before the EngineOptions fold; out-of-tree
-// callers get one PR of grace. The old `async_writer` / `async_buffer_bytes`
-// fields are now `engine.async_prov_sink` / `engine.prov_buffer_bytes`.
-using ProvenanceSinkOptions [[deprecated(
-    "use ProvenanceSinkSpec; async knobs moved into its EngineOptions "
-    "member")]] = ProvenanceSinkSpec;
-
 class ProvenanceSinkNode final : public SingleInputNode {
  public:
   ProvenanceSinkNode(std::string name, ProvenanceSinkSpec options);

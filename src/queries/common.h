@@ -46,6 +46,11 @@ namespace genealog::queries {
 struct QueryBuildOptions : EngineOptions {
   ProvenanceMode mode = ProvenanceMode::kNone;
   bool distributed = false;
+  // Shard count for the query's key-partitioned aggregate (fluent builders
+  // only; > 1 lowers the stage to KeyPartitionNode -> N replicas -> keyed
+  // merge via `.KeyBy(...).Parallel(n)`). Output is emission-order-identical
+  // to the single-instance build at any value.
+  int parallelism = 1;
   // BL only: let the source store evict tuples that can no longer contribute
   // (an oracle the paper's baseline does not have) — the eviction ablation.
   bool baseline_oracle_eviction = false;

@@ -95,7 +95,10 @@ BuiltQuery BuildQ1(const lr::LinearRoadData& data, QueryBuildOptions options) {
 // The same query on the fluent builder: the logical plan is the Figure 1
 // chain plus a deployment cut (Figure 7) when distributed; everything the
 // hand-wired builder spells out — SU/MU placement, provenance sink,
-// channels, ports — is woven by Dataflow::Build from options.mode.
+// channels, ports — is woven by Dataflow::Build from options.mode. With
+// options.parallelism > 1 the aggregate runs as a key-partitioned parallel
+// stage (the Aggregate shorthand for .KeyBy(car_id).Parallel(n)); output and
+// provenance are identical to the single-instance build either way.
 BuiltDataflow BuildQ1Fluent(const lr::LinearRoadData& data,
                             QueryBuildOptions options) {
   Dataflow df(ToDataflowOptions(options));
@@ -106,14 +109,18 @@ BuiltDataflow BuildQ1Fluent(const lr::LinearRoadData& data,
                   [](const PositionReport& t) { return t.speed == 0.0; });
   // Figure 7: Source + Filter on instance 1, the rest on instance 2.
   if (options.distributed) reports = reports.At(2);
-  reports
-      .Aggregate<StoppedCarStats>(
-          "agg.stopped",
-          AggregateOptions{kQ1WindowSize, kQ1WindowAdvance,
-                           WindowBounds::kLeftClosedRightOpen,
-                           EmitAt::kWindowStart},
-          [](const PositionReport& t) { return t.car_id; },
-          StoppedCarCombiner())
+  const AggregateOptions agg_options{kQ1WindowSize, kQ1WindowAdvance,
+                                     WindowBounds::kLeftClosedRightOpen,
+                                     EmitAt::kWindowStart};
+  const auto key_fn = [](const PositionReport& t) { return t.car_id; };
+  Stream<StoppedCarStats> stats =
+      options.parallelism > 1
+          ? reports.Aggregate<StoppedCarStats>("agg.stopped", agg_options,
+                                               key_fn, StoppedCarCombiner(),
+                                               options.parallelism)
+          : reports.Aggregate<StoppedCarStats>("agg.stopped", agg_options,
+                                               key_fn, StoppedCarCombiner());
+  stats
       .Filter("filter.stopped",
               [](const StoppedCarStats& t) {
                 return t.count == kQ1StopCount && t.dist_pos == 1;

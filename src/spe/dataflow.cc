@@ -10,6 +10,56 @@ using dataflow_internal::PlanOp;
 
 namespace {
 
+// The N-chain safety argument for key-partitioned stages (Challenge C3)
+// needs every per-key window to live inside exactly one replica, and the
+// downstream plan to be insensitive to how the N shard outputs were merged.
+// The KeyedMergeNode restores the single-instance emission order for the
+// merged stream itself, but a *second* stateful consumer downstream would
+// window the merged stream again — its window contents would then hinge on
+// the merge's reordering guarantees composing across stages, which is
+// exactly the shape the paper's safety argument does not cover. Reject it:
+// aggregate inside one (possibly parallel) stage, or drop the Parallel().
+void ValidateParallelStages(const dataflow_internal::Plan& plan) {
+  const auto& ops = plan.ops;
+  for (size_t i = 0; i < ops.size(); ++i) {
+    if (!ops[i].is_parallel_stage()) continue;
+    if (ops[i].parallelism < 1 || ops[i].make_replica == nullptr) {
+      throw std::logic_error("Dataflow: parallel stage '" + ops[i].name +
+                             "' is malformed (shards < 1 or no replica "
+                             "factory)");
+    }
+    // Walk everything reachable downstream of the stage's merged output.
+    std::vector<bool> reached(ops.size(), false);
+    std::vector<size_t> frontier{i};
+    reached[i] = true;
+    while (!frontier.empty()) {
+      const size_t cur = frontier.back();
+      frontier.pop_back();
+      for (size_t j = 0; j < ops.size(); ++j) {
+        if (reached[j]) continue;
+        bool consumes = false;
+        for (const PlanInput& in : ops[j].inputs) {
+          if (in.op == cur) {
+            consumes = true;
+            break;
+          }
+        }
+        if (!consumes) continue;
+        if (ops[j].stateful) {
+          throw std::logic_error(
+              "Dataflow: parallel stage '" + ops[i].name +
+              "' feeds the stateful operator '" + ops[j].name +
+              "' — a key-partitioned stage must be the last stateful step on "
+              "its path to the Sink (fold the aggregation into the parallel "
+              "stage, or remove Parallel())");
+        }
+        reached[j] = true;
+        frontier.push_back(j);
+      }
+    }
+  }
+}
+
 // Structural validation before lowering: every stream consumed exactly once,
 // sources and sinks present, provenance modes single-sink.
 void Validate(const dataflow_internal::Plan& plan) {
@@ -57,6 +107,7 @@ void Validate(const dataflow_internal::Plan& plan) {
         "per-sink provenance construction); found " +
         std::to_string(n_sinks));
   }
+  ValidateParallelStages(plan);
 }
 
 }  // namespace

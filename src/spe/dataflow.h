@@ -18,7 +18,7 @@
 // Each combinator records one logical operator in a plan; Build() lowers the
 // plan onto the existing Topology/Node layer and automatically
 //   * inserts the provenance machinery the selected ProvenanceMode requires
-//     (GL: SU before the sink, and — across instance boundaries — one SU per
+//     (GL: SU before the sink, and, across instance boundaries, one SU per
 //     delivering stream plus the MU + provenance sink on a dedicated
 //     provenance instance; BL: source/sink taps feeding the baseline
 //     resolver; NP: nothing),
@@ -56,6 +56,7 @@
 #include "net/channel.h"
 #include "spe/aggregate.h"
 #include "spe/join.h"
+#include "spe/parallel.h"
 #include "spe/sink.h"
 #include "spe/source.h"
 #include "spe/stateless.h"
@@ -67,6 +68,8 @@ class Dataflow;
 class SuNode;
 class ProvenanceSinkNode;
 class BaselineResolverNode;
+template <typename T, typename KeyFn>
+class KeyedStream;
 
 struct DataflowOptions {
   // Instrumentation woven into the lowered query: NP / GL / BL.
@@ -110,9 +113,24 @@ struct PlanOp {
   std::vector<PlanInput> inputs;  // in input-port order
   size_t n_outputs = 1;           // Multiplex tap count; 0 for sinks
   // Stateful window span (Aggregate WS, Join WS) — summed into the
-  // provenance finalize slack and the MU join window (§6.1).
+  // provenance finalize slack and the MU join window (§6.1). Counted once
+  // for a parallel stage: the replicas share one logical window.
   int64_t window_span = 0;
+  // Stateful operators (Aggregate, Join) buffer tuples across time; the
+  // validator uses this to reject plans where a parallel stage feeds a
+  // second stateful consumer (see Validate in dataflow.cc).
+  bool stateful = false;
   std::function<Node*(Topology&)> make;
+  // Key-partitioned parallel stage (KeyBy/Parallel): when `make_partition`
+  // is set, `make` is unused and the lowering builds
+  //   make_partition() -> `parallelism` x make_replica(r) -> KeyedMergeNode,
+  // with entry = partition and exit = merge. The replica factory receives
+  // the merge so it can record per-output order tokens (spe/parallel.h).
+  int parallelism = 1;
+  std::function<Node*(Topology&)> make_partition;
+  std::function<Node*(Topology&, KeyedMergeNode*, int)> make_replica;
+
+  bool is_parallel_stage() const { return make_partition != nullptr; }
 };
 
 struct Plan {
@@ -200,6 +218,24 @@ class Stream {
   Stream<Out> Aggregate(std::string name, AggregateOptions options,
                         KeyFn key_fn, Combiner combiner) const;
 
+  // Shorthand for KeyBy(key_fn).Parallel(parallelism).Aggregate(...): a
+  // key-partitioned parallel Aggregate with `parallelism` shards.
+  template <typename Out, typename KeyFn, typename Combiner>
+  Stream<Out> Aggregate(std::string name, AggregateOptions options,
+                        KeyFn key_fn, Combiner combiner,
+                        int parallelism) const;
+
+  // Key-partitions this stream for parallel aggregation. The returned handle
+  // remembers `key_fn`; `.Parallel(n)` sets the shard count, and
+  // `.Aggregate(...)` lowers to KeyPartitionNode -> n AggregateNode replicas
+  // -> a KeyedMergeNode whose output is emission-order-identical to the
+  // single-instance Aggregate (spe/parallel.h). The partition key *is* the
+  // aggregation group key (one function), which is what keeps every per-key
+  // window intact inside exactly one shard (the paper's Challenge C3
+  // argument: one stateful consumer per tuple object, per partition).
+  template <typename KeyFn>
+  KeyedStream<T, KeyFn> KeyBy(KeyFn key_fn) const;
+
   // Windowed join; this stream is the left input (port 0), `right` port 1.
   // The operator runs on this handle's instance.
   template <typename Out, typename R>
@@ -228,6 +264,8 @@ class Stream {
   friend class Dataflow;
   template <typename U>
   friend class Stream;
+  template <typename U, typename KF>
+  friend class KeyedStream;
 
   Stream(dataflow_internal::Plan* plan, size_t op, size_t out, int instance)
       : plan_(plan), op_(op), out_(out), instance_(instance) {}
@@ -238,6 +276,79 @@ class Stream {
   size_t op_ = 0;
   size_t out_ = 0;
   int instance_ = 1;
+};
+
+// A stream paired with its partitioning key — the intermediate handle of
+// `.KeyBy(key_fn).Parallel(n).Aggregate(...)`. Cheap value, same lifetime
+// rules as Stream. Deployment is inherited from the stream the handle was
+// made from (use `.At(n)` before KeyBy); the whole stage — partition,
+// replicas, merge — is placed on that one instance.
+template <typename T, typename KeyFn>
+class KeyedStream {
+ public:
+  using Key = std::decay_t<std::invoke_result_t<KeyFn, const T&>>;
+  static_assert(std::is_integral_v<Key> &&
+                    (std::is_signed_v<Key> || sizeof(Key) < sizeof(int64_t)),
+                "KeyBy: the key orders merged parallel firings, so it must "
+                "be an integral type embeddable in int64_t");
+
+  // Sets the shard count: the Aggregate that follows runs as `shards`
+  // key-partitioned replicas. Plain n == 1 still lowers the full stage
+  // (partition -> one replica -> merge), so sweeps over shard counts compare
+  // like with like.
+  KeyedStream Parallel(int shards) const {
+    if (shards < 1) {
+      throw std::logic_error("Dataflow: Parallel(n) needs n >= 1 shards");
+    }
+    KeyedStream keyed = *this;
+    keyed.shards_ = shards;
+    return keyed;
+  }
+
+  // The parallel Aggregate: group key and partition key are both `key_fn`
+  // from KeyBy. Emission order and provenance are identical to the
+  // single-instance `Stream::Aggregate` with the same arguments (the
+  // determinism suites sweep this).
+  template <typename Out, typename Combiner>
+  Stream<Out> Aggregate(std::string name, AggregateOptions options,
+                        Combiner combiner) const {
+    using AggKeyFn = typename AggregateNode<T, Out, Key>::KeyFn;
+    dataflow_internal::PlanOp op;
+    op.name = name;
+    op.instance = stream_.instance_;
+    op.inputs = {stream_.input()};
+    op.window_span = options.ws;
+    op.stateful = true;
+    op.parallelism = shards_;
+    op.make_partition = [name, key_fn = key_fn_](Topology& topo) -> Node* {
+      auto hash = [key_fn](const T& t) {
+        return static_cast<uint64_t>(key_fn(t));
+      };
+      return topo.Add<KeyPartitionNode<T, decltype(hash)>>(name + ".partition",
+                                                           hash);
+    };
+    op.make_replica =
+        [name, options, key_fn = AggKeyFn(key_fn_),
+         combiner = AggregateCombiner<T, Out, Key>(std::move(combiner))](
+            Topology& topo, KeyedMergeNode* merge, int replica) -> Node* {
+      return topo.Add<AggregateNode<T, Out, Key>>(
+          name + ".agg" + std::to_string(replica), options, key_fn,
+          TokenRecordingCombiner<T, Out, Key>(combiner, merge));
+    };
+    return Stream<Out>(stream_.plan_, stream_.plan_->AddOp(std::move(op)), 0,
+                       stream_.instance_);
+  }
+
+ private:
+  template <typename U>
+  friend class Stream;
+
+  KeyedStream(Stream<T> stream, KeyFn key_fn)
+      : stream_(stream), key_fn_(std::move(key_fn)) {}
+
+  Stream<T> stream_;
+  KeyFn key_fn_;
+  int shards_ = 1;
 };
 
 class Dataflow {
@@ -329,6 +440,7 @@ Stream<Out> Stream<T>::Aggregate(std::string name, AggregateOptions options,
   op.instance = instance_;
   op.inputs = {input()};
   op.window_span = options.ws;
+  op.stateful = true;
   op.make = [name, options,
              key_fn = typename AggregateNode<T, Out, Key>::KeyFn(
                  std::move(key_fn)),
@@ -338,6 +450,22 @@ Stream<Out> Stream<T>::Aggregate(std::string name, AggregateOptions options,
                                                 combiner);
   };
   return Stream<Out>(plan_, plan_->AddOp(std::move(op)), 0, instance_);
+}
+
+template <typename T>
+template <typename Out, typename KeyFn, typename Combiner>
+Stream<Out> Stream<T>::Aggregate(std::string name, AggregateOptions options,
+                                 KeyFn key_fn, Combiner combiner,
+                                 int parallelism) const {
+  return KeyBy(std::move(key_fn))
+      .Parallel(parallelism)
+      .template Aggregate<Out>(std::move(name), options, std::move(combiner));
+}
+
+template <typename T>
+template <typename KeyFn>
+KeyedStream<T, KeyFn> Stream<T>::KeyBy(KeyFn key_fn) const {
+  return KeyedStream<T, KeyFn>(*this, std::move(key_fn));
 }
 
 template <typename T>
@@ -352,6 +480,7 @@ Stream<Out> Stream<T>::Join(std::string name, Stream<R> right,
   op.instance = instance_;
   op.inputs = {input(), right.input()};  // port 0 = left, port 1 = right
   op.window_span = options.ws;
+  op.stateful = true;
   op.make = [name, options, pred = std::move(pred),
              combine = std::move(combine)](Topology& topo) -> Node* {
     return topo.Add<JoinNode<T, R, Out>>(name, options, pred, combine);

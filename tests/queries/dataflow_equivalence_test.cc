@@ -158,6 +158,80 @@ TEST(DataflowEquivalenceTest, Q4GenealogDistributed) {
                    /*distributed=*/true, {true});
 }
 
+// The key-partitioned lowering (`.KeyBy(car).Parallel(n)` inside
+// BuildQ1Fluent when options.parallelism > 1) must be completely invisible
+// at the sink and in the provenance file: for every shard count, scheduler
+// and batch size, the emission-order sink stream and the canonical
+// provenance bytes must equal the single-instance plan's. The reference runs
+// the plain fluent build at the seed configuration (batch 1,
+// thread-per-node), so this also re-checks batching/scheduler invariance
+// through the partition -> replicas -> keyed-merge diamond.
+TEST(DataflowEquivalenceTest, Q1ParallelMatchesSingleInstanceIntra) {
+  const lr::LinearRoadData data = SmallLr();
+  const std::string ref_path = ::testing::TempDir() + "/dfeq_par_ref.bin";
+  const std::string par_path = ::testing::TempDir() + "/dfeq_par.bin";
+  const RunArtifacts reference = RunOne(
+      BuildQ1Fluent, data, /*distributed=*/false, 1, true, ref_path);
+  ASSERT_FALSE(reference.ordered_sink.empty());
+  ASSERT_GT(reference.records, 0u);
+  for (const int shards : {1, 2, 4}) {
+    for (const SchedulerMode scheduler :
+         {SchedulerMode::kThreadPerNode, SchedulerMode::kPool}) {
+      for (const size_t batch : {size_t{1}, size_t{64}}) {
+        SCOPED_TRACE("shards " + std::to_string(shards) + " pool " +
+                     std::to_string(scheduler == SchedulerMode::kPool) +
+                     " batch " + std::to_string(batch));
+        auto parallel_builder = [shards, scheduler](
+                                    const lr::LinearRoadData& d,
+                                    QueryBuildOptions options) {
+          options.parallelism = shards;
+          options.scheduler = scheduler;
+          if (scheduler == SchedulerMode::kPool) options.workers = 3;
+          return BuildQ1Fluent(d, std::move(options));
+        };
+        const RunArtifacts par = RunOne(parallel_builder, data,
+                                        /*distributed=*/false, batch, true,
+                                        par_path);
+        EXPECT_EQ(par.ordered_sink, reference.ordered_sink);
+        EXPECT_EQ(par.records, reference.records);
+        EXPECT_EQ(par.provenance, reference.provenance)
+            << "canonical provenance bytes diverged";
+      }
+    }
+  }
+}
+
+// Same invariance across a deployment cut: the parallel stage lowers inside
+// its instance and the distributed weaving (cut SUs, MU, provenance
+// instance) composes with it unchanged.
+TEST(DataflowEquivalenceTest, Q1ParallelMatchesSingleInstanceDistributed) {
+  const lr::LinearRoadData data = SmallLr();
+  const std::string ref_path = ::testing::TempDir() + "/dfeq_pard_ref.bin";
+  const std::string par_path = ::testing::TempDir() + "/dfeq_pard.bin";
+  const RunArtifacts reference = RunOne(
+      BuildQ1Fluent, data, /*distributed=*/true, 1, true, ref_path);
+  ASSERT_FALSE(reference.ordered_sink.empty());
+  ASSERT_GT(reference.records, 0u);
+  for (const int shards : {2, 4}) {
+    for (const size_t batch : {size_t{1}, size_t{64}}) {
+      SCOPED_TRACE("shards " + std::to_string(shards) + " batch " +
+                   std::to_string(batch));
+      auto parallel_builder = [shards](const lr::LinearRoadData& d,
+                                       QueryBuildOptions options) {
+        options.parallelism = shards;
+        return BuildQ1Fluent(d, std::move(options));
+      };
+      const RunArtifacts par = RunOne(parallel_builder, data,
+                                      /*distributed=*/true, batch, true,
+                                      par_path);
+      EXPECT_EQ(par.ordered_sink, reference.ordered_sink);
+      EXPECT_EQ(par.records, reference.records);
+      EXPECT_EQ(par.provenance, reference.provenance)
+          << "canonical provenance bytes diverged";
+    }
+  }
+}
+
 // The fluent lowering must mirror the hand-wired deployment structurally
 // too: same instance count, same SU placement, same probe surface.
 template <typename HandBuilder, typename FluentBuilder, typename Data>

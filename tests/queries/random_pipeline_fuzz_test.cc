@@ -16,6 +16,7 @@
 #include "genealog/provenance_sink.h"
 #include "genealog/su.h"
 #include "spe/aggregate.h"
+#include "spe/dataflow.h"
 #include "spe/join.h"
 #include "spe/sink.h"
 #include "spe/source.h"
@@ -322,6 +323,138 @@ TEST_P(RandomPipelineFuzzTest, GenealogIsSchedulerInvariant) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomPipelineFuzzTest,
                          ::testing::Range<uint64_t>(1, 21));
+
+// --- fluent parallel stages -------------------------------------------------
+// Random stateless prefix -> .KeyBy(key).Parallel(n).Aggregate -> random
+// stateless suffix, built through the fluent API so the whole lowered stage
+// (KeyPartitionNode, replicas, KeyedMergeNode, woven SUs) is under test. An
+// empty suffix (about a third of seeds) puts the merge directly before the
+// sink and exercises the per-replica SU placement; a non-empty one exercises
+// the single-SU fallback.
+
+struct ParallelFuzzPlan {
+  std::vector<StagePlan> prefix;  // kFilter / kMap only
+  std::vector<StagePlan> suffix;
+  int64_t ws = 0;
+  int64_t wa = 0;
+};
+
+ParallelFuzzPlan MakeParallelFuzzPlan(uint64_t seed) {
+  SplitMix64 rng(seed ^ 0x9e3779b97f4a7c15ULL);
+  ParallelFuzzPlan plan;
+  auto stateless = [&rng](std::vector<StagePlan>& stages, int max_n) {
+    const int n = static_cast<int>(rng.UniformInt(0, max_n));
+    for (int i = 0; i < n; ++i) {
+      StagePlan stage;
+      if (rng.Bernoulli(0.5)) {
+        stage.kind = StagePlan::kFilter;
+        stage.a = rng.UniformInt(2, 4);
+      } else {
+        stage.kind = StagePlan::kMap;
+        stage.a = rng.UniformInt(1, 50);
+      }
+      stages.push_back(stage);
+    }
+  };
+  stateless(plan.prefix, 2);
+  stateless(plan.suffix, 2);
+  plan.ws = rng.UniformInt(2, 5) * 2;
+  plan.wa = rng.Bernoulli(0.5) ? plan.ws : plan.ws / 2;
+  return plan;
+}
+
+struct ParallelFuzzResult {
+  std::vector<std::string> sink;             // emission order
+  std::vector<CanonicalRecord> records;      // sorted canonically
+  bool operator==(const ParallelFuzzResult&) const = default;
+};
+
+// shards == 0 builds the single-instance reference (a plain Aggregate node);
+// shards >= 1 routes the same aggregation through KeyBy/Parallel.
+ParallelFuzzResult RunFluentParallel(const ParallelFuzzPlan& plan,
+                                     uint64_t seed, int shards,
+                                     size_t batch_size,
+                                     SchedulerMode scheduler,
+                                     size_t workers) {
+  ParallelFuzzResult out;
+  DataflowOptions opts;
+  opts.mode = ProvenanceMode::kGenealog;
+  opts.engine.batch_size = batch_size;
+  opts.engine.scheduler = scheduler;
+  if (workers > 0) opts.engine.workers = workers;
+  opts.provenance_consumer = [&out](const ProvenanceRecord& r) {
+    out.records.push_back(Canonicalize(r));
+  };
+  Dataflow df(std::move(opts));
+  Stream<KeyedTuple> head = df.Source<KeyedTuple>("source", MakeInput(seed));
+  int idx = 0;
+  auto apply = [&head, &idx](const std::vector<StagePlan>& stages) {
+    for (const StagePlan& stage : stages) {
+      const std::string name = "stage" + std::to_string(idx++);
+      if (stage.kind == StagePlan::kFilter) {
+        head = head.Filter(name, [m = stage.a](const KeyedTuple& t) {
+          return (t.key + t.ts) % m != 0;
+        });
+      } else {
+        head = head.Map<KeyedTuple>(
+            name,
+            [c = stage.a](const KeyedTuple& in, MapCollector<KeyedTuple>& emit) {
+              const double value = in.value + static_cast<double>(c);
+              emit.Emit(MakeTuple<KeyedTuple>(0, in.key, value));
+            });
+      }
+    }
+  };
+  apply(plan.prefix);
+  const auto key_fn = [](const KeyedTuple& t) { return t.key; };
+  const auto combiner = [](const WindowView<KeyedTuple, int64_t>& w) {
+    double sum = 0;
+    for (const auto& t : w.tuples) sum += t->value;
+    return MakeTuple<KeyedTuple>(0, w.key, sum);
+  };
+  const AggregateOptions agg_options{plan.ws, plan.wa};
+  if (shards == 0) {
+    head = head.Aggregate<KeyedTuple>("agg", agg_options, key_fn, combiner);
+  } else {
+    head = head.KeyBy(key_fn).Parallel(shards).Aggregate<KeyedTuple>(
+        "agg", agg_options, combiner);
+  }
+  apply(plan.suffix);
+  head.Sink("sink", [&out](const TuplePtr& t) {
+    out.sink.push_back(std::to_string(t->ts) + "|" + t->DebugPayload());
+  });
+  BuiltDataflow flow = df.Build();
+  flow.Run();
+  std::sort(out.records.begin(), out.records.end());
+  return out;
+}
+
+// Every shard count, scheduler and batch size must reproduce the
+// single-instance plan exactly: emission-order-identical sink stream,
+// identical canonical provenance records.
+TEST_P(RandomPipelineFuzzTest, FluentParallelStageMatchesSingleInstance) {
+  const uint64_t seed = GetParam();
+  const ParallelFuzzPlan plan = MakeParallelFuzzPlan(seed);
+  const ParallelFuzzResult reference = RunFluentParallel(
+      plan, seed, /*shards=*/0, /*batch_size=*/1,
+      SchedulerMode::kThreadPerNode, /*workers=*/0);
+  if (reference.sink.empty()) {
+    GTEST_LOG_(INFO) << "seed " << seed << " produced no sink tuples";
+  }
+  for (const int shards : {1, 2, 4}) {
+    for (const SchedulerMode scheduler :
+         {SchedulerMode::kThreadPerNode, SchedulerMode::kPool}) {
+      for (const size_t batch : {size_t{1}, size_t{64}}) {
+        const ParallelFuzzResult got =
+            RunFluentParallel(plan, seed, shards, batch, scheduler,
+                              scheduler == SchedulerMode::kPool ? 3 : 0);
+        EXPECT_EQ(got, reference)
+            << "seed " << seed << " shards " << shards << " pool "
+            << (scheduler == SchedulerMode::kPool) << " batch " << batch;
+      }
+    }
+  }
+}
 
 }  // namespace
 }  // namespace genealog

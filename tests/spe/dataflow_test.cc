@@ -293,6 +293,99 @@ TEST(DataflowTest, SingleProducerEdgesUpgradeToSpscRing) {
   EXPECT_EQ(flow2.sink()->count(), 8u);
 }
 
+// --- parallel stages --------------------------------------------------------
+
+std::vector<IntrusivePtr<KeyedTuple>> Keyed(int n, int n_keys) {
+  std::vector<IntrusivePtr<KeyedTuple>> out;
+  for (int i = 0; i < n; ++i) {
+    out.push_back(MakeTuple<KeyedTuple>(i, i % n_keys, 1.0));
+  }
+  return out;
+}
+
+AggregateCombiner<KeyedTuple, KeyedTuple, int64_t> SumPerKey() {
+  return [](const WindowView<KeyedTuple, int64_t>& w) {
+    double sum = 0;
+    for (const auto& t : w.tuples) sum += t->value;
+    return MakeTuple<KeyedTuple>(0, w.key, sum);
+  };
+}
+
+// When the merged stream feeds the sink directly (GL, intra, fused
+// unfolders), each replica gets its own SU: the provenance traversal runs
+// inside the shards and the single Theorem 5.3 SU disappears.
+TEST(DataflowTest, GenealogWeavesPerReplicaSusWhenParallelStageFeedsSink) {
+  DataflowOptions opts;
+  opts.mode = ProvenanceMode::kGenealog;
+  Dataflow df(std::move(opts));
+  df.Source<KeyedTuple>("src", Keyed(12, 4))
+      .KeyBy([](const KeyedTuple& t) { return t.key; })
+      .Parallel(3)
+      .Aggregate<KeyedTuple>("par", AggregateOptions{4, 4}, SumPerKey())
+      .Sink("k");
+  BuiltDataflow flow = df.Build();
+  ASSERT_EQ(flow.topologies.size(), 1u);
+  const Topology& topo = *flow.topologies[0];
+  EXPECT_TRUE(HasNode(topo, "par.partition"));
+  EXPECT_TRUE(HasNode(topo, "par.merge"));
+  EXPECT_TRUE(HasNode(topo, "par.u_merge"));
+  ASSERT_EQ(flow.su_nodes.size(), 3u);  // one per replica ...
+  EXPECT_TRUE(HasNode(topo, "SU.par0"));
+  EXPECT_TRUE(HasNode(topo, "SU.par2"));
+  EXPECT_FALSE(HasNode(topo, "SU"));  // ... instead of one after the merge
+  flow.Run();
+  // 12 tuples, 4 keys, tumbling 4-wide windows: one output per key per
+  // window, each derived from exactly one source tuple.
+  EXPECT_EQ(flow.sink()->count(), 12u);
+  EXPECT_EQ(flow.provenance_records(), 12u);
+  EXPECT_DOUBLE_EQ(flow.mean_origins_per_record(), 1.0);
+}
+
+// Any consumer between the merge and the sink keeps the single woven SU: the
+// per-replica placement is an optimization, not a semantic change.
+TEST(DataflowTest, GenealogKeepsSingleSuWhenParallelStageIsNotLast) {
+  DataflowOptions opts;
+  opts.mode = ProvenanceMode::kGenealog;
+  Dataflow df(std::move(opts));
+  df.Source<KeyedTuple>("src", Keyed(12, 4))
+      .KeyBy([](const KeyedTuple& t) { return t.key; })
+      .Parallel(2)
+      .Aggregate<KeyedTuple>("par", AggregateOptions{4, 4}, SumPerKey())
+      .Filter("keep", [](const KeyedTuple&) { return true; })
+      .Sink("k");
+  BuiltDataflow flow = df.Build();
+  ASSERT_EQ(flow.su_nodes.size(), 1u);
+  EXPECT_TRUE(HasNode(*flow.topologies[0], "SU"));
+  EXPECT_FALSE(HasNode(*flow.topologies[0], "SU.par0"));
+  flow.Run();
+  EXPECT_EQ(flow.sink()->count(), 12u);
+  EXPECT_EQ(flow.provenance_records(), 12u);
+}
+
+// A parallel stage honors .At(n) deployment cuts like any other operator;
+// distributed builds fall back to the merge-then-SU placement (the cut SU
+// and the sink SU, exactly as in the single-instance plan).
+TEST(DataflowTest, ParallelStageHonorsDeploymentCut) {
+  DataflowOptions opts;
+  opts.mode = ProvenanceMode::kGenealog;
+  Dataflow df(std::move(opts));
+  df.Source<KeyedTuple>("src", Keyed(12, 4))
+      .At(2)
+      .KeyBy([](const KeyedTuple& t) { return t.key; })
+      .Parallel(2)
+      .Aggregate<KeyedTuple>("par", AggregateOptions{4, 4}, SumPerKey())
+      .Sink("k");
+  BuiltDataflow flow = df.Build();
+  ASSERT_EQ(flow.topologies.size(), 3u);  // 2 processing + provenance
+  EXPECT_TRUE(HasNode(*flow.topologies[1], "par.partition"));
+  EXPECT_TRUE(HasNode(*flow.topologies[1], "par.merge"));
+  EXPECT_FALSE(HasNode(*flow.topologies[1], "SU.par0"));
+  EXPECT_EQ(flow.su_nodes.size(), 2u);  // cut + sink
+  flow.Run();
+  EXPECT_EQ(flow.sink()->count(), 12u);
+  EXPECT_EQ(flow.provenance_records(), 12u);
+}
+
 // --- validation -------------------------------------------------------------
 
 TEST(DataflowTest, RejectsUnconsumedAndDoublyConsumedStreams) {
@@ -318,6 +411,58 @@ TEST(DataflowTest, RejectsMultipleSinksInProvenanceModes) {
   taps[0].Sink("k1");
   taps[1].Sink("k2");
   EXPECT_THROW(df.Build(), std::logic_error);
+}
+
+TEST(DataflowTest, ParallelRejectsNonPositiveShardCounts) {
+  Dataflow df;
+  auto keyed = df.Source<KeyedTuple>("src", Keyed(4, 2))
+                   .KeyBy([](const KeyedTuple& t) { return t.key; });
+  EXPECT_THROW(keyed.Parallel(0), std::logic_error);
+  EXPECT_THROW(keyed.Parallel(-3), std::logic_error);
+  keyed.Parallel(2)
+      .Aggregate<KeyedTuple>("par", AggregateOptions{4, 4}, SumPerKey())
+      .Sink("k");
+  df.Build().Run();
+}
+
+// The N-chain safety argument only covers a key-partitioned stage that is
+// the last stateful step before the sink: a second stateful consumer after
+// the merge would observe the interleaved stream, so validation rejects it.
+TEST(DataflowTest, RejectsStatefulConsumerDownstreamOfParallelStage) {
+  {
+    Dataflow df;
+    df.Source<KeyedTuple>("src", Keyed(8, 2))
+        .KeyBy([](const KeyedTuple& t) { return t.key; })
+        .Parallel(2)
+        .Aggregate<KeyedTuple>("par", AggregateOptions{4, 4}, SumPerKey())
+        .Aggregate<KeyedTuple>("agg2", AggregateOptions{8, 8},
+                               [](const KeyedTuple& t) { return t.key; },
+                               SumPerKey())
+        .Sink("k");
+    EXPECT_THROW(df.Build(), std::logic_error);
+  }
+  {
+    // Also rejected through intervening stateless operators.
+    Dataflow df;
+    auto merged = df.Source<KeyedTuple>("src", Keyed(8, 2))
+                      .KeyBy([](const KeyedTuple& t) { return t.key; })
+                      .Parallel(2)
+                      .Aggregate<KeyedTuple>("par", AggregateOptions{4, 4},
+                                             SumPerKey())
+                      .Filter("keep", [](const KeyedTuple&) { return true; });
+    auto other = df.Source<KeyedTuple>("src2", Keyed(8, 2));
+    merged
+        .Join<KeyedTuple>("join", other, JoinOptions{4},
+                          [](const KeyedTuple& l, const KeyedTuple& r) {
+                            return l.key == r.key;
+                          },
+                          [](const KeyedTuple& l, const KeyedTuple& r) {
+                            return MakeTuple<KeyedTuple>(0, l.key,
+                                                         l.value + r.value);
+                          })
+        .Sink("k");
+    EXPECT_THROW(df.Build(), std::logic_error);
+  }
 }
 
 TEST(DataflowTest, RejectsEmptyPlanAndDoubleBuild) {

@@ -83,9 +83,9 @@ TEST_P(ParallelAggregateTest, SameResultsAsSingleInstance) {
   auto reference = RunCountQuery(0, ProvenanceMode::kNone);
   auto parallel = RunCountQuery(GetParam(), ProvenanceMode::kNone);
   ASSERT_FALSE(reference.empty());
-  // The merged order interleaves partitions; compare canonically.
-  std::sort(reference.begin(), reference.end());
-  std::sort(parallel.begin(), parallel.end());
+  // Emission-order identical, not just canonically equal: the KeyedMergeNode
+  // re-sorts each watermark-complete slice by (ts, group key), which is
+  // exactly the single instance's (fire_at, key) heap order.
   EXPECT_EQ(parallel, reference);
 }
 
@@ -123,6 +123,67 @@ TEST_P(ParallelAggregateTest, ProvenanceWorksInsidePartitions) {
 
 INSTANTIATE_TEST_SUITE_P(Parallelism, ParallelAggregateTest,
                          ::testing::Values(1, 2, 3, 4, 8));
+
+// The routing function is part of the determinism contract: a merged parallel
+// stage only reproduces the single-instance emission order if every replica
+// sees exactly the keys the plan says it sees, on every run, at every batch
+// size. Pin the SplitMix64-finalized assignment to golden values so a silent
+// change to the hash (or the modulo) fails loudly instead of as a reshuffle.
+TEST(KeyPartitionTest, PartitionAssignmentIsPinned) {
+  using P = KeyPartitionNode<KeyedTuple>;
+  // shards=1 is the identity regardless of hash.
+  for (uint64_t k = 0; k < 100; ++k) EXPECT_EQ(P::PartitionOf(k, 1), 0u);
+  // Golden SplitMix64-finalizer assignments for keys 0..7.
+  constexpr size_t kMod3[] = {0, 1, 1, 2, 2, 0, 1, 1};
+  constexpr size_t kMod4[] = {0, 1, 2, 0, 0, 0, 0, 0};
+  for (uint64_t k = 0; k < 8; ++k) {
+    EXPECT_EQ(P::PartitionOf(k, 3), kMod3[k]) << "key " << k;
+    EXPECT_EQ(P::PartitionOf(k, 4), kMod4[k]) << "key " << k;
+  }
+  // Spot-check the finalized value itself (key 1) so the constants above
+  // can't drift together with a changed mixer.
+  constexpr uint64_t kMixOfOne = 6238072747940578789ULL;
+  EXPECT_EQ(P::PartitionOf(1, kMixOfOne + 1), kMixOfOne);
+}
+
+// Routing must be invisible to the data-plane batch size: the whole-chunk
+// OnBatch path and the per-tuple OnTuple path are the same function.
+TEST(KeyPartitionTest, BatchSizeDoesNotChangeRouting) {
+  auto run = [](size_t batch) {
+    Topology topo;
+    topo.set_default_batch_size(batch);
+    auto* source =
+        topo.Add<VectorSourceNode<KeyedTuple>>("src", RandomKeyed(9, 300, 12));
+    auto* partition = topo.Add<KeyPartitionNode<KeyedTuple>>(
+        "part",
+        [](const KeyedTuple& t) { return static_cast<uint64_t>(t.key); });
+    std::vector<Collector> sinks(3);
+    topo.Connect(source, partition);
+    for (int i = 0; i < 3; ++i) {
+      topo.Connect(partition,
+                   sinks[i].AttachSink(topo, "s" + std::to_string(i)));
+    }
+    RunToCompletion(topo);
+    std::vector<std::vector<Row>> out(3);
+    for (int i = 0; i < 3; ++i) {
+      for (const auto& t : sinks[i].tuples()) {
+        const auto& k = static_cast<const KeyedTuple&>(*t);
+        out[i].push_back(Row{t->ts, k.key, k.value});
+        // Every tuple sits exactly where PartitionOf says it must.
+        EXPECT_EQ(KeyPartitionNode<KeyedTuple>::PartitionOf(
+                      static_cast<uint64_t>(k.key), 3),
+                  static_cast<size_t>(i));
+      }
+    }
+    return out;
+  };
+  const auto reference = run(1);
+  size_t total = 0;
+  for (const auto& shard : reference) total += shard.size();
+  EXPECT_EQ(total, 300u);
+  EXPECT_EQ(run(64), reference);
+  EXPECT_EQ(run(7), reference);  // ragged chunk boundaries
+}
 
 TEST(KeyPartitionTest, EachKeyStaysOnOnePartition) {
   Topology topo;
