@@ -85,6 +85,10 @@ int Main() {
     std::printf("%-4s %-3s | %12.0f\n", row.query.c_str(), row.variant.c_str(),
                 row.network_bytes.mean);
   }
+  std::printf("\n%s", metrics::RenderWireTable(rows).c_str());
+  std::printf(
+      "(GENEALOG_WIRE_CODEC=compact delta/dictionary-encodes the frames;\n"
+      " raw equals wire under the default raw codec.)\n");
   std::printf(
       "\nExpected shape (paper): GL within ~3-10%% of NP; the third instance\n"
       "adds memory; BL additionally ships the entire source stream to the\n"

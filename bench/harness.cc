@@ -111,6 +111,10 @@ CellMetrics RunCell(const QueryFactory& factory) {
     cell.mean_origins = q.baseline_resolver->mean_origins_per_record();
   }
   cell.network_bytes = q.network_bytes();
+  const WireStats wire = q.wire_stats();
+  cell.wire_frames = wire.frames;
+  cell.wire_raw_bytes = wire.raw_bytes;
+  cell.wire_encoded_bytes = wire.encoded_bytes;
   for (SuNode* su : q.su_nodes) {
     cell.traversal_ms_by_instance.emplace_back(su->instance_id(),
                                                su->mean_traversal_ms());
@@ -132,6 +136,9 @@ metrics::QueryVariantResult AggregateCell(const std::string& query,
   RunStats records;
   RunStats prov_bytes;
   RunStats net_bytes;
+  RunStats wire_frames;
+  RunStats wire_raw;
+  RunStats wire_encoded;
   std::vector<RunStats> per_instance_avg;
   std::vector<RunStats> per_instance_max;
 
@@ -145,6 +152,9 @@ metrics::QueryVariantResult AggregateCell(const std::string& query,
     records.Add(static_cast<double>(cell.provenance_records));
     prov_bytes.Add(static_cast<double>(cell.provenance_bytes));
     net_bytes.Add(static_cast<double>(cell.network_bytes));
+    wire_frames.Add(static_cast<double>(cell.wire_frames));
+    wire_raw.Add(static_cast<double>(cell.wire_raw_bytes));
+    wire_encoded.Add(static_cast<double>(cell.wire_encoded_bytes));
     per_instance_avg.resize(
         std::max(per_instance_avg.size(), cell.per_instance_avg_mb.size()));
     per_instance_max.resize(
@@ -168,6 +178,9 @@ metrics::QueryVariantResult AggregateCell(const std::string& query,
   row.provenance_records = ToCell(records);
   row.provenance_bytes = ToCell(prov_bytes);
   row.network_bytes = ToCell(net_bytes);
+  row.wire_frames = ToCell(wire_frames);
+  row.wire_raw_bytes = ToCell(wire_raw);
+  row.wire_encoded_bytes = ToCell(wire_encoded);
   row.source_bytes =
       metrics::CellStats{static_cast<double>(source_bytes), 0, 1};
   for (const auto& s : per_instance_avg) {
@@ -212,6 +225,9 @@ CellMetrics MeanCells(const std::vector<CellMetrics>& cells) {
   uint64_t provenance_records = 0;
   uint64_t provenance_bytes = 0;
   uint64_t network_bytes = 0;
+  uint64_t wire_frames = 0;
+  uint64_t wire_raw_bytes = 0;
+  uint64_t wire_encoded_bytes = 0;
   for (const CellMetrics& c : cells) {
     mean.throughput_tps += c.throughput_tps / n;
     mean.latency_ms += c.latency_ms / n;
@@ -224,11 +240,17 @@ CellMetrics MeanCells(const std::vector<CellMetrics>& cells) {
     provenance_records += c.provenance_records;
     provenance_bytes += c.provenance_bytes;
     network_bytes += c.network_bytes;
+    wire_frames += c.wire_frames;
+    wire_raw_bytes += c.wire_raw_bytes;
+    wire_encoded_bytes += c.wire_encoded_bytes;
   }
   mean.sink_tuples = sink_tuples / cells.size();
   mean.provenance_records = provenance_records / cells.size();
   mean.provenance_bytes = provenance_bytes / cells.size();
   mean.network_bytes = network_bytes / cells.size();
+  mean.wire_frames = wire_frames / cells.size();
+  mean.wire_raw_bytes = wire_raw_bytes / cells.size();
+  mean.wire_encoded_bytes = wire_encoded_bytes / cells.size();
   // Traversal stats: averaged per SU position (the instance layout is the
   // same across repetitions of one cell).
   mean.traversal_ms_by_instance = cells.front().traversal_ms_by_instance;
@@ -259,8 +281,11 @@ void WriteBenchJson(const std::string& bench, const BenchEnv& env,
   }
   std::fprintf(f,
                "{\n  \"bench\": \"%s\",\n  \"reps\": %d,\n"
-               "  \"scale\": %g,\n  \"replays\": %d,\n  ",
-               bench.c_str(), env.reps, env.scale, env.replays);
+               "  \"scale\": %g,\n  \"replays\": %d,\n"
+               "  \"wire_codec\": \"%s\",\n  \"wire_block_compress\": %s,\n  ",
+               bench.c_str(), env.reps, env.scale, env.replays,
+               env.engine.wire_codec == WireCodec::kCompact ? "compact" : "raw",
+               env.engine.wire_block_compress ? "true" : "false");
   WritePoolStatsFields(f);
   std::fprintf(f, ",\n  \"rows\": [\n");
   for (size_t i = 0; i < rows.size(); ++i) {
@@ -274,6 +299,8 @@ void WriteBenchJson(const std::string& bench, const BenchEnv& env,
         "\"avg_mem_mb\": %.2f, \"max_mem_mb\": %.2f, "
         "\"sink_tuples\": %llu, \"provenance_records\": %llu, "
         "\"provenance_bytes\": %llu, \"network_bytes\": %llu, "
+        "\"wire_frames\": %llu, \"wire_raw_bytes\": %llu, "
+        "\"wire_encoded_bytes\": %llu, "
         "\"traversal\": [",
         r.query.c_str(), r.variant.c_str(), r.deployment.c_str(), r.batch_size,
         r.reps, r.mean.throughput_tps, r.mean.latency_ms, r.mean.latency_p50_ms,
@@ -281,7 +308,10 @@ void WriteBenchJson(const std::string& bench, const BenchEnv& env,
         static_cast<unsigned long long>(r.mean.sink_tuples),
         static_cast<unsigned long long>(r.mean.provenance_records),
         static_cast<unsigned long long>(r.mean.provenance_bytes),
-        static_cast<unsigned long long>(r.mean.network_bytes));
+        static_cast<unsigned long long>(r.mean.network_bytes),
+        static_cast<unsigned long long>(r.mean.wire_frames),
+        static_cast<unsigned long long>(r.mean.wire_raw_bytes),
+        static_cast<unsigned long long>(r.mean.wire_encoded_bytes));
     for (size_t t = 0; t < r.mean.traversal_ms_by_instance.size(); ++t) {
       const double graph =
           t < r.mean.graph_size_by_instance.size()

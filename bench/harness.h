@@ -106,6 +106,11 @@ struct CellMetrics {
   uint64_t provenance_bytes = 0;
   double mean_origins = 0;
   uint64_t network_bytes = 0;
+  // Wire-codec accounting (net/frame.h WireStats): frames shipped, the bytes
+  // the raw codec would have cost, and the bytes actually on the wire.
+  uint64_t wire_frames = 0;
+  uint64_t wire_raw_bytes = 0;
+  uint64_t wire_encoded_bytes = 0;
   // Traversal stats per SU, keyed by instance id (Figure 14).
   std::vector<std::pair<int, double>> traversal_ms_by_instance;
   std::vector<std::pair<int, double>> graph_size_by_instance;

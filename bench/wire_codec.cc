@@ -1,0 +1,321 @@
+// Wire-codec micro + end-to-end bytes-on-wire bench.
+//
+// Part 1 (micro): a synthetic GL U stream — UnfoldedTuples pairing an
+// aggregate output with its originating position reports, ids shaped like
+// the instrumented engine's (node uid high 24 bits | sequence low 40) — is
+// pushed through FrameEncoder/FrameDecoder per codec, measuring encode and
+// decode ns/tuple and bytes-on-wire.
+//
+// Part 2 (end-to-end): Q1 in the paper's distributed GL deployment runs once
+// per codec; the per-channel WireStats give total and U-stream bytes-on-wire,
+// and the provenance files of the two runs are compared canonically — the
+// compact codec must be invisible in the decoded provenance. Results land in
+// BENCH_wire.json (CI bench-smoke gates on the U-stream ratio).
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+#include "common/wall_clock.h"
+#include "genealog/unfolded.h"
+#include "net/frame.h"
+
+namespace genealog::bench {
+namespace {
+
+std::vector<TuplePtr> MakeUStream(const lr::LinearRoadData& data, size_t n) {
+  // Derived tuples come from a handful of "nodes" (uids), origins from
+  // another — the shape the per-uid delta coder sees in a real deployment.
+  constexpr uint64_t kDerivedUid = 12;
+  constexpr uint64_t kOriginUid = 7;
+  std::vector<TuplePtr> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const auto& report = data.reports[i % data.reports.size()];
+    auto u = MakeTuple<UnfoldedTuple>(report->ts);
+    auto derived = MakeTuple<lr::StoppedCarStats>(report->ts, report->car_id,
+                                                  4, report->pos, report->pos);
+    derived->id = (kDerivedUid << 40) | (i / 4 + 1);
+    derived->kind = TupleKind::kAggregate;
+    auto origin = MakeTuple<lr::PositionReport>(report->ts, report->car_id,
+                                                report->speed, report->pos);
+    origin->id = (kOriginUid << 40) | (i + 1);
+    u->derived = derived;
+    u->derived_id = derived->id;
+    u->derived_ts = derived->ts;
+    u->origin = origin;
+    u->origin_id = origin->id;
+    u->origin_ts = origin->ts;
+    u->origin_kind = TupleKind::kSource;
+    u->id = (kDerivedUid << 40) | (i + 1);
+    u->kind = TupleKind::kMultiplex;
+    u->stimulus = report->ts * 1000;
+    out.push_back(u);
+  }
+  return out;
+}
+
+struct MicroResult {
+  double encode_ns_per_tuple = 0;
+  double decode_ns_per_tuple = 0;
+  uint64_t raw_bytes = 0;
+  uint64_t encoded_bytes = 0;
+
+  double ratio() const {
+    return encoded_bytes == 0
+               ? 1.0
+               : static_cast<double>(raw_bytes) /
+                     static_cast<double>(encoded_bytes);
+  }
+};
+
+MicroResult RunMicro(const WireCodecOptions& opts,
+                     const std::vector<TuplePtr>& u, size_t batch_size) {
+  FrameEncoder encoder(opts);
+  std::vector<std::vector<uint8_t>> frames;
+  const int64_t enc_start = NowNanos();
+  for (size_t i = 0; i < u.size(); i += batch_size) {
+    const size_t n = std::min(batch_size, u.size() - i);
+    for (auto& frame : encoder.EncodeBatch(
+             std::span<const TuplePtr>(u.data() + i, n),
+             /*watermark=*/u[i + n - 1]->ts, /*remotify=*/true)) {
+      frames.push_back(std::move(frame));
+    }
+  }
+  const int64_t enc_end = NowNanos();
+
+  FrameDecoder decoder;
+  size_t decoded = 0;
+  const int64_t dec_start = NowNanos();
+  for (const auto& frame : frames) {
+    DecodedFrame d = decoder.Decode(frame);
+    decoded += d.kind == FrameKind::kTuple ? 1 : d.tuples.size();
+  }
+  const int64_t dec_end = NowNanos();
+  if (decoded != u.size()) {
+    std::fprintf(stderr, "round-trip mismatch: %zu != %zu\n", decoded,
+                 u.size());
+    std::exit(1);
+  }
+
+  MicroResult r;
+  const double n = static_cast<double>(u.size());
+  r.encode_ns_per_tuple = static_cast<double>(enc_end - enc_start) / n;
+  r.decode_ns_per_tuple = static_cast<double>(dec_end - dec_start) / n;
+  r.raw_bytes = encoder.stats().raw_bytes;
+  r.encoded_bytes = encoder.stats().encoded_bytes;
+  return r;
+}
+
+struct E2eResult {
+  WireStats total;
+  WireStats u_stream;  // channels named send.U* (the GL provenance streams)
+  std::vector<uint8_t> canonical_provenance;
+};
+
+// Canonical provenance-file bytes (the bench-side mirror of the test
+// helper): ids and stimuli masked, origins and records sorted, so two runs
+// of the same logical query compare equal exactly when the decoded
+// provenance matches.
+std::vector<uint8_t> CanonicalProvenance(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return {};
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  std::vector<uint8_t> bytes(static_cast<size_t>(size));
+  if (std::fread(bytes.data(), 1, bytes.size(), f) != bytes.size()) {
+    std::fclose(f);
+    return {};
+  }
+  std::fclose(f);
+
+  const auto mask_and_serialize = [](const TuplePtr& t, ByteWriter& w) {
+    t->id = 0;
+    t->stimulus = 0;
+    SerializeTuple(*t, w);
+  };
+  std::vector<std::vector<uint8_t>> records;
+  ByteReader reader(bytes);
+  while (!reader.AtEnd()) {
+    TuplePtr derived = DeserializeTuple(reader);
+    const uint32_t n = reader.GetU32();
+    std::vector<std::vector<uint8_t>> origins;
+    ByteWriter w;
+    for (uint32_t i = 0; i < n; ++i) {
+      w.Clear();
+      mask_and_serialize(DeserializeTuple(reader), w);
+      origins.emplace_back(w.bytes().begin(), w.bytes().end());
+    }
+    std::sort(origins.begin(), origins.end());
+    w.Clear();
+    mask_and_serialize(derived, w);
+    w.PutU32(n);
+    std::vector<uint8_t> record(w.bytes().begin(), w.bytes().end());
+    for (const auto& o : origins) {
+      record.insert(record.end(), o.begin(), o.end());
+    }
+    records.push_back(std::move(record));
+  }
+  std::sort(records.begin(), records.end());
+  std::vector<uint8_t> canonical;
+  for (const auto& r : records) {
+    canonical.insert(canonical.end(), r.begin(), r.end());
+  }
+  return canonical;
+}
+
+E2eResult RunQ1Distributed(const BenchEnv& env, const LrWorkload& lr,
+                           WireCodec codec, const std::string& prov_file) {
+  queries::QueryBuildOptions options;
+  options.mode = ProvenanceMode::kGenealog;
+  options.distributed = true;
+  options.engine() = env.engine;
+  options.wire_codec = codec;
+  options.provenance_file = prov_file;
+  ApplyReplays(options, env.replays, lr.span_s);
+  queries::BuiltQuery q = queries::BuildQ1(lr.data, std::move(options));
+  q.Run();
+
+  E2eResult r;
+  r.total = q.wire_stats();
+  for (const SendNode* s : q.send_nodes) {
+    if (s->name().rfind("send.U", 0) == 0) r.u_stream += s->wire_stats();
+  }
+  r.canonical_provenance = CanonicalProvenance(prov_file);
+  return r;
+}
+
+int Main() {
+  const BenchEnv env = ReadBenchEnv();
+  std::printf(
+      "GeneaLog reproduction — wire codec (compact vs raw bytes-on-wire)\n"
+      "reps=%d scale=%.2f replays=%d batch=%zu\n\n",
+      env.reps, env.scale, env.replays, env.engine.batch_size);
+
+  const LrWorkload lr = MakeLrWorkload(env.scale);
+
+  // --- micro: synthetic U stream through the codecs -------------------------
+  const size_t micro_tuples = 20'000;
+  const size_t batch = std::max<size_t>(env.engine.batch_size, 1);
+  const std::vector<TuplePtr> u = MakeUStream(lr.data, micro_tuples);
+
+  struct MicroRow {
+    const char* name;
+    WireCodecOptions opts;
+    MicroResult result;
+  };
+  std::vector<MicroRow> micro = {
+      {"raw", {WireCodec::kRaw, false}, {}},
+      {"compact", {WireCodec::kCompact, false}, {}},
+      {"compact+lz", {WireCodec::kCompact, true}, {}},
+  };
+  std::printf("U-stream micro (%zu tuples, batch %zu)\n", micro_tuples, batch);
+  std::printf("---------------------------------------------------------\n");
+  for (MicroRow& row : micro) {
+    // Warm-up pass (page-in, dictionaries), then the measured pass.
+    RunMicro(row.opts, u, batch);
+    row.result = RunMicro(row.opts, u, batch);
+    std::printf(
+        "%-10s | encode %7.1f ns/t | decode %7.1f ns/t | %9llu B | %5.2fx\n",
+        row.name, row.result.encode_ns_per_tuple,
+        row.result.decode_ns_per_tuple,
+        static_cast<unsigned long long>(row.result.encoded_bytes),
+        row.result.ratio());
+  }
+
+  // --- end-to-end: Q1 distributed GL, raw vs compact ------------------------
+  const std::string dir = env.json_dir.empty() ? "." : env.json_dir;
+  const std::string prov_raw = dir + "/BENCH_wire_prov_raw.bin";
+  const std::string prov_compact = dir + "/BENCH_wire_prov_compact.bin";
+  std::printf("\nQ1 distributed GL, end to end\n");
+  std::printf("---------------------------------------------------------\n");
+  const E2eResult raw = RunQ1Distributed(env, lr, WireCodec::kRaw, prov_raw);
+  const E2eResult compact =
+      RunQ1Distributed(env, lr, WireCodec::kCompact, prov_compact);
+  const bool identical =
+      !raw.canonical_provenance.empty() &&
+      raw.canonical_provenance == compact.canonical_provenance;
+  const double u_ratio =
+      compact.u_stream.encoded_bytes == 0
+          ? 1.0
+          : static_cast<double>(raw.u_stream.encoded_bytes) /
+                static_cast<double>(compact.u_stream.encoded_bytes);
+  std::printf("codec    | total wire %12llu B | U stream %12llu B\n",
+              static_cast<unsigned long long>(raw.total.encoded_bytes),
+              static_cast<unsigned long long>(raw.u_stream.encoded_bytes));
+  std::printf("compact  | total wire %12llu B | U stream %12llu B\n",
+              static_cast<unsigned long long>(compact.total.encoded_bytes),
+              static_cast<unsigned long long>(compact.u_stream.encoded_bytes));
+  std::printf("U-stream bytes-on-wire reduction: %.2fx (target >= 2x)\n",
+              u_ratio);
+  std::printf("decoded provenance canonical-identical across codecs: %s\n",
+              identical ? "yes" : "NO");
+  std::remove(prov_raw.c_str());
+  std::remove(prov_compact.c_str());
+
+  // --- BENCH_wire.json ------------------------------------------------------
+  if (!env.json_dir.empty()) {
+    const std::string path = env.json_dir + "/BENCH_wire.json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", path.c_str());
+      return 1;
+    }
+    std::fprintf(f,
+                 "{\n  \"bench\": \"wire\",\n  \"reps\": %d,\n"
+                 "  \"scale\": %g,\n  \"replays\": %d,\n"
+                 "  \"batch_size\": %zu,\n  \"micro\": [\n",
+                 env.reps, env.scale, env.replays, batch);
+    for (size_t i = 0; i < micro.size(); ++i) {
+      const MicroRow& row = micro[i];
+      std::fprintf(f,
+                   "    {\"codec\": \"%s\", \"encode_ns_per_tuple\": %.2f, "
+                   "\"decode_ns_per_tuple\": %.2f, \"raw_bytes\": %llu, "
+                   "\"encoded_bytes\": %llu, \"ratio\": %.3f}%s\n",
+                   row.name, row.result.encode_ns_per_tuple,
+                   row.result.decode_ns_per_tuple,
+                   static_cast<unsigned long long>(row.result.raw_bytes),
+                   static_cast<unsigned long long>(row.result.encoded_bytes),
+                   row.result.ratio(), i + 1 < micro.size() ? "," : "");
+    }
+    std::fprintf(
+        f,
+        "  ],\n  \"q1_dist_gl\": {\n"
+        "    \"raw\": {\"wire_frames\": %llu, \"total_bytes\": %llu, "
+        "\"u_stream_bytes\": %llu},\n"
+        "    \"compact\": {\"wire_frames\": %llu, \"total_bytes\": %llu, "
+        "\"u_stream_bytes\": %llu},\n"
+        "    \"u_stream_reduction\": %.3f,\n"
+        "    \"provenance_identical\": %s\n  }\n}\n",
+        static_cast<unsigned long long>(raw.total.frames),
+        static_cast<unsigned long long>(raw.total.encoded_bytes),
+        static_cast<unsigned long long>(raw.u_stream.encoded_bytes),
+        static_cast<unsigned long long>(compact.total.frames),
+        static_cast<unsigned long long>(compact.total.encoded_bytes),
+        static_cast<unsigned long long>(compact.u_stream.encoded_bytes),
+        u_ratio, identical ? "true" : "false");
+    std::fclose(f);
+    std::printf("wrote %s\n", path.c_str());
+  }
+
+  if (!identical) {
+    std::fprintf(stderr,
+                 "FAIL: compact codec changed the decoded provenance\n");
+    return 1;
+  }
+  if (u_ratio < 2.0) {
+    std::fprintf(stderr,
+                 "FAIL: U-stream reduction %.2fx below the 2x target\n",
+                 u_ratio);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace genealog::bench
+
+int main() { return genealog::bench::Main(); }

@@ -1,0 +1,53 @@
+#include "common/cpu_topology.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+#include <thread>
+#include <utility>
+
+namespace genealog {
+namespace {
+
+// Reads a small integer file ("3\n"); returns false when the file is absent
+// or not a number.
+bool ReadIntFile(const std::string& path, long& out) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return false;
+  char buf[64];
+  const size_t n = std::fread(buf, 1, sizeof(buf) - 1, f);
+  std::fclose(f);
+  buf[n] = '\0';
+  char* end = nullptr;
+  out = std::strtol(buf, &end, 10);
+  return end != buf;
+}
+
+}  // namespace
+
+size_t CountPhysicalCores(const std::string& sysfs_cpu_root) {
+  // cpuN directories are dense from 0 on Linux; walk until the first gap
+  // rather than reading the directory, which keeps the probe dependency-free
+  // and makes the mocked-layout test trivial.
+  std::set<std::pair<long, long>> cores;
+  for (int cpu = 0;; ++cpu) {
+    const std::string topo =
+        sysfs_cpu_root + "/cpu" + std::to_string(cpu) + "/topology";
+    long package = 0;
+    long core = 0;
+    if (!ReadIntFile(topo + "/physical_package_id", package) ||
+        !ReadIntFile(topo + "/core_id", core)) {
+      break;
+    }
+    cores.emplace(package, core);
+  }
+  return cores.size();
+}
+
+size_t DefaultWorkerCount() {
+  size_t n = CountPhysicalCores();
+  if (n == 0) n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : n;
+}
+
+}  // namespace genealog

@@ -1,0 +1,30 @@
+// CPU-topology probe for the worker-count default.
+//
+// `GENEALOG_WORKERS=0` means "one worker per core" — but on SMT machines
+// std::thread::hardware_concurrency() counts hardware *threads*, so the pool
+// would oversubscribe the physical cores with compute-bound workers. The
+// probe reads the Linux sysfs topology (cpu*/topology/{physical_package_id,
+// core_id}) and counts distinct physical cores; platforms without sysfs fall
+// back to hardware_concurrency(). The sysfs root is a parameter so tests can
+// run the parser against a mocked layout.
+#ifndef GENEALOG_COMMON_CPU_TOPOLOGY_H_
+#define GENEALOG_COMMON_CPU_TOPOLOGY_H_
+
+#include <cstddef>
+#include <string>
+
+namespace genealog {
+
+// Distinct (physical_package_id, core_id) pairs among the online CPUs listed
+// under `sysfs_cpu_root` (default: the live machine). Returns 0 when the
+// layout is missing or unreadable — callers fall back then.
+size_t CountPhysicalCores(
+    const std::string& sysfs_cpu_root = "/sys/devices/system/cpu");
+
+// The worker count `workers == 0` resolves to: physical cores when the
+// topology is readable, hardware_concurrency() otherwise, and at least 1.
+size_t DefaultWorkerCount();
+
+}  // namespace genealog
+
+#endif  // GENEALOG_COMMON_CPU_TOPOLOGY_H_

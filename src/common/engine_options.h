@@ -24,6 +24,8 @@
 // | lineage_store    | GENEALOG_LINEAGE_STORE   | off             |
 // | lineage_retain_records | GENEALOG_LINEAGE_RETAIN_RECORDS | 1M (0 = unbounded) |
 // | lineage_retain_span    | GENEALOG_LINEAGE_RETAIN_SPAN    | 0 (= no horizon)   |
+// | wire_codec       | GENEALOG_WIRE_CODEC      | raw             |
+// | wire_block_compress | GENEALOG_WIRE_BLOCK_COMPRESS | on (compact only) |
 // | use_tcp          | —                        | off             |
 // | composed_unfolders | —                      | off             |
 //
@@ -57,6 +59,17 @@ namespace genealog {
 //    tasks woken by batch arrival, executed by GENEALOG_WORKERS threads with
 //    work stealing and per-query round-robin fairness (spe/scheduler.h).
 enum class SchedulerMode : uint8_t { kThreadPerNode, kPool };
+
+// Frame encoding for inter-instance byte channels (net/frame.h):
+//  * kRaw — the seed wire format, one fixed-width serialized tuple after
+//    another (a batch-size-1 deployment puts the seed's exact frame sequence
+//    on the wire);
+//  * kCompact — delta/zigzag/varint tuple ids and timestamps, per-channel
+//    dictionaries for node uids and tuple type descriptors, and (with
+//    wire_block_compress) an LZ block compressor over the encoded body when
+//    it wins. Sender-driven: the receiver decodes whatever codec each frame
+//    announces, so the knob only needs to reach the Send side.
+enum class WireCodec : uint8_t { kRaw = 0, kCompact = 1 };
 
 namespace engine_defaults {
 
@@ -136,6 +149,21 @@ inline int64_t LineageRetainSpan() {
   }();
   return v;
 }
+inline WireCodec WireCodecDefault() {
+  static const WireCodec v = [] {
+    const char* s = std::getenv("GENEALOG_WIRE_CODEC");
+    if (s != nullptr && std::strcmp(s, "compact") == 0) {
+      return WireCodec::kCompact;
+    }
+    // Anything else (unset, "raw", typos) keeps the seed wire format.
+    return WireCodec::kRaw;
+  }();
+  return v;
+}
+inline bool WireBlockCompress() {
+  static const bool v = EnvKnobEnabled("GENEALOG_WIRE_BLOCK_COMPRESS");
+  return v;
+}
 
 }  // namespace engine_defaults
 
@@ -181,6 +209,15 @@ struct EngineOptions {
   // ... and/or once an epoch's newest derived event-time falls more than this
   // many time units behind the newest ingested record (0 = no horizon).
   int64_t lineage_retain_span = engine_defaults::LineageRetainSpan();
+  // Frame encoding for inter-instance streams (net/frame.h). kCompact
+  // delta/dictionary-encodes batch frames and is decoded back to the exact
+  // raw tuple stream; raw stays the default for one PR while the codec
+  // soaks in the equivalence suites.
+  WireCodec wire_codec = engine_defaults::WireCodecDefault();
+  // Under kCompact, additionally run the dependency-free LZ block compressor
+  // over each encoded frame body and keep the compressed form when smaller.
+  // Ignored under kRaw.
+  bool wire_block_compress = engine_defaults::WireBlockCompress();
   // Distributed deployments: TCP loopback channels when true, in-memory
   // serializing channels otherwise.
   bool use_tcp = false;

@@ -46,6 +46,12 @@ TupleCloner ClonerForTag(uint16_t tag) {
   return it == registry().end() ? nullptr : it->second.cloner;
 }
 
+PayloadDeserializer DeserializerForTag(uint16_t tag) {
+  std::lock_guard lock(registry_mutex());
+  auto it = registry().find(tag);
+  return it == registry().end() ? nullptr : it->second.fn;
+}
+
 namespace {
 
 void SerializeHeaderAndPayload(const Tuple& t, TupleKind kind, ByteWriter& w) {

@@ -41,6 +41,12 @@ bool RegisterTupleType(uint16_t tag, const char* name, PayloadDeserializer fn,
 // or was registered without one.
 TupleCloner ClonerForTag(uint16_t tag);
 
+// The registered payload deserializer for `tag`; null when the tag is
+// unknown. The compact wire codec (net/frame.h) reconstructs tuple headers
+// itself and needs direct payload access, where DeserializeTuple expects the
+// raw header-plus-payload layout.
+PayloadDeserializer DeserializerForTag(uint16_t tag);
+
 // Same-class CloneTuple fast path. Cloning runs of same-typed tuples — a
 // Multiplex output chunk, a Router fan-out — normally pays two virtual
 // dispatches per copy (type_tag via clone). The cache keys the registered

@@ -24,6 +24,16 @@ ChannelEnds AddChannel(BuiltDataflow& out, bool use_tcp) {
   return AddChannelTo(out.channels, use_tcp);
 }
 
+// Adds a Send node carrying the engine's wire-codec knobs and registers it
+// for BuiltDataflow::wire_stats(). Mirrors queries::AddSend.
+SendNode* WeaveSend(BuiltDataflow& out, Topology& topo,
+                    const std::string& name, ByteChannel* channel,
+                    const EngineOptions& engine) {
+  auto* send = topo.Add<SendNode>(name, channel, WireCodecFrom(engine));
+  out.send_nodes.push_back(send);
+  return send;
+}
+
 // Inserts an SU (fused, or the composed Figure 5B construction) whose SO
 // output feeds `so_consumer` and U output feeds `u_consumer`; returns the
 // node the delivering stream connects to. Mirrors queries::AddSu.
@@ -225,7 +235,7 @@ void LowerDataflow(const Plan& plan, BuiltDataflow& out) {
       mu = WeaveMu(*prov_topo, engine.composed_unfolders, "MU",
                    span_of.at(plan.ops[sink_op].instance), psink);
       ChannelEnds ch = AddChannel(out, engine.use_tcp);
-      auto* send_derived = sink_topo.Add<SendNode>("send.U_sink", ch.send);
+      auto* send_derived = WeaveSend(out, sink_topo, "send.U_sink", ch.send, engine);
       auto* recv_derived =
           prov_topo->Add<ReceiveNode>("recv.U_sink", ch.recv);
       entry_of[sink_op] = WeaveSu(out, sink_topo, engine.composed_unfolders,
@@ -256,7 +266,7 @@ void LowerDataflow(const Plan& plan, BuiltDataflow& out) {
           prov_topo->Add<BaselineResolverNode>("bl.resolver", bro);
       out.baseline_resolver = resolver;
       ChannelEnds ch = AddChannel(out, engine.use_tcp);
-      auto* send_ann = sink_topo.Add<SendNode>("send.sink_ann", ch.send);
+      auto* send_ann = WeaveSend(out, sink_topo, "send.sink_ann", ch.send, engine);
       auto* recv_ann = prov_topo->Add<ReceiveNode>("recv.sink_ann", ch.recv);
       sink_topo.Connect(sink_tap, send_ann);
       prov_topo->Connect(recv_ann, resolver);  // port 0
@@ -265,8 +275,7 @@ void LowerDataflow(const Plan& plan, BuiltDataflow& out) {
       for (size_t s = 0; s < source_taps.size(); ++s) {
         auto& [src_topo, tap] = source_taps[s];
         ChannelEnds ch_src = AddChannel(out, engine.use_tcp);
-        auto* send_src = src_topo->Add<SendNode>(
-            "send.source_copy" + std::to_string(s), ch_src.send);
+        auto* send_src = WeaveSend(out, *src_topo, "send.source_copy" + std::to_string(s), ch_src.send, engine);
         auto* recv_src = prov_topo->Add<ReceiveNode>(
             "recv.source_copy" + std::to_string(s), ch_src.recv);
         src_topo->Connect(tap, send_src);
@@ -296,11 +305,11 @@ void LowerDataflow(const Plan& plan, BuiltDataflow& out) {
       }
       const std::string tag = std::to_string(n_cross++);
       ChannelEnds ch = AddChannel(out, engine.use_tcp);
-      auto* send = from_topo.Add<SendNode>("send.data" + tag, ch.send);
+      auto* send = WeaveSend(out, from_topo, "send.data" + tag, ch.send, engine);
       auto* recv = to_topo.Add<ReceiveNode>("recv.data" + tag, ch.recv);
       if (mode == ProvenanceMode::kGenealog) {
         ChannelEnds ch_u = AddChannel(out, engine.use_tcp);
-        auto* send_u = from_topo.Add<SendNode>("send.U" + tag, ch_u.send);
+        auto* send_u = WeaveSend(out, from_topo, "send.U" + tag, ch_u.send, engine);
         auto* recv_u = prov_topo->Add<ReceiveNode>("recv.U" + tag, ch_u.recv);
         Node* su = WeaveSu(out, from_topo, engine.composed_unfolders,
                            "SU.send" + tag, send, send_u);

@@ -97,4 +97,22 @@ std::string RenderProvenanceVolumeTable(
   return out;
 }
 
+std::string RenderWireTable(const std::vector<QueryVariantResult>& rows) {
+  std::string out;
+  out += "Bytes-on-wire per variant (raw-codec equivalent vs shipped)\n";
+  out += "-----------------------------------------------------------\n";
+  char line[256];
+  for (const auto& r : rows) {
+    if (r.wire_encoded_bytes.mean <= 0) continue;
+    std::snprintf(line, sizeof(line),
+                  "%-4s %-3s | frames %10.0f | raw %12.0f B | wire %12.0f B "
+                  "| ratio %6.2fx\n",
+                  r.query.c_str(), r.variant.c_str(), r.wire_frames.mean,
+                  r.wire_raw_bytes.mean, r.wire_encoded_bytes.mean,
+                  r.wire_raw_bytes.mean / r.wire_encoded_bytes.mean);
+    out += line;
+  }
+  return out;
+}
+
 }  // namespace genealog::metrics

@@ -32,6 +32,12 @@ struct QueryVariantResult {
   CellStats provenance_bytes;
   CellStats source_bytes;
   CellStats network_bytes;
+  // Wire-codec accounting over every inter-instance channel: frames shipped,
+  // the bytes the raw codec would have cost, and the bytes actually shipped
+  // (net/frame.h WireStats). raw == encoded under the raw codec.
+  CellStats wire_frames;
+  CellStats wire_raw_bytes;
+  CellStats wire_encoded_bytes;
   std::vector<CellStats> per_instance_avg_mem_mb;
   std::vector<CellStats> per_instance_max_mem_mb;
 };
@@ -46,6 +52,11 @@ std::string RenderOverheadTable(const std::vector<QueryVariantResult>& rows,
 // "ranging from 0.003% to 0.5%").
 std::string RenderProvenanceVolumeTable(
     const std::vector<QueryVariantResult>& rows);
+
+// Renders the per-variant wire-codec accounting: frames, raw vs encoded
+// bytes-on-wire and the compression ratio. Rows that shipped nothing are
+// skipped.
+std::string RenderWireTable(const std::vector<QueryVariantResult>& rows);
 
 // Helper: percentage delta string like "-3.7%" (empty for the reference row).
 std::string FormatDelta(double value, std::optional<double> reference,

@@ -1,10 +1,100 @@
 #include "net/frame.h"
 
+#include <algorithm>
+#include <cstring>
+#include <optional>
 #include <stdexcept>
+#include <string>
 
 #include "spe/stream_batch.h"
 
 namespace genealog {
+namespace {
+
+// Tuple ids are node uid (high 24 bits) | per-node sequence (low 40 bits);
+// see core/instrumentation.h. The compact codec dictionary-codes the uid and
+// delta-codes the sequence per uid.
+constexpr int kSeqBits = 40;
+constexpr uint64_t kSeqMask = (uint64_t{1} << kSeqBits) - 1;
+
+// Raw-codec cost model, for WireStats::raw_bytes under kCompact. Mirrors
+// SerializeHeaderAndPayload (type_registry.cc): u16 tag + u8 kind + i64 ts +
+// u64 id + i64 stimulus + u8 annotation flag.
+constexpr uint64_t kRawTupleHeaderBytes = 28;
+constexpr uint64_t kRawWatermarkFrameBytes = 9;  // kind byte + i64
+
+void PutVarint(ByteWriter& w, uint64_t v) {
+  while (v >= 0x80) {
+    w.PutU8(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  w.PutU8(static_cast<uint8_t>(v));
+}
+
+size_t VarintSize(uint64_t v) {
+  size_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+
+uint64_t GetVarint(ByteReader& r) {
+  uint64_t v = 0;
+  for (int shift = 0; shift < 64; shift += 7) {
+    const uint8_t b = r.GetU8();
+    if (shift == 63 && (b & 0xFE) != 0) {
+      throw std::runtime_error("varint overflows 64 bits");
+    }
+    v |= static_cast<uint64_t>(b & 0x7F) << shift;
+    if ((b & 0x80) == 0) return v;
+  }
+  throw std::runtime_error("varint longer than 10 bytes");
+}
+
+uint64_t ZigzagEncode(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+}
+
+int64_t ZigzagDecode(uint64_t v) {
+  return static_cast<int64_t>(v >> 1) ^ -static_cast<int64_t>(v & 1);
+}
+
+void PutZigzag(ByteWriter& w, int64_t v) { PutVarint(w, ZigzagEncode(v)); }
+
+int64_t GetZigzag(ByteReader& r) { return ZigzagDecode(GetVarint(r)); }
+
+TupleKind WireKind(const Tuple& t, bool remotify) {
+  if (!remotify) return t.kind;
+  return t.kind == TupleKind::kSource ? TupleKind::kSource : TupleKind::kRemote;
+}
+
+// Compact frame header flags.
+constexpr uint8_t kFlagCompressed = 0x1;
+constexpr uint8_t kFlagHasWatermark = 0x2;
+
+// Guard against hostile declared sizes before allocating (matches the TCP
+// transport's frame bound).
+constexpr uint64_t kMaxDeclaredBytes = 64ull << 20;
+
+}  // namespace
+
+const char* FrameKindName(uint8_t kind) {
+  switch (static_cast<FrameKind>(kind)) {
+    case FrameKind::kTuple:
+      return "tuple";
+    case FrameKind::kWatermark:
+      return "watermark";
+    case FrameKind::kFlush:
+      return "flush";
+    case FrameKind::kBatch:
+      return "batch";
+    case FrameKind::kCompactBatch:
+      return "compact-batch";
+  }
+  return "unknown";
+}
 
 std::vector<uint8_t> EncodeTupleFrame(const Tuple& t, bool remotify) {
   ByteWriter w;
@@ -68,8 +158,433 @@ DecodedFrame DecodeFrame(const std::vector<uint8_t>& frame) {
       out.watermark = r.GetI64();
       break;
     }
+    case FrameKind::kCompactBatch:
+      throw std::runtime_error(
+          "compact-batch frame needs a stateful FrameDecoder");
     default:
       throw std::runtime_error("unknown frame kind");
+  }
+  return out;
+}
+
+// --- LZ block compressor ----------------------------------------------------
+
+std::vector<uint8_t> LzBlockCompress(std::span<const uint8_t> in) {
+  const size_t n = in.size();
+  std::vector<uint8_t> out;
+  out.reserve(n / 2 + 16);
+
+  const auto emit = [&](size_t lit_start, size_t lit_len, size_t match_len,
+                        size_t offset) {
+    const size_t ml = match_len >= 4 ? match_len - 4 : 0;
+    out.push_back(static_cast<uint8_t>(
+        (std::min<size_t>(lit_len, 15) << 4) | std::min<size_t>(ml, 15)));
+    if (lit_len >= 15) {
+      size_t rest = lit_len - 15;
+      for (; rest >= 255; rest -= 255) out.push_back(255);
+      out.push_back(static_cast<uint8_t>(rest));
+    }
+    out.insert(out.end(), in.begin() + lit_start,
+               in.begin() + lit_start + lit_len);
+    if (match_len == 0) return;  // final literals carry no match
+    out.push_back(static_cast<uint8_t>(offset & 0xFF));
+    out.push_back(static_cast<uint8_t>(offset >> 8));
+    if (ml >= 15) {
+      size_t rest = ml - 15;
+      for (; rest >= 255; rest -= 255) out.push_back(255);
+      out.push_back(static_cast<uint8_t>(rest));
+    }
+  };
+
+  size_t anchor = 0;
+  if (n >= 5) {
+    constexpr int kHashBits = 13;
+    std::vector<uint32_t> table(size_t{1} << kHashBits, 0);  // position + 1
+    const auto hash4 = [&](size_t p) {
+      uint32_t v;
+      std::memcpy(&v, in.data() + p, 4);
+      return (v * 2654435761u) >> (32 - kHashBits);
+    };
+    size_t pos = 0;
+    const size_t last_start = n - 4;  // last position a 4-byte probe fits
+    while (pos <= last_start) {
+      const uint32_t h = hash4(pos);
+      const uint32_t cand = table[h];
+      table[h] = static_cast<uint32_t>(pos + 1);
+      if (cand != 0) {
+        const size_t mstart = cand - 1;
+        if (pos - mstart <= 0xFFFF &&
+            std::memcmp(in.data() + mstart, in.data() + pos, 4) == 0) {
+          size_t len = 4;
+          while (pos + len < n && in[mstart + len] == in[pos + len]) ++len;
+          emit(anchor, pos - anchor, len, pos - mstart);
+          pos += len;
+          anchor = pos;
+          continue;
+        }
+      }
+      ++pos;
+    }
+  }
+  // Final literals-only sequence. When a match consumed the input to its very
+  // end there is nothing left to flush — the decompressor stops at raw_size,
+  // so an empty trailing token would be unread garbage. The empty input still
+  // emits its single zero token so the block is never zero bytes.
+  if (anchor < n || n == 0) emit(anchor, n - anchor, 0, 0);
+  return out;
+}
+
+std::vector<uint8_t> LzBlockDecompress(std::span<const uint8_t> in,
+                                       size_t raw_size) {
+  if (raw_size == 0) {
+    // LzBlockCompress({}) emits the single zero token.
+    if (!in.empty() && !(in.size() == 1 && in[0] == 0)) {
+      throw std::runtime_error("LzBlockDecompress: trailing bytes");
+    }
+    return {};
+  }
+  std::vector<uint8_t> out;
+  out.reserve(raw_size);
+  size_t pos = 0;
+  const auto need = [&](size_t k) {
+    if (in.size() - pos < k) {
+      throw std::runtime_error("LzBlockDecompress: truncated input");
+    }
+  };
+  const auto extend = [&](size_t base) {
+    if (base != 15) return base;
+    uint8_t b;
+    do {
+      need(1);
+      b = in[pos++];
+      base += b;
+    } while (b == 255);
+    return base;
+  };
+  while (out.size() < raw_size) {
+    need(1);
+    const uint8_t token = in[pos++];
+    const size_t lit = extend(token >> 4);
+    need(lit);
+    if (out.size() + lit > raw_size) {
+      throw std::runtime_error("LzBlockDecompress: literals overflow size");
+    }
+    out.insert(out.end(), in.begin() + pos, in.begin() + pos + lit);
+    pos += lit;
+    if (out.size() == raw_size) break;
+    need(2);
+    const size_t offset =
+        static_cast<size_t>(in[pos]) | (static_cast<size_t>(in[pos + 1]) << 8);
+    pos += 2;
+    if (offset == 0 || offset > out.size()) {
+      throw std::runtime_error("LzBlockDecompress: bad match offset");
+    }
+    const size_t match_len = extend(token & 0xF) + 4;
+    if (out.size() + match_len > raw_size) {
+      throw std::runtime_error("LzBlockDecompress: match overflows size");
+    }
+    // Byte-wise copy: overlapping matches (offset < length) replicate runs.
+    size_t src = out.size() - offset;
+    for (size_t i = 0; i < match_len; ++i) out.push_back(out[src + i]);
+  }
+  if (pos != in.size()) {
+    throw std::runtime_error("LzBlockDecompress: trailing bytes");
+  }
+  return out;
+}
+
+// --- compact codec ----------------------------------------------------------
+
+std::vector<uint8_t> FrameEncoder::EncodeCompactBatch(
+    std::span<const Tuple* const> tuples, int64_t watermark, bool remotify) {
+  const bool has_wm = watermark != kNoWatermark;
+  ByteWriter body;
+  PutVarint(body, tuples.size());
+  if (has_wm) PutZigzag(body, watermark);
+
+  uint64_t raw_tuple_bytes = 0;
+  for (const Tuple* t : tuples) {
+    const TupleKind kind = WireKind(*t, remotify);
+    const auto* ann = t->baseline_annotation();
+
+    const uint32_t desc_key = (static_cast<uint32_t>(t->type_tag()) << 16) |
+                              (static_cast<uint32_t>(kind) << 8) |
+                              (ann != nullptr ? 1u : 0u);
+    auto [desc_it, desc_new] =
+        desc_index_.try_emplace(desc_key, static_cast<uint32_t>(desc_index_.size()));
+    PutVarint(body, (static_cast<uint64_t>(desc_it->second) << 1) |
+                        (desc_new ? 1 : 0));
+    if (desc_new) {
+      body.PutU16(t->type_tag());
+      body.PutU8(static_cast<uint8_t>(kind));
+      body.PutU8(ann != nullptr ? 1 : 0);
+    }
+
+    const uint32_t uid = static_cast<uint32_t>(t->id >> kSeqBits);
+    const uint64_t seq = t->id & kSeqMask;
+    auto [uid_it, uid_new] =
+        uid_index_.try_emplace(uid, static_cast<uint32_t>(uid_index_.size()));
+    PutVarint(body,
+              (static_cast<uint64_t>(uid_it->second) << 1) | (uid_new ? 1 : 0));
+    if (uid_new) {
+      PutVarint(body, uid);
+      uid_last_seq_.push_back(0);
+    }
+    uint64_t& last_seq = uid_last_seq_[uid_it->second];
+    PutZigzag(body, static_cast<int64_t>(seq) - static_cast<int64_t>(last_seq));
+    last_seq = seq;
+
+    PutZigzag(body, t->ts - last_ts_);
+    last_ts_ = t->ts;
+    PutZigzag(body, t->stimulus - last_stimulus_);
+    last_stimulus_ = t->stimulus;
+
+    uint64_t raw_ann_bytes = 0;
+    if (ann != nullptr) {
+      PutVarint(body, ann->size());
+      uint64_t prev = 0;
+      for (uint64_t id : *ann) {
+        PutZigzag(body, static_cast<int64_t>(id - prev));
+        prev = id;
+      }
+      raw_ann_bytes = 4 + 8 * ann->size();
+    }
+
+    const size_t before = body.size();
+    t->SerializePayload(body);
+    raw_tuple_bytes +=
+        kRawTupleHeaderBytes + raw_ann_bytes + (body.size() - before);
+  }
+
+  // What the raw Send path would have shipped for this StreamBatch: one batch
+  // frame, or per-event frames when the batch degenerates.
+  uint64_t raw_equiv;
+  if (tuples.size() > 1) {
+    raw_equiv = 1 + 4 + raw_tuple_bytes + 8;
+  } else {
+    raw_equiv = (tuples.size() == 1 ? 1 + raw_tuple_bytes : 0) +
+                (has_wm ? kRawWatermarkFrameBytes : 0);
+  }
+
+  std::vector<uint8_t> body_bytes = body.TakeBytes();
+  ByteWriter frame;
+  frame.PutU8(static_cast<uint8_t>(FrameKind::kCompactBatch));
+  frame.PutU8(generation_);
+  uint8_t flags = has_wm ? kFlagHasWatermark : 0;
+  std::vector<uint8_t> compressed;
+  if (opts_.block_compress) {
+    compressed = LzBlockCompress(body_bytes);
+    if (compressed.size() + VarintSize(body_bytes.size()) <
+        body_bytes.size()) {
+      flags |= kFlagCompressed;
+    }
+  }
+  frame.PutU8(flags);
+  if ((flags & kFlagCompressed) != 0) {
+    PutVarint(frame, body_bytes.size());
+    frame.PutBytes(compressed.data(), compressed.size());
+  } else {
+    frame.PutBytes(body_bytes.data(), body_bytes.size());
+  }
+
+  std::vector<uint8_t> out = frame.TakeBytes();
+  stats_.frames += 1;
+  stats_.raw_bytes += raw_equiv;
+  stats_.encoded_bytes += out.size();
+  return out;
+}
+
+std::vector<std::vector<uint8_t>> FrameEncoder::EncodeBatch(
+    std::span<const TuplePtr> tuples, int64_t watermark, bool remotify) {
+  const bool has_wm = watermark != kNoWatermark;
+  std::vector<std::vector<uint8_t>> frames;
+  if (opts_.codec == WireCodec::kCompact) {
+    if (tuples.empty() && !has_wm) return frames;
+    std::vector<const Tuple*> ptrs;
+    ptrs.reserve(tuples.size());
+    for (const TuplePtr& t : tuples) ptrs.push_back(t.get());
+    frames.push_back(EncodeCompactBatch(ptrs, watermark, remotify));
+    return frames;
+  }
+  if (tuples.size() > 1) {
+    frames.push_back(EncodeBatchFrame(tuples, watermark, remotify));
+  } else {
+    // Degenerate batches travel as the legacy per-event frames, so a
+    // batch-size-1 deployment puts the seed's exact frame sequence on the
+    // wire.
+    if (tuples.size() == 1) {
+      frames.push_back(EncodeTupleFrame(*tuples[0], remotify));
+    }
+    if (has_wm) frames.push_back(EncodeWatermarkFrame(watermark));
+  }
+  for (const auto& f : frames) {
+    stats_.frames += 1;
+    stats_.raw_bytes += f.size();
+    stats_.encoded_bytes += f.size();
+  }
+  return frames;
+}
+
+std::vector<uint8_t> FrameEncoder::EncodeTuple(const Tuple& t, bool remotify) {
+  if (opts_.codec == WireCodec::kCompact) {
+    const Tuple* ptr = &t;
+    return EncodeCompactBatch(std::span<const Tuple* const>(&ptr, 1),
+                              kNoWatermark, remotify);
+  }
+  std::vector<uint8_t> frame = EncodeTupleFrame(t, remotify);
+  stats_.frames += 1;
+  stats_.raw_bytes += frame.size();
+  stats_.encoded_bytes += frame.size();
+  return frame;
+}
+
+std::vector<uint8_t> FrameEncoder::EncodeWatermark(int64_t wm) {
+  // Watermark and flush frames are tiny and stateless; they stay raw under
+  // either codec so a decoder can always interpret them.
+  std::vector<uint8_t> frame = EncodeWatermarkFrame(wm);
+  stats_.frames += 1;
+  stats_.raw_bytes += frame.size();
+  stats_.encoded_bytes += frame.size();
+  return frame;
+}
+
+std::vector<uint8_t> FrameEncoder::EncodeFlush() {
+  std::vector<uint8_t> frame = EncodeFlushFrame();
+  stats_.frames += 1;
+  stats_.raw_bytes += frame.size();
+  stats_.encoded_bytes += frame.size();
+  return frame;
+}
+
+void FrameEncoder::Reset() {
+  ++generation_;
+  desc_index_.clear();
+  uid_index_.clear();
+  uid_last_seq_.clear();
+  last_ts_ = 0;
+  last_stimulus_ = 0;
+}
+
+DecodedFrame FrameDecoder::Decode(const std::vector<uint8_t>& frame) {
+  if (frame.empty()) throw std::runtime_error("empty frame");
+  if (static_cast<FrameKind>(frame[0]) == FrameKind::kCompactBatch) {
+    return DecodeCompactBatch(frame);
+  }
+  return DecodeFrame(frame);
+}
+
+DecodedFrame FrameDecoder::DecodeCompactBatch(
+    const std::vector<uint8_t>& frame) {
+  ByteReader r(frame);
+  r.GetU8();  // kind, already dispatched on
+  const uint8_t generation = r.GetU8();
+  if (!have_generation_ || generation != generation_) {
+    // New stream incarnation: the sender redefines every dictionary entry it
+    // uses after a Reset, so dropping state here is always safe.
+    have_generation_ = true;
+    generation_ = generation;
+    descs_.clear();
+    uids_.clear();
+    uid_last_seq_.clear();
+    last_ts_ = 0;
+    last_stimulus_ = 0;
+  }
+  const uint8_t flags = r.GetU8();
+  if ((flags & ~(kFlagCompressed | kFlagHasWatermark)) != 0) {
+    throw std::runtime_error("compact frame: unknown flags");
+  }
+
+  std::vector<uint8_t> decompressed;
+  std::optional<ByteReader> storage;
+  ByteReader* body = &r;
+  if ((flags & kFlagCompressed) != 0) {
+    const uint64_t raw_size = GetVarint(r);
+    if (raw_size > kMaxDeclaredBytes) {
+      throw std::runtime_error("compact frame: declared body too large");
+    }
+    std::vector<uint8_t> rest(r.remaining());
+    r.GetBytes(rest.data(), rest.size());
+    decompressed =
+        LzBlockDecompress(rest, static_cast<size_t>(raw_size));
+    storage.emplace(decompressed);
+    body = &*storage;
+  }
+
+  const uint64_t count = GetVarint(*body);
+  // Every encoded tuple costs at least one body byte, so a count beyond the
+  // remaining bytes is malformed — reject before reserving for it.
+  if (count > body->remaining()) {
+    throw std::runtime_error("compact frame: declared count too large");
+  }
+  DecodedFrame out;
+  out.kind = FrameKind::kCompactBatch;
+  out.watermark =
+      (flags & kFlagHasWatermark) != 0 ? GetZigzag(*body) : kNoWatermark;
+  out.tuples.reserve(static_cast<size_t>(count));
+
+  for (uint64_t i = 0; i < count; ++i) {
+    const uint64_t desc_code = GetVarint(*body);
+    const uint64_t desc_idx = desc_code >> 1;
+    if ((desc_code & 1) != 0) {
+      if (desc_idx != descs_.size()) {
+        throw std::runtime_error("compact frame: non-contiguous descriptor");
+      }
+      Descriptor d;
+      d.tag = body->GetU16();
+      d.kind = body->GetU8();
+      d.has_annotation = body->GetU8() != 0;
+      d.fn = DeserializerForTag(d.tag);
+      if (d.fn == nullptr) {
+        throw std::runtime_error("unregistered tuple type tag " +
+                                 std::to_string(d.tag));
+      }
+      descs_.push_back(d);
+    } else if (desc_idx >= descs_.size()) {
+      throw std::runtime_error("compact frame: dangling descriptor reference");
+    }
+    const Descriptor& desc = descs_[static_cast<size_t>(desc_idx)];
+
+    const uint64_t uid_code = GetVarint(*body);
+    const uint64_t uid_idx = uid_code >> 1;
+    if ((uid_code & 1) != 0) {
+      if (uid_idx != uids_.size()) {
+        throw std::runtime_error("compact frame: non-contiguous uid entry");
+      }
+      uids_.push_back(GetVarint(*body));
+      uid_last_seq_.push_back(0);
+    } else if (uid_idx >= uids_.size()) {
+      throw std::runtime_error("compact frame: dangling uid reference");
+    }
+    uint64_t& last_seq = uid_last_seq_[static_cast<size_t>(uid_idx)];
+    const uint64_t seq =
+        static_cast<uint64_t>(static_cast<int64_t>(last_seq) + GetZigzag(*body));
+    last_seq = seq;
+    last_ts_ += GetZigzag(*body);
+    last_stimulus_ += GetZigzag(*body);
+
+    std::vector<uint64_t> annotation;
+    if (desc.has_annotation) {
+      const uint64_t n = GetVarint(*body);
+      if (n > body->remaining()) {  // each entry is >= 1 byte
+        throw std::runtime_error("compact frame: annotation count too large");
+      }
+      annotation.reserve(static_cast<size_t>(n));
+      uint64_t prev = 0;
+      for (uint64_t j = 0; j < n; ++j) {
+        prev += static_cast<uint64_t>(GetZigzag(*body));
+        annotation.push_back(prev);
+      }
+    }
+
+    TuplePtr t = desc.fn(*body, last_ts_);
+    t->kind = static_cast<TupleKind>(desc.kind);
+    t->id = (uids_[static_cast<size_t>(uid_idx)] << kSeqBits) | seq;
+    t->stimulus = last_stimulus_;
+    if (desc.has_annotation) t->set_baseline_annotation(std::move(annotation));
+    out.tuples.push_back(std::move(t));
+  }
+  if (!body->AtEnd()) {
+    throw std::runtime_error("compact frame: trailing bytes");
   }
   return out;
 }

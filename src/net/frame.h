@@ -5,13 +5,43 @@
 // unit), a watermark, or a flush (end-of-stream). Channels transport frames
 // as opaque byte blobs; the TCP transport adds a u32 length prefix per
 // frame.
+//
+// Two codecs put batches on the wire (common/engine_options.h, WireCodec):
+//
+//  * raw — the seed format: one fixed-width serialized tuple after another
+//    (EncodeBatchFrame below). Stateless; DecodeFrame handles it.
+//
+//  * compact (FrameKind::kCompactBatch) — the edge-to-cloud format. Within a
+//    frame, tuple ids split into node uid (high 24 bits) and sequence (low
+//    40 bits); uids and (type_tag, kind, has-annotation) descriptors are
+//    dictionary-coded per channel, sequences are delta-encoded against the
+//    per-uid previous value, and timestamps/stimuli against a running
+//    previous, all as zigzag varints. Payload bytes are the registered
+//    SerializePayload encoding, unchanged. Optionally the whole encoded body
+//    runs through the dependency-free LZ block compressor and ships
+//    compressed when that wins.
+//
+//    Dictionaries are sender-driven and build incrementally: every entry is
+//    defined inline ((index << 1) | 1 followed by the definition) the first
+//    time it is used, and referenced ((index << 1) | 0) afterwards, so the
+//    receiver needs no out-of-band negotiation. Each compact frame leads
+//    with a generation byte; FrameEncoder::Reset() bumps it (reconnect, new
+//    stream incarnation), and a decoder seeing an unexpected generation
+//    drops its dictionaries and delta state before decoding — reset-safe
+//    because the first post-reset frame redefines every entry it uses.
+//
+// The compact path is stateful on both sides, hence the FrameEncoder /
+// FrameDecoder classes; the stateless free functions below remain the raw
+// codec and the compatibility surface for existing callers.
 #ifndef GENEALOG_NET_FRAME_H_
 #define GENEALOG_NET_FRAME_H_
 
 #include <cstdint>
 #include <span>
+#include <unordered_map>
 #include <vector>
 
+#include "common/engine_options.h"
 #include "core/type_registry.h"
 
 namespace genealog {
@@ -24,7 +54,19 @@ enum class FrameKind : uint8_t {
   // (INT64_MIN when the batch carries none). One frame per batch keeps the
   // per-message framing and syscall costs amortized across the chunk.
   kBatch = 4,
+  // A StreamBatch under the compact codec:
+  //   u8 kind | u8 generation | u8 flags | [varint raw_body_size] | body
+  // flags bit 0 = body is LZ-block-compressed (raw_body_size present),
+  // flags bit 1 = the batch carries a watermark. The body is the dictionary/
+  // delta encoding described in the header comment.
+  kCompactBatch = 5,
 };
+
+// Human-readable frame kind, for error messages ("corrupt batch frame").
+// Unknown values name themselves "unknown".
+const char* FrameKindName(uint8_t kind);
+
+// --- raw codec (stateless) --------------------------------------------------
 
 // Serializes a tuple frame. With `remotify` set (the instrumented Send, §4.1)
 // the wire kind becomes REMOTE unless the tuple is a SOURCE tuple; the local
@@ -40,12 +82,132 @@ std::vector<uint8_t> EncodeBatchFrame(std::span<const TuplePtr> tuples,
 struct DecodedFrame {
   FrameKind kind = FrameKind::kFlush;
   TuplePtr tuple;                // kTuple
-  std::vector<TuplePtr> tuples;  // kBatch
-  int64_t watermark = 0;         // kWatermark / kBatch (kNoWatermark = none)
+  std::vector<TuplePtr> tuples;  // kBatch / kCompactBatch
+  int64_t watermark = 0;         // kWatermark / batches (kNoWatermark = none)
 };
 
-// Throws std::runtime_error / std::out_of_range on malformed input.
+// Decodes the stateless frame kinds. Throws std::runtime_error /
+// std::out_of_range on malformed input, and on a kCompactBatch frame, which
+// needs the per-channel state a FrameDecoder carries.
 DecodedFrame DecodeFrame(const std::vector<uint8_t>& frame);
+
+// --- LZ block compressor ----------------------------------------------------
+
+// Dependency-free byte-oriented LZ with an LZ4-flavored block layout: per
+// sequence a token byte (literal-length nibble, match-length nibble, 15 =
+// continue in 255-steps), the literals, a little-endian u16 match offset and
+// any match-length continuation bytes; the final sequence is literals only.
+// Minimum match 4, window 64 KiB. Decompression needs the exact raw size and
+// bounds-checks every copy, throwing std::runtime_error on malformed input.
+std::vector<uint8_t> LzBlockCompress(std::span<const uint8_t> in);
+std::vector<uint8_t> LzBlockDecompress(std::span<const uint8_t> in,
+                                       size_t raw_size);
+
+// --- compact codec (stateful) -----------------------------------------------
+
+// The Send-side knobs, lowered from EngineOptions by the deployment
+// assemblers. Sender-driven: the receiver decodes whatever codec each frame
+// announces, so no receive-side configuration exists.
+struct WireCodecOptions {
+  WireCodec codec = WireCodec::kRaw;
+  // Under kCompact, additionally LZ-compress each encoded body and keep the
+  // compressed form when smaller. Ignored under kRaw.
+  bool block_compress = true;
+};
+
+// The wire slice of the unified knob struct, for the deployment assemblers.
+inline WireCodecOptions WireCodecFrom(const EngineOptions& o) {
+  return {o.wire_codec, o.wire_block_compress};
+}
+
+// Per-channel wire accounting. raw_bytes is what the raw codec would have
+// put on the wire for the same input (for kRaw the two columns are equal),
+// so ratio() is the bytes-on-wire win of the configured codec.
+struct WireStats {
+  uint64_t frames = 0;
+  uint64_t raw_bytes = 0;
+  uint64_t encoded_bytes = 0;
+
+  double ratio() const {
+    return encoded_bytes == 0
+               ? 1.0
+               : static_cast<double>(raw_bytes) /
+                     static_cast<double>(encoded_bytes);
+  }
+  WireStats& operator+=(const WireStats& o) {
+    frames += o.frames;
+    raw_bytes += o.raw_bytes;
+    encoded_bytes += o.encoded_bytes;
+    return *this;
+  }
+};
+
+// One per Send node (channels are single-writer, like their operator).
+// EncodeBatch returns the frame sequence the raw Send path would have
+// produced for the same StreamBatch under kRaw (batch frame, or per-event
+// frames for a degenerate batch), and a single kCompactBatch frame under
+// kCompact; watermark and flush frames are raw under either codec.
+class FrameEncoder {
+ public:
+  explicit FrameEncoder(WireCodecOptions opts = {}) : opts_(opts) {}
+
+  std::vector<std::vector<uint8_t>> EncodeBatch(
+      std::span<const TuplePtr> tuples, int64_t watermark, bool remotify);
+  std::vector<uint8_t> EncodeTuple(const Tuple& t, bool remotify);
+  std::vector<uint8_t> EncodeWatermark(int64_t wm);
+  std::vector<uint8_t> EncodeFlush();
+
+  // Drops the dictionaries and delta state and bumps the generation byte, so
+  // the stream can resume against a decoder in any state (reconnect).
+  void Reset();
+
+  const WireCodecOptions& options() const { return opts_; }
+  const WireStats& stats() const { return stats_; }
+
+ private:
+  std::vector<uint8_t> EncodeCompactBatch(std::span<const Tuple* const> tuples,
+                                          int64_t watermark, bool remotify);
+
+  WireCodecOptions opts_;
+  WireStats stats_;
+
+  // Compact-codec state. Descriptor keys pack (type_tag << 16 | wire kind
+  // << 8 | has-annotation); uid keys are the high 24 id bits.
+  uint8_t generation_ = 0;
+  std::unordered_map<uint32_t, uint32_t> desc_index_;
+  std::unordered_map<uint32_t, uint32_t> uid_index_;
+  std::vector<uint64_t> uid_last_seq_;
+  int64_t last_ts_ = 0;
+  int64_t last_stimulus_ = 0;
+};
+
+// The receive-side mirror: decodes every frame kind, carrying the compact
+// dictionaries across frames and resetting them whenever the generation byte
+// moves. Throws std::runtime_error / std::out_of_range on malformed input
+// (truncated bodies, dangling dictionary references, unregistered tags,
+// oversized declared sizes).
+class FrameDecoder {
+ public:
+  DecodedFrame Decode(const std::vector<uint8_t>& frame);
+
+ private:
+  DecodedFrame DecodeCompactBatch(const std::vector<uint8_t>& frame);
+
+  struct Descriptor {
+    uint16_t tag = 0;
+    uint8_t kind = 0;
+    bool has_annotation = false;
+    PayloadDeserializer fn = nullptr;
+  };
+
+  bool have_generation_ = false;
+  uint8_t generation_ = 0;
+  std::vector<Descriptor> descs_;
+  std::vector<uint64_t> uids_;
+  std::vector<uint64_t> uid_last_seq_;
+  int64_t last_ts_ = 0;
+  int64_t last_stimulus_ = 0;
+};
 
 }  // namespace genealog
 

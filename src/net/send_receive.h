@@ -6,14 +6,17 @@
 // process can locally distinguish tuples produced at other instances.
 //
 // The batched data plane crosses the wire batch-at-a-time: Send serializes
-// each input StreamBatch as a single frame (legacy per-item frames when the
-// batch degenerates to one event, so a batch-size-1 deployment is
-// byte-identical to the unbatched engine), and Receive replays a decoded
-// batch tuple-by-tuple into its outputs, where the endpoint re-chunks to the
-// receiving instance's batch knob.
+// each input StreamBatch through its FrameEncoder — under the raw codec a
+// single frame per batch (legacy per-item frames when the batch degenerates
+// to one event, so a batch-size-1 deployment is byte-identical to the
+// unbatched engine), under the compact codec one kCompactBatch frame — and
+// Receive replays a decoded batch tuple-by-tuple into its outputs, where the
+// endpoint re-chunks to the receiving instance's batch knob. The codec knob
+// lives on the Send side only; Receive decodes whatever each frame announces.
 #ifndef GENEALOG_NET_SEND_RECEIVE_H_
 #define GENEALOG_NET_SEND_RECEIVE_H_
 
+#include <stdexcept>
 #include <string>
 #include <utility>
 
@@ -26,47 +29,43 @@ namespace genealog {
 class SendNode final : public SingleInputNode {
  public:
   // `channel` must outlive the node.
-  SendNode(std::string name, ByteChannel* channel)
-      : SingleInputNode(std::move(name)), channel_(channel) {}
+  SendNode(std::string name, ByteChannel* channel, WireCodecOptions codec = {})
+      : SingleInputNode(std::move(name)), channel_(channel), encoder_(codec) {}
 
   // Channel sends can block on the transport (TCP back-pressure), which a
   // pool task must never do; Send keeps a dedicated thread under the pool.
   bool NeedsDedicatedThread() const override { return true; }
 
+  // Wire accounting for this node's channel: frames sent, the raw-codec
+  // bytes the same input would have cost, and the bytes actually shipped.
+  const WireStats& wire_stats() const { return encoder_.stats(); }
+
  protected:
   void OnBatch(StreamBatch& batch) override {
-    if (batch.tuples.size() > 1) {
-      channel_->SendFrame(EncodeBatchFrame(
-          std::span<const TuplePtr>(batch.tuples.data(), batch.tuples.size()),
-          batch.watermark, /*remotify=*/true));
-      return;
-    }
-    // Degenerate batches travel as the legacy per-event frames, so a
-    // batch-size-1 deployment puts the seed's exact frame sequence on the
-    // wire.
-    if (batch.tuples.size() == 1) {
-      channel_->SendFrame(EncodeTupleFrame(*batch.tuples[0], /*remotify=*/true));
-    }
-    if (batch.has_watermark()) {
-      channel_->SendFrame(EncodeWatermarkFrame(batch.watermark));
+    for (std::vector<uint8_t>& frame : encoder_.EncodeBatch(
+             std::span<const TuplePtr>(batch.tuples.data(),
+                                       batch.tuples.size()),
+             batch.watermark, /*remotify=*/true)) {
+      channel_->SendFrame(std::move(frame));
     }
   }
 
   void OnTuple(TuplePtr t) override {
-    channel_->SendFrame(EncodeTupleFrame(*t, /*remotify=*/true));
+    channel_->SendFrame(encoder_.EncodeTuple(*t, /*remotify=*/true));
   }
 
   void OnWatermark(int64_t wm) override {
-    channel_->SendFrame(EncodeWatermarkFrame(wm));
+    channel_->SendFrame(encoder_.EncodeWatermark(wm));
   }
 
   void OnFlush() override {
-    channel_->SendFrame(EncodeFlushFrame());
+    channel_->SendFrame(encoder_.EncodeFlush());
     channel_->CloseSend();
   }
 
  private:
   ByteChannel* channel_;
+  FrameEncoder encoder_;
 };
 
 class ReceiveNode final : public Node {
@@ -77,13 +76,24 @@ class ReceiveNode final : public Node {
   void Run() override {
     std::vector<uint8_t> frame;
     while (channel_->RecvFrame(frame)) {
-      DecodedFrame decoded = DecodeFrame(frame);
+      DecodedFrame decoded;
+      try {
+        decoded = decoder_.Decode(frame);
+      } catch (const std::exception& e) {
+        // Name the channel endpoint and the claimed frame kind: a corrupt
+        // frame must fail the run loudly, not read as a clean end-of-stream.
+        throw std::runtime_error(
+            name() + ": malformed " +
+            FrameKindName(frame.empty() ? 0 : frame[0]) + " frame (" +
+            std::to_string(frame.size()) + " bytes): " + e.what());
+      }
       switch (decoded.kind) {
         case FrameKind::kTuple:
           CountProcessed();
           if (!EmitTupleAll(decoded.tuple)) return;
           break;
         case FrameKind::kBatch:
+        case FrameKind::kCompactBatch:
           CountProcessed(decoded.tuples.size());
           for (TuplePtr& t : decoded.tuples) {
             if (!EmitTupleAll(t)) return;
@@ -108,6 +118,7 @@ class ReceiveNode final : public Node {
 
  private:
   ByteChannel* channel_;
+  FrameDecoder decoder_;
 };
 
 }  // namespace genealog

@@ -7,6 +7,7 @@
 #include <cerrno>
 #include <cstring>
 #include <stdexcept>
+#include <string>
 
 #include "net/channel.h"
 
@@ -53,6 +54,7 @@ TcpChannel::~TcpChannel() {
 bool TcpChannel::SendFrame(std::vector<uint8_t> frame) {
   if (frame.empty()) return false;
   bytes_sent_.fetch_add(frame.size(), std::memory_order_relaxed);
+  frames_sent_.fetch_add(1, std::memory_order_relaxed);
   uint32_t len = static_cast<uint32_t>(frame.size());
   uint8_t header[4];
   std::memcpy(header, &len, 4);
@@ -64,7 +66,13 @@ bool TcpChannel::RecvFrame(std::vector<uint8_t>& frame) {
   if (!ReadAll(fd_, header, 4)) return false;
   uint32_t len = 0;
   std::memcpy(&len, header, 4);
-  if (len == 0 || len > (64u << 20)) return false;  // sanity bound: 64 MiB
+  if (len == 0 || len > (64u << 20)) {  // sanity bound: 64 MiB
+    // A malformed length prefix means the stream is corrupt, not closed:
+    // fail loudly so the Receive node reports it instead of reading the
+    // truncation as a clean end-of-stream.
+    throw std::runtime_error("TcpChannel: malformed frame length " +
+                             std::to_string(len));
+  }
   frame.resize(len);
   return ReadAll(fd_, frame.data(), len);
 }
@@ -75,6 +83,10 @@ void TcpChannel::Abort() { ::shutdown(fd_, SHUT_RDWR); }
 
 uint64_t TcpChannel::bytes_sent() const {
   return bytes_sent_.load(std::memory_order_relaxed);
+}
+
+uint64_t TcpChannel::frames_sent() const {
+  return frames_sent_.load(std::memory_order_relaxed);
 }
 
 std::pair<std::unique_ptr<TcpChannel>, std::unique_ptr<TcpChannel>>

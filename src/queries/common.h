@@ -79,6 +79,7 @@ struct BuiltQuery {
   ProvenanceSinkNode* provenance_sink = nullptr;      // GL only
   BaselineResolverNode* baseline_resolver = nullptr;  // BL only
   std::vector<SuNode*> su_nodes;  // fused SU per instance (instance order)
+  std::vector<SendNode*> send_nodes;  // one per inter-instance channel
 
   // Live lineage index (GL with EngineOptions::lineage_store only); fed by
   // the provenance sink, shared with LineageQuery handles.
@@ -99,6 +100,14 @@ struct BuiltQuery {
     return total;
   }
 
+  // Aggregated wire-codec accounting across every Send node (frames, raw vs
+  // encoded bytes; see WireStats).
+  WireStats wire_stats() const {
+    WireStats total;
+    for (const SendNode* s : send_nodes) total += s->wire_stats();
+    return total;
+  }
+
   // Runs all topologies to completion (blocking); a failing node aborts
   // queues *and* channels, so Receive nodes blocked on a socket or frame
   // queue unwind too.
@@ -108,6 +117,16 @@ struct BuiltQuery {
 // Allocates a channel on the query (see AddChannelTo in net/channel.h).
 inline ChannelEnds AddChannel(BuiltQuery& q) {
   return AddChannelTo(q.channels, q.options.use_tcp);
+}
+
+// Adds a Send node carrying the query's wire-codec knobs and registers it
+// for wire_stats() aggregation.
+inline SendNode* AddSend(BuiltQuery& q, Topology& topology,
+                         const std::string& name, ByteChannel* channel) {
+  auto* send =
+      topology.Add<SendNode>(name, channel, WireCodecFrom(q.options.engine()));
+  q.send_nodes.push_back(send);
+  return send;
 }
 
 // Inserts an SU (fused, or composed per Figure 5B when the ablation option is

@@ -122,8 +122,7 @@ void AssembleDistributed(const QuerySpec& spec, BuiltQuery& q) {
       // Data channels only: exit_i -> Send ~~> Receive -> entry_i.
       for (size_t i = 0; i < exits.size(); ++i) {
         ChannelEnds ch = AddChannel(q);
-        auto* send = topo1->Add<SendNode>("send.data" + std::to_string(i),
-                                          ch.send);
+        auto* send = AddSend(q, *topo1, "send.data" + std::to_string(i), ch.send);
         auto* recv = topo2->Add<ReceiveNode>("recv.data" + std::to_string(i),
                                              ch.recv);
         topo1->Connect(exits[i], send);
@@ -144,7 +143,7 @@ void AssembleDistributed(const QuerySpec& spec, BuiltQuery& q) {
       // Derived stream first: SU before the Sink at instance 2, its U sent to
       // the MU's derived port (port 0).
       ChannelEnds ch_derived = AddChannel(q);
-      auto* send_derived = topo2->Add<SendNode>("send.U_sink", ch_derived.send);
+      auto* send_derived = AddSend(q, *topo2, "send.U_sink", ch_derived.send);
       auto* recv_derived = topo3->Add<ReceiveNode>("recv.U_sink",
                                                    ch_derived.recv);
       Node* su2 = AddSu(q, *topo2, "SU.sink", sink, send_derived);
@@ -155,13 +154,11 @@ void AssembleDistributed(const QuerySpec& spec, BuiltQuery& q) {
       // upstream port.
       for (size_t i = 0; i < exits.size(); ++i) {
         ChannelEnds ch_data = AddChannel(q);
-        auto* send_data = topo1->Add<SendNode>("send.data" + std::to_string(i),
-                                               ch_data.send);
+        auto* send_data = AddSend(q, *topo1, "send.data" + std::to_string(i), ch_data.send);
         auto* recv_data = topo2->Add<ReceiveNode>(
             "recv.data" + std::to_string(i), ch_data.recv);
         ChannelEnds ch_u = AddChannel(q);
-        auto* send_u = topo1->Add<SendNode>("send.U" + std::to_string(i),
-                                            ch_u.send);
+        auto* send_u = AddSend(q, *topo1, "send.U" + std::to_string(i), ch_u.send);
         auto* recv_u = topo3->Add<ReceiveNode>("recv.U" + std::to_string(i),
                                                ch_u.recv);
         Node* su1 = AddSu(q, *topo1, "SU.send" + std::to_string(i), send_data,
@@ -182,7 +179,7 @@ void AssembleDistributed(const QuerySpec& spec, BuiltQuery& q) {
 
       // Annotated sink stream to the resolver (port 0).
       ChannelEnds ch_sink = AddChannel(q);
-      auto* send_sink = topo2->Add<SendNode>("send.sink_ann", ch_sink.send);
+      auto* send_sink = AddSend(q, *topo2, "send.sink_ann", ch_sink.send);
       auto* recv_sink = topo3->Add<ReceiveNode>("recv.sink_ann", ch_sink.recv);
       auto* sink_tap = topo2->Add<MultiplexNode>("bl.sink_tap");
       topo2->Connect(stage2.exit, sink_tap);
@@ -193,7 +190,7 @@ void AssembleDistributed(const QuerySpec& spec, BuiltQuery& q) {
       // The whole source stream shipped to the provenance node (port 1) —
       // the network cost §7 observes sinking the distributed baseline.
       ChannelEnds ch_src = AddChannel(q);
-      auto* send_src = topo1->Add<SendNode>("send.source_copy", ch_src.send);
+      auto* send_src = AddSend(q, *topo1, "send.source_copy", ch_src.send);
       auto* recv_src = topo3->Add<ReceiveNode>("recv.source_copy", ch_src.recv);
       topo1->Connect(source_tap, send_src);
       topo3->Connect(recv_src, resolver);  // port 1
@@ -201,8 +198,7 @@ void AssembleDistributed(const QuerySpec& spec, BuiltQuery& q) {
       // Data channels.
       for (size_t i = 0; i < exits.size(); ++i) {
         ChannelEnds ch_data = AddChannel(q);
-        auto* send = topo1->Add<SendNode>("send.data" + std::to_string(i),
-                                          ch_data.send);
+        auto* send = AddSend(q, *topo1, "send.data" + std::to_string(i), ch_data.send);
         auto* recv = topo2->Add<ReceiveNode>("recv.data" + std::to_string(i),
                                              ch_data.recv);
         topo1->Connect(exits[i], send);

@@ -54,6 +54,7 @@
 #include "genealog/lineage_query.h"
 #include "genealog/provenance_record.h"
 #include "net/channel.h"
+#include "net/send_receive.h"
 #include "spe/aggregate.h"
 #include "spe/join.h"
 #include "spe/parallel.h"
@@ -160,7 +161,8 @@ struct BuiltDataflow {
   std::vector<SinkNode*> sinks;          // in plan order
   ProvenanceSinkNode* provenance_sink = nullptr;      // GL only
   BaselineResolverNode* baseline_resolver = nullptr;  // BL only
-  std::vector<SuNode*> su_nodes;  // fused SUs, in weave order
+  std::vector<SuNode*> su_nodes;    // fused SUs, in weave order
+  std::vector<SendNode*> send_nodes;  // one per inter-instance channel
 
   // Live lineage index (GL with EngineOptions::lineage_store only); fed by
   // the provenance sink, shared with LineageQuery handles.
@@ -178,6 +180,14 @@ struct BuiltDataflow {
   uint64_t network_bytes() const {
     uint64_t total = 0;
     for (const auto& c : channels) total += c->bytes_sent();
+    return total;
+  }
+
+  // Aggregated wire-codec accounting across every Send node (frames, raw vs
+  // encoded bytes; see WireStats).
+  WireStats wire_stats() const {
+    WireStats total;
+    for (const SendNode* s : send_nodes) total += s->wire_stats();
     return total;
   }
 

@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "common/cpu_topology.h"
 #include "common/memory_accounting.h"
 
 namespace genealog {
@@ -198,8 +199,9 @@ void WorkerPool::Start(std::function<void(std::exception_ptr)> on_error) {
 
   size_t n = options_.workers;
   if (n == 0) {
-    n = std::thread::hardware_concurrency();
-    if (n == 0) n = 1;
+    // Physical cores, not hardware threads: compute-bound workers on SMT
+    // siblings fight over the same execution units (common/cpu_topology.h).
+    n = DefaultWorkerCount();
   }
   if (n > tasks_.size()) n = tasks_.size();
   workers_.resize(n);

@@ -1,0 +1,116 @@
+// CountPhysicalCores against mocked sysfs layouts: an SMT box must resolve to
+// physical cores, not hardware threads, and broken layouts must fall back.
+#include "common/cpu_topology.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+namespace genealog {
+namespace {
+
+namespace fs = std::filesystem;
+
+class MockSysfs {
+ public:
+  MockSysfs() {
+    root_ = fs::temp_directory_path() /
+            ("genealog_cpu_topology_" + std::to_string(::getpid()) + "_" +
+             std::to_string(counter_++));
+    fs::create_directories(root_);
+  }
+  ~MockSysfs() { fs::remove_all(root_); }
+
+  void AddCpu(int cpu, long package, long core) {
+    const fs::path topo = root_ / ("cpu" + std::to_string(cpu)) / "topology";
+    fs::create_directories(topo);
+    Write(topo / "physical_package_id", std::to_string(package) + "\n");
+    Write(topo / "core_id", std::to_string(core) + "\n");
+  }
+
+  void WriteRaw(int cpu, const std::string& file, const std::string& text) {
+    const fs::path topo = root_ / ("cpu" + std::to_string(cpu)) / "topology";
+    fs::create_directories(topo);
+    Write(topo / file, text);
+  }
+
+  std::string path() const { return root_.string(); }
+
+ private:
+  static void Write(const fs::path& p, const std::string& text) {
+    std::ofstream(p) << text;
+  }
+
+  fs::path root_;
+  static inline int counter_ = 0;
+};
+
+TEST(CpuTopologyTest, SmtBoxCountsPhysicalCoresNotThreads) {
+  // 2 sockets x 4 cores x 2 SMT threads = 16 logical CPUs, 8 physical cores.
+  // Linux numbers the sibling threads after all the primaries.
+  MockSysfs sysfs;
+  int cpu = 0;
+  for (int smt = 0; smt < 2; ++smt) {
+    for (int pkg = 0; pkg < 2; ++pkg) {
+      for (int core = 0; core < 4; ++core) {
+        sysfs.AddCpu(cpu++, pkg, core);
+      }
+    }
+  }
+  EXPECT_EQ(CountPhysicalCores(sysfs.path()), 8u);
+}
+
+TEST(CpuTopologyTest, NonSmtBoxCountsEveryCpu) {
+  MockSysfs sysfs;
+  for (int cpu = 0; cpu < 6; ++cpu) sysfs.AddCpu(cpu, 0, cpu);
+  EXPECT_EQ(CountPhysicalCores(sysfs.path()), 6u);
+}
+
+TEST(CpuTopologyTest, CoreIdsOnlyUniquePerPackage) {
+  // core_id restarts at 0 on each package; the pair (package, core) is the
+  // physical core identity.
+  MockSysfs sysfs;
+  sysfs.AddCpu(0, 0, 0);
+  sysfs.AddCpu(1, 0, 1);
+  sysfs.AddCpu(2, 1, 0);
+  sysfs.AddCpu(3, 1, 1);
+  EXPECT_EQ(CountPhysicalCores(sysfs.path()), 4u);
+}
+
+TEST(CpuTopologyTest, MissingLayoutYieldsZeroForFallback) {
+  MockSysfs sysfs;  // no cpu* directories at all
+  EXPECT_EQ(CountPhysicalCores(sysfs.path()), 0u);
+  EXPECT_EQ(CountPhysicalCores(sysfs.path() + "/does_not_exist"), 0u);
+}
+
+TEST(CpuTopologyTest, StopsAtFirstGapInCpuNumbering) {
+  // cpu0 and cpu2 but no cpu1: only the dense prefix is counted (Linux keeps
+  // cpuN dense; a gap means we are no longer reading a real layout).
+  MockSysfs sysfs;
+  sysfs.AddCpu(0, 0, 0);
+  sysfs.AddCpu(2, 0, 2);
+  EXPECT_EQ(CountPhysicalCores(sysfs.path()), 1u);
+}
+
+TEST(CpuTopologyTest, UnparsableTopologyFilesStopTheWalk) {
+  MockSysfs sysfs;
+  sysfs.AddCpu(0, 0, 0);
+  sysfs.AddCpu(1, 0, 1);
+  sysfs.WriteRaw(2, "physical_package_id", "not-a-number");
+  sysfs.WriteRaw(2, "core_id", "0\n");
+  EXPECT_EQ(CountPhysicalCores(sysfs.path()), 2u);
+}
+
+TEST(CpuTopologyTest, DefaultWorkerCountIsPositive) {
+  // On any machine this runs on: >= 1, and no larger than the thread count
+  // when both probes work.
+  EXPECT_GE(DefaultWorkerCount(), 1u);
+}
+
+}  // namespace
+}  // namespace genealog

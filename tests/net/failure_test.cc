@@ -2,6 +2,8 @@
 // no leaks, errors surfaced to the caller — when channels break mid-stream,
 // frames are corrupted, or a remote peer disappears.
 #include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
 #include <thread>
 
@@ -73,6 +75,78 @@ TEST(FailureTest, TruncatedTupleFrameFailsTheRunLoudly) {
   Runner runner({&topo});
   runner.Start();
   EXPECT_THROW(runner.Join(), std::exception);
+}
+
+TEST(FailureTest, MalformedFrameErrorNamesNodeAndFrameKind) {
+  // A corrupt frame must produce a diagnosable error: which Receive endpoint
+  // saw it and what kind of frame it claimed to be.
+  InMemoryChannel channel;
+  std::vector<uint8_t> bogus = {
+      static_cast<uint8_t>(FrameKind::kBatch), 0xFF, 0xFF, 0xFF};  // truncated
+  channel.SendFrame(std::move(bogus));
+  channel.CloseSend();
+
+  Topology topo(2);
+  auto* recv = topo.Add<ReceiveNode>("recv.U", &channel);
+  auto* sink = topo.Add<SinkNode>("sink");
+  topo.Connect(recv, sink);
+  Runner runner({&topo});
+  runner.Start();
+  try {
+    runner.Join();
+    FAIL() << "corrupt frame did not fail the run";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("recv.U"), std::string::npos) << what;
+    EXPECT_NE(what.find("batch"), std::string::npos) << what;
+  }
+}
+
+TEST(FailureTest, CorruptCompactFrameErrorNamesTheCodec) {
+  // A compact frame whose dictionary references dangle (mid-stream join)
+  // must name the compact codec in the error, not decode garbage.
+  FrameEncoder encoder({WireCodec::kCompact, false});
+  std::vector<TuplePtr> batch = {V(1, 1)};
+  encoder.EncodeBatch(batch, kNoWatermark, false);  // defines the dictionary
+  auto frames = encoder.EncodeBatch(batch, kNoWatermark, false);  // references
+
+  InMemoryChannel channel;
+  channel.SendFrame(std::move(frames[0]));
+  channel.CloseSend();
+  Topology topo(2);
+  auto* recv = topo.Add<ReceiveNode>("recv", &channel);
+  auto* sink = topo.Add<SinkNode>("sink");
+  topo.Connect(recv, sink);
+  Runner runner({&topo});
+  runner.Start();
+  try {
+    runner.Join();
+    FAIL() << "dangling dictionary reference did not fail the run";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("recv"), std::string::npos) << what;
+    EXPECT_NE(what.find("compact-batch"), std::string::npos) << what;
+  }
+}
+
+TEST(FailureTest, TcpMalformedLengthPrefixThrowsNamedError) {
+  // A zero or absurd length prefix is stream corruption, not end-of-stream:
+  // RecvFrame must throw (named), never silently drop the connection.
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  TcpChannel receiver(fds[0]);
+
+  const uint32_t zero = 0;
+  ASSERT_EQ(::send(fds[1], &zero, 4, 0), 4);
+  std::vector<uint8_t> frame;
+  try {
+    receiver.RecvFrame(frame);
+    FAIL() << "zero-length prefix did not throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("malformed frame length"),
+              std::string::npos);
+  }
+  ::close(fds[1]);
 }
 
 TEST(FailureTest, TcpPeerResetUnblocksBothSides) {

@@ -61,12 +61,14 @@ struct RunArtifacts {
 
 QueryBuildOptions MakeOptions(bool distributed, size_t batch, bool spsc,
                               const std::string& file,
-                              std::vector<std::string>& sink_out) {
+                              std::vector<std::string>& sink_out,
+                              WireCodec codec = WireCodec::kRaw) {
   QueryBuildOptions options;
   options.mode = ProvenanceMode::kGenealog;
   options.distributed = distributed;
   options.batch_size = batch;
   options.spsc_edges = spsc;
+  options.wire_codec = codec;
   options.provenance_file = file;
   options.sink_consumer = [&sink_out](const TuplePtr& t) {
     sink_out.push_back(std::to_string(t->ts) + "|" + t->DebugPayload());
@@ -76,11 +78,12 @@ QueryBuildOptions MakeOptions(bool distributed, size_t batch, bool spsc,
 
 template <typename Builder, typename Data>
 RunArtifacts RunOne(Builder&& builder, const Data& data, bool distributed,
-                    size_t batch, bool spsc, const std::string& path) {
+                    size_t batch, bool spsc, const std::string& path,
+                    WireCodec codec = WireCodec::kRaw) {
   RunArtifacts out;
   auto q = builder(data,
                    MakeOptions(distributed, batch, spsc, path,
-                               out.ordered_sink));
+                               out.ordered_sink, codec));
   q.Run();
   out.records = [&] {
     if constexpr (requires { q.provenance_records(); }) {
@@ -94,26 +97,36 @@ RunArtifacts RunOne(Builder&& builder, const Data& data, bool distributed,
   return out;
 }
 
+// The wire codec must be invisible: within each sweep point the hand-wired
+// build runs raw and the fluent build runs each codec in `codecs`, so the
+// compact rows are cross-codec comparisons — one side delta/dictionary
+// encodes its channels, the other does not, and the sinks and canonical
+// provenance bytes must still match exactly. Intra sweeps pass only raw
+// (no channels to encode).
 template <typename HandBuilder, typename FluentBuilder, typename Data>
 void SweepEquivalence(const char* name, HandBuilder hand_builder,
                       FluentBuilder fluent_builder, const Data& data,
-                      bool distributed, std::vector<bool> spsc_values) {
+                      bool distributed, std::vector<bool> spsc_values,
+                      std::vector<WireCodec> codecs = {WireCodec::kRaw}) {
   const std::string hand_path = ::testing::TempDir() + "/dfeq_hand.bin";
   const std::string fluent_path = ::testing::TempDir() + "/dfeq_fluent.bin";
   for (const size_t batch : {size_t{1}, size_t{64}}) {
     for (const bool spsc : spsc_values) {
-      SCOPED_TRACE(std::string(name) + " batch " + std::to_string(batch) +
-                   " spsc " + std::to_string(spsc));
       const RunArtifacts hand =
           RunOne(hand_builder, data, distributed, batch, spsc, hand_path);
-      const RunArtifacts fluent =
-          RunOne(fluent_builder, data, distributed, batch, spsc, fluent_path);
       ASSERT_FALSE(hand.ordered_sink.empty());
       ASSERT_GT(hand.records, 0u);
-      EXPECT_EQ(fluent.ordered_sink, hand.ordered_sink);
-      EXPECT_EQ(fluent.records, hand.records);
-      EXPECT_EQ(fluent.provenance, hand.provenance)
-          << "canonical provenance bytes diverged";
+      for (const WireCodec codec : codecs) {
+        SCOPED_TRACE(std::string(name) + " batch " + std::to_string(batch) +
+                     " spsc " + std::to_string(spsc) + " codec " +
+                     (codec == WireCodec::kCompact ? "compact" : "raw"));
+        const RunArtifacts fluent = RunOne(fluent_builder, data, distributed,
+                                           batch, spsc, fluent_path, codec);
+        EXPECT_EQ(fluent.ordered_sink, hand.ordered_sink);
+        EXPECT_EQ(fluent.records, hand.records);
+        EXPECT_EQ(fluent.provenance, hand.provenance)
+            << "canonical provenance bytes diverged";
+      }
     }
   }
 }
@@ -125,7 +138,8 @@ TEST(DataflowEquivalenceTest, Q1GenealogIntra) {
 
 TEST(DataflowEquivalenceTest, Q1GenealogDistributed) {
   SweepEquivalence("Q1", BuildQ1, BuildQ1Fluent, SmallLr(),
-                   /*distributed=*/true, {true, false});
+                   /*distributed=*/true, {true, false},
+                   {WireCodec::kRaw, WireCodec::kCompact});
 }
 
 TEST(DataflowEquivalenceTest, Q2GenealogIntra) {
@@ -135,7 +149,8 @@ TEST(DataflowEquivalenceTest, Q2GenealogIntra) {
 
 TEST(DataflowEquivalenceTest, Q2GenealogDistributed) {
   SweepEquivalence("Q2", BuildQ2, BuildQ2Fluent, AccidentLr(),
-                   /*distributed=*/true, {true});
+                   /*distributed=*/true, {true},
+                   {WireCodec::kRaw, WireCodec::kCompact});
 }
 
 TEST(DataflowEquivalenceTest, Q3GenealogIntra) {
@@ -145,7 +160,8 @@ TEST(DataflowEquivalenceTest, Q3GenealogIntra) {
 
 TEST(DataflowEquivalenceTest, Q3GenealogDistributed) {
   SweepEquivalence("Q3", BuildQ3, BuildQ3Fluent, SmallSg(),
-                   /*distributed=*/true, {true});
+                   /*distributed=*/true, {true},
+                   {WireCodec::kRaw, WireCodec::kCompact});
 }
 
 TEST(DataflowEquivalenceTest, Q4GenealogIntra) {
@@ -155,7 +171,8 @@ TEST(DataflowEquivalenceTest, Q4GenealogIntra) {
 
 TEST(DataflowEquivalenceTest, Q4GenealogDistributed) {
   SweepEquivalence("Q4", BuildQ4, BuildQ4Fluent, SmallSg(),
-                   /*distributed=*/true, {true});
+                   /*distributed=*/true, {true},
+                   {WireCodec::kRaw, WireCodec::kCompact});
 }
 
 // The key-partitioned lowering (`.KeyBy(car).Parallel(n)` inside
@@ -214,20 +231,23 @@ TEST(DataflowEquivalenceTest, Q1ParallelMatchesSingleInstanceDistributed) {
   ASSERT_GT(reference.records, 0u);
   for (const int shards : {2, 4}) {
     for (const size_t batch : {size_t{1}, size_t{64}}) {
-      SCOPED_TRACE("shards " + std::to_string(shards) + " batch " +
-                   std::to_string(batch));
-      auto parallel_builder = [shards](const lr::LinearRoadData& d,
-                                       QueryBuildOptions options) {
-        options.parallelism = shards;
-        return BuildQ1Fluent(d, std::move(options));
-      };
-      const RunArtifacts par = RunOne(parallel_builder, data,
-                                      /*distributed=*/true, batch, true,
-                                      par_path);
-      EXPECT_EQ(par.ordered_sink, reference.ordered_sink);
-      EXPECT_EQ(par.records, reference.records);
-      EXPECT_EQ(par.provenance, reference.provenance)
-          << "canonical provenance bytes diverged";
+      for (const WireCodec codec : {WireCodec::kRaw, WireCodec::kCompact}) {
+        SCOPED_TRACE("shards " + std::to_string(shards) + " batch " +
+                     std::to_string(batch) + " codec " +
+                     (codec == WireCodec::kCompact ? "compact" : "raw"));
+        auto parallel_builder = [shards](const lr::LinearRoadData& d,
+                                         QueryBuildOptions options) {
+          options.parallelism = shards;
+          return BuildQ1Fluent(d, std::move(options));
+        };
+        const RunArtifacts par = RunOne(parallel_builder, data,
+                                        /*distributed=*/true, batch, true,
+                                        par_path, codec);
+        EXPECT_EQ(par.ordered_sink, reference.ordered_sink);
+        EXPECT_EQ(par.records, reference.records);
+        EXPECT_EQ(par.provenance, reference.provenance)
+            << "canonical provenance bytes diverged";
+      }
     }
   }
 }

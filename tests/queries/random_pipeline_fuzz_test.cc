@@ -370,17 +370,22 @@ struct ParallelFuzzResult {
 };
 
 // shards == 0 builds the single-instance reference (a plain Aggregate node);
-// shards >= 1 routes the same aggregation through KeyBy/Parallel.
+// shards >= 1 routes the same aggregation through KeyBy/Parallel. `cut`
+// places everything from the aggregate on instance 2 (`.At(2)`), lowering
+// the crossing edge to Send/Receive — whose frames `codec` then encodes.
 ParallelFuzzResult RunFluentParallel(const ParallelFuzzPlan& plan,
                                      uint64_t seed, int shards,
                                      size_t batch_size,
                                      SchedulerMode scheduler,
-                                     size_t workers) {
+                                     size_t workers,
+                                     WireCodec codec = WireCodec::kRaw,
+                                     bool cut = false) {
   ParallelFuzzResult out;
   DataflowOptions opts;
   opts.mode = ProvenanceMode::kGenealog;
   opts.engine.batch_size = batch_size;
   opts.engine.scheduler = scheduler;
+  opts.engine.wire_codec = codec;
   if (workers > 0) opts.engine.workers = workers;
   opts.provenance_consumer = [&out](const ProvenanceRecord& r) {
     out.records.push_back(Canonicalize(r));
@@ -406,6 +411,7 @@ ParallelFuzzResult RunFluentParallel(const ParallelFuzzPlan& plan,
     }
   };
   apply(plan.prefix);
+  if (cut) head = head.At(2);
   const auto key_fn = [](const KeyedTuple& t) { return t.key; };
   const auto combiner = [](const WindowView<KeyedTuple, int64_t>& w) {
     double sum = 0;
@@ -451,6 +457,32 @@ TEST_P(RandomPipelineFuzzTest, FluentParallelStageMatchesSingleInstance) {
         EXPECT_EQ(got, reference)
             << "seed " << seed << " shards " << shards << " pool "
             << (scheduler == SchedulerMode::kPool) << " batch " << batch;
+      }
+    }
+  }
+}
+
+// The wire codec must be invisible across a deployment cut on every random
+// pipeline: the distributed build (stateless prefix on instance 1, the
+// aggregate and suffix on instance 2, Send/Receive between them) must
+// reproduce the intra-process reference under both codecs at every batch
+// size, including composed with the key-partitioned parallel stage.
+TEST_P(RandomPipelineFuzzTest, FluentDistributedIsWireCodecInvariant) {
+  const uint64_t seed = GetParam();
+  const ParallelFuzzPlan plan = MakeParallelFuzzPlan(seed);
+  const ParallelFuzzResult reference = RunFluentParallel(
+      plan, seed, /*shards=*/0, /*batch_size=*/1,
+      SchedulerMode::kThreadPerNode, /*workers=*/0);
+  for (const WireCodec codec : {WireCodec::kRaw, WireCodec::kCompact}) {
+    for (const size_t batch : {size_t{1}, size_t{64}}) {
+      for (const int shards : {0, 2}) {
+        const ParallelFuzzResult got = RunFluentParallel(
+            plan, seed, shards, batch, SchedulerMode::kThreadPerNode,
+            /*workers=*/0, codec, /*cut=*/true);
+        EXPECT_EQ(got, reference)
+            << "seed " << seed << " codec "
+            << (codec == WireCodec::kCompact ? "compact" : "raw") << " batch "
+            << batch << " shards " << shards;
       }
     }
   }
