@@ -1,0 +1,190 @@
+// Lineage service bench (BM_LineageServe): request throughput and tail
+// latency of the remote LineageQuery endpoint over TCP loopback, at a small
+// and a large retained store — the "operator console attached to an edge
+// node" scenario. Per store size, one synchronous client issues a fixed mix
+// of point lookups, backward closures and stats probes; requests/s comes
+// from the measured wall time and p50/p99 from the service's own per-request
+// accounting (ServeStats). Results land in BENCH_lineage_service.json
+// (CI bench-smoke runs this and gates on the sanity checks, not the rates).
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+#include "common/wall_clock.h"
+#include "genealog/lineage_service.h"
+#include "genealog/lineage_store.h"
+#include "lr/linear_road.h"
+
+namespace genealog::bench {
+namespace {
+
+uint64_t MakeId(uint64_t node_uid, uint64_t seq) {
+  return (node_uid << 40) | seq;
+}
+
+// A store with `n_records` retained records of Linear-Road-shaped tuples:
+// each derived stopped-car aggregate cites 2..4 position reports, ids shaped
+// like the instrumented engine's.
+std::shared_ptr<LineageStore> MakeStore(size_t n_records) {
+  auto store = std::make_shared<LineageStore>();
+  std::mt19937_64 rng(7);
+  uint64_t seq = 1;
+  for (size_t i = 0; i < n_records; ++i) {
+    const int64_t ts = static_cast<int64_t>(i);
+    ProvenanceRecord rec;
+    auto derived = MakeTuple<lr::StoppedCarStats>(
+        ts, static_cast<int64_t>(i % 997), 4, 100, 100);
+    derived->id = MakeId(12, seq++);
+    rec.derived = TuplePtr(derived.get());
+    rec.derived_id = derived->id;
+    rec.derived_ts = ts;
+    const size_t n_origins = 2 + rng() % 3;
+    for (size_t o = 0; o < n_origins; ++o) {
+      auto origin = MakeTuple<lr::PositionReport>(
+          ts - 1, static_cast<int64_t>(i % 997), 0.0,
+          static_cast<int64_t>(100 + o));
+      origin->id = MakeId(7, seq++);
+      rec.origins.push_back(TuplePtr(origin.get()));
+    }
+    store->Ingest(rec);
+  }
+  return store;
+}
+
+struct ServeResult {
+  size_t retained = 0;
+  uint64_t requests = 0;
+  double seconds = 0;
+  double requests_per_s = 0;
+  double latency_p50_us = 0;
+  double latency_p99_us = 0;
+  uint64_t bytes_sent = 0;
+};
+
+ServeResult BM_LineageServe(size_t n_records, uint64_t n_requests) {
+  auto store = MakeStore(n_records);
+  LineageService service(store);
+  service.Start();
+
+  const std::vector<uint64_t> ids = store->RetainedRecordIds();
+  LineageClient client(service.address());
+  std::mt19937_64 rng(13);
+
+  // Warm-up: touch the path end to end before timing.
+  for (int i = 0; i < 100; ++i) {
+    client.Lookup(ids[rng() % ids.size()]);
+  }
+
+  const int64_t start = NowNanos();
+  for (uint64_t i = 0; i < n_requests; ++i) {
+    const uint64_t id = ids[rng() % ids.size()];
+    switch (i % 4) {
+      case 0:
+      case 1:
+        client.Lookup(id);  // point lookups dominate a console session
+        break;
+      case 2:
+        client.Contributors(id);
+        break;
+      default:
+        client.Stats();
+        break;
+    }
+  }
+  const int64_t end = NowNanos();
+
+  const ServeStats stats = service.stats();
+  service.Stop();
+
+  ServeResult r;
+  r.retained = n_records;
+  r.requests = n_requests;
+  r.seconds = static_cast<double>(end - start) / 1e9;
+  r.requests_per_s =
+      r.seconds > 0 ? static_cast<double>(n_requests) / r.seconds : 0;
+  r.latency_p50_us = stats.latency_p50_us;
+  r.latency_p99_us = stats.latency_p99_us;
+  r.bytes_sent = stats.bytes_sent;
+  return r;
+}
+
+int Main() {
+  const BenchEnv env = ReadBenchEnv();
+  std::printf(
+      "GeneaLog reproduction — lineage service (remote query over loopback)\n"
+      "reps=%d scale=%.2f\n\n",
+      env.reps, env.scale);
+
+  // Retained sizes per the console scenario: a small live window and a
+  // 2^18-record store (the paper-scale retained set).
+  const std::vector<size_t> sizes = {1'000, 262'144};
+  const uint64_t n_requests =
+      static_cast<uint64_t>(4000 * (env.scale < 1 ? env.scale : 1)) + 400;
+
+  std::printf("BM_LineageServe (%llu requests per cell: 50%% Lookup, "
+              "25%% Contributors, 25%% Stats)\n",
+              static_cast<unsigned long long>(n_requests));
+  std::printf("-------------------------------------------------------------"
+              "---\n");
+  std::vector<ServeResult> results;
+  for (const size_t n : sizes) {
+    ServeResult best;
+    for (int rep = 0; rep < env.reps; ++rep) {
+      const ServeResult r = BM_LineageServe(n, n_requests);
+      if (rep == 0 || r.requests_per_s > best.requests_per_s) best = r;
+    }
+    results.push_back(best);
+    std::printf(
+        "retained %7zu | %9.0f req/s | p50 %7.1f us | p99 %7.1f us | "
+        "%9llu B sent\n",
+        best.retained, best.requests_per_s, best.latency_p50_us,
+        best.latency_p99_us, static_cast<unsigned long long>(best.bytes_sent));
+  }
+
+  if (!env.json_dir.empty()) {
+    const std::string path = env.json_dir + "/BENCH_lineage_service.json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", path.c_str());
+      return 1;
+    }
+    std::fprintf(f,
+                 "{\n  \"bench\": \"lineage_service\",\n  \"reps\": %d,\n"
+                 "  \"requests_per_cell\": %llu,\n  \"cells\": [\n",
+                 env.reps, static_cast<unsigned long long>(n_requests));
+    for (size_t i = 0; i < results.size(); ++i) {
+      const ServeResult& r = results[i];
+      std::fprintf(f,
+                   "    {\"retained\": %zu, \"requests_per_s\": %.0f, "
+                   "\"latency_p50_us\": %.1f, \"latency_p99_us\": %.1f, "
+                   "\"bytes_sent\": %llu}%s\n",
+                   r.retained, r.requests_per_s, r.latency_p50_us,
+                   r.latency_p99_us,
+                   static_cast<unsigned long long>(r.bytes_sent),
+                   i + 1 < results.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("\nwrote %s\n", path.c_str());
+  }
+
+  // Sanity gates: the service must actually have answered everything, at a
+  // rate that is not pathological for a synchronous loopback client.
+  for (const ServeResult& r : results) {
+    if (r.requests != n_requests || r.requests_per_s < 100) {
+      std::fprintf(stderr, "FAIL: retained %zu served %.0f req/s\n",
+                   r.retained, r.requests_per_s);
+      return 1;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace genealog::bench
+
+int main() { return genealog::bench::Main(); }

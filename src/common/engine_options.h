@@ -24,7 +24,8 @@
 // | lineage_store    | GENEALOG_LINEAGE_STORE   | off             |
 // | lineage_retain_records | GENEALOG_LINEAGE_RETAIN_RECORDS | 1M (0 = unbounded) |
 // | lineage_retain_span    | GENEALOG_LINEAGE_RETAIN_SPAN    | 0 (= no horizon)   |
-// | wire_codec       | GENEALOG_WIRE_CODEC      | raw             |
+// | lineage_serve_addr | GENEALOG_LINEAGE_SERVE_ADDR | "" (= no serving) |
+// | wire_codec       | GENEALOG_WIRE_CODEC      | compact         |
 // | wire_block_compress | GENEALOG_WIRE_BLOCK_COMPRESS | on (compact only) |
 // | use_tcp          | —                        | off             |
 // | composed_unfolders | —                      | off             |
@@ -47,6 +48,7 @@
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
+#include <string>
 
 #include "common/env_knob.h"
 
@@ -149,14 +151,23 @@ inline int64_t LineageRetainSpan() {
   }();
   return v;
 }
+inline std::string LineageServeAddr() {
+  static const std::string v = [] {
+    const char* s = std::getenv("GENEALOG_LINEAGE_SERVE_ADDR");
+    return std::string(s != nullptr ? s : "");
+  }();
+  return v;
+}
 inline WireCodec WireCodecDefault() {
   static const WireCodec v = [] {
     const char* s = std::getenv("GENEALOG_WIRE_CODEC");
-    if (s != nullptr && std::strcmp(s, "compact") == 0) {
-      return WireCodec::kCompact;
+    if (s != nullptr && std::strcmp(s, "raw") == 0) {
+      return WireCodec::kRaw;
     }
-    // Anything else (unset, "raw", typos) keeps the seed wire format.
-    return WireCodec::kRaw;
+    // Compact is the default since its one-release soak (PR 9 shipped it,
+    // equivalence suites pin decoded streams byte-identical); "raw" keeps
+    // the seed wire format as the fallback.
+    return WireCodec::kCompact;
   }();
   return v;
 }
@@ -209,10 +220,15 @@ struct EngineOptions {
   // ... and/or once an epoch's newest derived event-time falls more than this
   // many time units behind the newest ingested record (0 = no horizon).
   int64_t lineage_retain_span = engine_defaults::LineageRetainSpan();
-  // Frame encoding for inter-instance streams (net/frame.h). kCompact
-  // delta/dictionary-encodes batch frames and is decoded back to the exact
-  // raw tuple stream; raw stays the default for one PR while the codec
-  // soaks in the equivalence suites.
+  // When non-empty ("host:port"; port 0 = ephemeral) and the lineage store
+  // is on, the built query additionally starts a LineageService
+  // (genealog/lineage_service.h) answering LineageQuery over TCP while (and
+  // after) the topology runs. Empty = no serving endpoint.
+  std::string lineage_serve_addr = engine_defaults::LineageServeAddr();
+  // Frame encoding for inter-instance streams (net/frame.h). kCompact (the
+  // default since its one-release soak) delta/dictionary-encodes batch
+  // frames and is decoded back to the exact raw tuple stream;
+  // GENEALOG_WIRE_CODEC=raw keeps the seed wire format.
   WireCodec wire_codec = engine_defaults::WireCodecDefault();
   // Under kCompact, additionally run the dependency-free LZ block compressor
   // over each encoded frame body and keep the compressed form when smaller.

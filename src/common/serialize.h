@@ -78,7 +78,8 @@ class ByteReader {
 
   void GetBytes(uint8_t* out, size_t n) {
     Require(n);
-    std::memcpy(out, data_ + pos_, n);
+    // n == 0 with a null out (an empty vector's data()) is UB for memcpy.
+    if (n > 0) std::memcpy(out, data_ + pos_, n);
     pos_ += n;
   }
 

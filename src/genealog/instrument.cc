@@ -208,7 +208,8 @@ void LowerDataflow(const Plan& plan, BuiltDataflow& out) {
     pso.file_path = opts.provenance_file;
     pso.consumer = opts.provenance_consumer;
     pso.engine = engine;
-    if (engine.lineage_store) {
+    if (engine.lineage_store || !engine.lineage_serve_addr.empty()) {
+      // A serve address implies the store — nothing to serve without one.
       out.lineage_store =
           std::make_shared<LineageStore>(MakeLineageOptions(engine));
     }
@@ -320,6 +321,14 @@ void LowerDataflow(const Plan& plan, BuiltDataflow& out) {
       }
       to_topo.Connect(recv, to);
     }
+  }
+
+  // Remote lineage serving rides on the store: bind the endpoint at Build()
+  // so a console can attach before (and while) the dataflow runs.
+  if (out.lineage_store != nullptr && !engine.lineage_serve_addr.empty()) {
+    out.lineage_service = std::make_shared<LineageService>(
+        out.lineage_store, ParseServeAddr(engine.lineage_serve_addr));
+    out.lineage_service->Start();
   }
 }
 

@@ -55,6 +55,11 @@ class LineageQuery {
   std::vector<uint64_t> RetainedRecordIds() const {
     return Store().RetainedRecordIds();
   }
+  // Predicate scan: event-time range, node-uid and record-root filters over
+  // the retained index (see LineagePredicate).
+  std::vector<Entry> Select(const LineagePredicate& p) const {
+    return Store().Select(p);
+  }
   // Retained span, eviction counters, index size — see LineageStore::Stats.
   LineageStore::Stats Stats() const { return Store().stats(); }
 

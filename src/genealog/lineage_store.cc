@@ -280,10 +280,65 @@ LineageStore::Stats LineageStore::stats() const {
   return s;
 }
 
-uint64_t ReplayProvenanceFile(const std::string& path, LineageStore& store) {
+std::vector<LineageStore::Entry> LineageStore::Select(
+    const LineagePredicate& p) const {
+  std::shared_lock lock(mu_);
+  std::vector<Entry> out;
+  int node_code = -1;
+  if (p.has_node_uid) {
+    auto it = node_code_.find(p.node_uid);
+    if (it == node_code_.end()) return out;  // uid never interned
+    node_code = it->second;
+  }
+  std::vector<uint32_t> matches;
+  for (uint32_t i = 0; i < slots_.size(); ++i) {
+    const Slot& s = slots_[i];
+    if (!s.live) continue;
+    if (s.ts < p.min_ts || s.ts > p.max_ts) continue;
+    if (node_code >= 0 && s.node_code != node_code) continue;
+    if (p.records_only && !s.is_record) continue;
+    matches.push_back(i);
+  }
+  std::sort(matches.begin(), matches.end(), [this](uint32_t a, uint32_t b) {
+    return slots_[a].ts != slots_[b].ts ? slots_[a].ts < slots_[b].ts
+                                        : slots_[a].id < slots_[b].id;
+  });
+  if (p.limit > 0 && matches.size() > p.limit) matches.resize(p.limit);
+  out.reserve(matches.size());
+  for (uint32_t slot : matches) out.push_back(MaterializeLocked(slot));
+  return out;
+}
+
+namespace {
+
+// Snapshot file layout:
+//   u32 magic "GLSN" | u32 version | u64 payload size | u64 FNV-1a(payload)
+//   payload: u64 records_ingested | u64 records_retained | u64 records_evicted
+//            | u64 epochs_evicted | i64 latest_ts | u8 any_ingested
+//            | u32 epoch count
+//            | per epoch: u8 sealed | u32 record count
+//              | per record: serialized derived tuple | u32 origin count
+//                            | serialized origin tuples
+// Records use the provenance-file record shape so a snapshot restores through
+// the exact Ingest path the live consumer exercises; the leading checksum is
+// what turns torn writes and bit flips into a load-time rejection.
+constexpr uint32_t kSnapshotMagic = 0x4E534C47;  // "GLSN" little-endian
+constexpr uint32_t kSnapshotVersion = 1;
+
+uint64_t Fnv1a(const uint8_t* data, size_t n) {
+  uint64_t h = 1469598103934665603ull;
+  for (size_t i = 0; i < n; ++i) {
+    h ^= data[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::vector<uint8_t> ReadFileBytes(const std::string& path,
+                                   const char* what) {
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) {
-    throw std::runtime_error("cannot open provenance file " + path);
+    throw std::runtime_error(std::string("cannot open ") + what + " " + path);
   }
   std::vector<uint8_t> bytes;
   uint8_t chunk[1 << 16];
@@ -292,7 +347,163 @@ uint64_t ReplayProvenanceFile(const std::string& path, LineageStore& store) {
     bytes.insert(bytes.end(), chunk, chunk + n);
   }
   std::fclose(f);
+  return bytes;
+}
 
+}  // namespace
+
+void LineageStore::SaveSnapshot(const std::string& path) const {
+  ByteWriter payload;
+  {
+    std::shared_lock lock(mu_);
+    payload.PutU64(records_ingested_);
+    payload.PutU64(records_retained_);
+    payload.PutU64(records_evicted_);
+    payload.PutU64(epochs_evicted_);
+    payload.PutI64(latest_ts_);
+    payload.PutU8(any_ingested_ ? 1 : 0);
+    payload.PutU32(static_cast<uint32_t>(epochs_.size()));
+    for (const Epoch& epoch : epochs_) {
+      payload.PutU8(epoch.sealed ? 1 : 0);
+      payload.PutU32(static_cast<uint32_t>(epoch.records.size()));
+      for (uint32_t d : epoch.records) {
+        const Slot& derived = slots_[d];
+        payload.PutBytes(derived.bytes.data(), derived.bytes.size());
+        payload.PutU32(static_cast<uint32_t>(derived.bwd.size()));
+        for (uint32_t o : derived.bwd) {
+          const Slot& origin = slots_[o];
+          payload.PutBytes(origin.bytes.data(), origin.bytes.size());
+        }
+      }
+    }
+  }
+
+  ByteWriter header;
+  header.PutU32(kSnapshotMagic);
+  header.PutU32(kSnapshotVersion);
+  header.PutU64(payload.size());
+  header.PutU64(Fnv1a(payload.bytes().data(), payload.size()));
+
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    throw std::runtime_error("LineageStore: cannot write snapshot " + tmp);
+  }
+  const bool wrote =
+      std::fwrite(header.bytes().data(), 1, header.size(), f) ==
+          header.size() &&
+      std::fwrite(payload.bytes().data(), 1, payload.size(), f) ==
+          payload.size();
+  const bool flushed = std::fflush(f) == 0;
+  std::fclose(f);
+  if (!wrote || !flushed || std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("LineageStore: snapshot write failed for " +
+                             path);
+  }
+}
+
+uint64_t LineageStore::LoadSnapshot(const std::string& path) {
+  {
+    std::shared_lock lock(mu_);
+    if (any_ingested_) {
+      throw std::logic_error(
+          "LineageStore: LoadSnapshot requires an empty store");
+    }
+  }
+  const std::vector<uint8_t> bytes = ReadFileBytes(path, "lineage snapshot");
+  // magic + version + payload size + checksum
+  constexpr size_t kHeaderBytes = 4 + 4 + 8 + 8;
+  if (bytes.size() < kHeaderBytes) {
+    throw std::runtime_error("LineageStore: snapshot truncated before header");
+  }
+  ByteReader header(bytes);
+  if (header.GetU32() != kSnapshotMagic) {
+    throw std::runtime_error("LineageStore: " + path +
+                             " is not a lineage snapshot (bad magic)");
+  }
+  const uint32_t version = header.GetU32();
+  if (version != kSnapshotVersion) {
+    throw std::runtime_error("LineageStore: unsupported snapshot version " +
+                             std::to_string(version));
+  }
+  const uint64_t payload_size = header.GetU64();
+  const uint64_t checksum = header.GetU64();
+  if (payload_size != header.remaining()) {
+    throw std::runtime_error(
+        "LineageStore: snapshot payload size mismatch (truncated or trailing "
+        "bytes)");
+  }
+  const uint8_t* payload = bytes.data() + (bytes.size() - payload_size);
+  if (Fnv1a(payload, payload_size) != checksum) {
+    throw std::runtime_error("LineageStore: snapshot checksum mismatch");
+  }
+
+  ByteReader r(payload, payload_size);
+  const uint64_t saved_ingested = r.GetU64();
+  const uint64_t saved_retained = r.GetU64();
+  const uint64_t saved_evicted = r.GetU64();
+  const uint64_t saved_epochs_evicted = r.GetU64();
+  const int64_t saved_latest_ts = r.GetI64();
+  const bool saved_any = r.GetU8() != 0;
+  const uint32_t epoch_count = r.GetU32();
+
+  uint64_t restored = 0;
+  for (uint32_t e = 0; e < epoch_count; ++e) {
+    const bool sealed = r.GetU8() != 0;
+    const uint32_t record_count = r.GetU32();
+    if (record_count > r.remaining()) {
+      throw std::runtime_error(
+          "LineageStore: snapshot record count exceeds payload");
+    }
+    for (uint32_t i = 0; i < record_count; ++i) {
+      ProvenanceRecord rec;
+      rec.derived = DeserializeTuple(r);
+      rec.derived_id = rec.derived->id;
+      rec.derived_ts = rec.derived->ts;
+      const uint32_t origin_count = r.GetU32();
+      if (origin_count > r.remaining()) {
+        throw std::runtime_error(
+            "LineageStore: snapshot origin count exceeds payload");
+      }
+      rec.origins.reserve(origin_count);
+      for (uint32_t o = 0; o < origin_count; ++o) {
+        rec.origins.push_back(DeserializeTuple(r));
+      }
+      Ingest(rec);
+      ++restored;
+    }
+    // Preserve the saving store's epoch boundaries: every group but possibly
+    // the last was sealed, and the next group must open a fresh epoch.
+    if (sealed) {
+      std::unique_lock lock(mu_);
+      if (!epochs_.empty()) epochs_.back().sealed = true;
+    }
+  }
+  if (!r.AtEnd()) {
+    throw std::runtime_error("LineageStore: snapshot has trailing bytes");
+  }
+  if (restored != saved_retained) {
+    throw std::runtime_error(
+        "LineageStore: snapshot retained-record count mismatch");
+  }
+
+  // The replay recreated the retained window; the history counters carry over
+  // from the saving store (plus any eviction the replay itself performed
+  // under tighter retention options).
+  std::unique_lock lock(mu_);
+  records_ingested_ = saved_ingested;
+  records_evicted_ += saved_evicted;
+  epochs_evicted_ += saved_epochs_evicted;
+  if (saved_any && (!any_ingested_ || saved_latest_ts > latest_ts_)) {
+    latest_ts_ = saved_latest_ts;
+  }
+  any_ingested_ = any_ingested_ || saved_any;
+  return restored;
+}
+
+uint64_t ReplayProvenanceFile(const std::string& path, LineageStore& store) {
+  const std::vector<uint8_t> bytes = ReadFileBytes(path, "provenance file");
   ByteReader r(bytes);
   uint64_t records = 0;
   while (!r.AtEnd()) {

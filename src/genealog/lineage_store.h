@@ -73,6 +73,24 @@ inline LineageOptions MakeLineageOptions(const EngineOptions& engine) {
   return o;
 }
 
+// Predicate for LineageStore::Select — an event-time-range scan over the
+// interned index, optionally narrowed to one producing node and/or to record
+// roots. Serves both in-process callers and the wire protocol
+// (net/lineage_protocol.h), which is why it is plain data.
+struct LineagePredicate {
+  int64_t min_ts = INT64_MIN;  // inclusive event-time range
+  int64_t max_ts = INT64_MAX;
+  // When set, only tuples produced by this node uid (the high 24 bits of a
+  // tuple id — see Node::NextTupleId) match.
+  bool has_node_uid = false;
+  uint64_t node_uid = 0;
+  // Only record roots (derived/sink tuples heading a provenance record).
+  bool records_only = false;
+  // Truncate the (ts, id)-ordered result to the first `limit` entries
+  // (0 = unlimited).
+  uint64_t limit = 0;
+};
+
 class LineageStore {
  public:
   // A materialized tuple: the interned key fields plus a fresh TuplePtr
@@ -126,6 +144,27 @@ class LineageStore {
 
   // Ids of every retained record's derived tuple, oldest epoch first.
   std::vector<uint64_t> RetainedRecordIds() const;
+
+  // Predicate scan over the retained index: every live interned tuple whose
+  // event time falls in [p.min_ts, p.max_ts], optionally restricted to one
+  // producing node uid and/or to record roots, sorted by (ts, id) and
+  // truncated to p.limit when nonzero.
+  std::vector<Entry> Select(const LineagePredicate& p) const;
+
+  // Persists the retained window to `path`: the snapshot is written to
+  // `path + ".tmp"` and atomically renamed into place, led by a versioned
+  // header (magic, version, payload size, FNV-1a checksum) so a restarted
+  // node can reject torn or corrupted files instead of loading them. Safe to
+  // call while ingestion runs (takes the shared lock, like a query).
+  void SaveSnapshot(const std::string& path) const;
+
+  // Rebuilds a snapshot into this store through the same Ingest path the
+  // live consumer uses, preserving epoch boundaries and the history counters
+  // (records_ingested / evicted) of the saving store. The store must be
+  // empty. Returns the number of records restored. Throws std::runtime_error
+  // on bad magic/version/checksum or structural mismatch and
+  // std::out_of_range on truncation — a corrupt snapshot never half-loads.
+  uint64_t LoadSnapshot(const std::string& path);
 
   Stats stats() const;
   const LineageOptions& options() const { return options_; }

@@ -1,11 +1,28 @@
 #include "metrics/report.h"
 
+#include <algorithm>
+#include <cinttypes>
 #include <cmath>
 #include <cstdio>
 #include <map>
 
+#include "genealog/lineage_service.h"
+#include "net/frame.h"
+
 namespace genealog::metrics {
 namespace {
+
+std::string FmtU64(uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  return buf;
+}
+
+std::string FmtI64(int64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+  return buf;
+}
 
 std::string Fmt(const char* format, double v) {
   char buf[64];
@@ -113,6 +130,66 @@ std::string RenderWireTable(const std::vector<QueryVariantResult>& rows) {
     out += line;
   }
   return out;
+}
+
+std::string RenderCounterTable(const std::string& title,
+                               const std::vector<CounterRow>& rows) {
+  size_t width = 0;
+  for (const auto& row : rows) width = std::max(width, row.label.size());
+  std::string out;
+  out += title + "\n";
+  out += std::string(title.size(), '-') + "\n";
+  char line[256];
+  for (const auto& row : rows) {
+    std::snprintf(line, sizeof(line), "%-*s  %s\n", static_cast<int>(width),
+                  row.label.c_str(), row.value.c_str());
+    out += line;
+  }
+  return out;
+}
+
+std::vector<CounterRow> LineageStatsRows(const LineageStore::Stats& s) {
+  std::vector<CounterRow> rows = {
+      {"records ingested", FmtU64(s.records_ingested)},
+      {"records retained", FmtU64(s.records_retained)},
+      {"records evicted", FmtU64(s.records_evicted)},
+      {"tuples retained", FmtU64(s.tuples_retained)},
+      {"edges retained", FmtU64(s.edges_retained)},
+      {"bytes retained", FmtU64(s.bytes_retained)},
+      {"node uids", FmtU64(s.node_uids)},
+      {"epochs evicted", FmtU64(s.epochs_evicted)},
+  };
+  if (s.min_retained_ts <= s.max_retained_ts) {
+    rows.push_back({"min retained ts", FmtI64(s.min_retained_ts)});
+    rows.push_back({"max retained ts", FmtI64(s.max_retained_ts)});
+  }
+  return rows;
+}
+
+std::vector<CounterRow> WireStatsRows(const WireStats& s) {
+  std::vector<CounterRow> rows = {
+      {"frames", FmtU64(s.frames)},
+      {"raw bytes", FmtU64(s.raw_bytes)},
+      {"encoded bytes", FmtU64(s.encoded_bytes)},
+  };
+  if (s.encoded_bytes > 0) {
+    rows.push_back(
+        {"ratio", Fmt("%.2fx", static_cast<double>(s.raw_bytes) /
+                                   static_cast<double>(s.encoded_bytes))});
+  }
+  return rows;
+}
+
+std::vector<CounterRow> ServeStatsRows(const ServeStats& s) {
+  return {
+      {"connections", FmtU64(s.connections)},
+      {"requests", FmtU64(s.requests)},
+      {"errors", FmtU64(s.errors)},
+      {"bytes received", FmtU64(s.bytes_received)},
+      {"bytes sent", FmtU64(s.bytes_sent)},
+      {"latency p50 (us)", Fmt("%.1f", s.latency_p50_us)},
+      {"latency p99 (us)", Fmt("%.1f", s.latency_p99_us)},
+  };
 }
 
 }  // namespace genealog::metrics

@@ -11,6 +11,13 @@
 #include <string>
 #include <vector>
 
+#include "genealog/lineage_store.h"
+
+namespace genealog {
+struct ServeStats;  // genealog/lineage_service.h
+struct WireStats;   // net/frame.h
+}  // namespace genealog
+
 namespace genealog::metrics {
 
 // One experiment cell, averaged over repetitions.
@@ -61,6 +68,26 @@ std::string RenderWireTable(const std::vector<QueryVariantResult>& rows);
 // Helper: percentage delta string like "-3.7%" (empty for the reference row).
 std::string FormatDelta(double value, std::optional<double> reference,
                         bool higher_is_worse);
+
+// --- counter tables ---------------------------------------------------------
+// The one rendering idiom for the engine's counter bundles — lineage-store
+// stats, wire-codec accounting and the lineage service's ServeStats all go
+// through RenderCounterTable instead of each growing its own printf block.
+// Values are preformatted strings so every caller controls its own units.
+
+struct CounterRow {
+  std::string label;
+  std::string value;
+};
+
+// Renders `rows` as an aligned two-column block under `title`.
+std::string RenderCounterTable(const std::string& title,
+                               const std::vector<CounterRow>& rows);
+
+// Row builders for the shared renderer.
+std::vector<CounterRow> LineageStatsRows(const LineageStore::Stats& s);
+std::vector<CounterRow> WireStatsRows(const WireStats& s);
+std::vector<CounterRow> ServeStatsRows(const ServeStats& s);
 
 }  // namespace genealog::metrics
 

@@ -23,6 +23,29 @@ constexpr uint64_t kSeqMask = (uint64_t{1} << kSeqBits) - 1;
 constexpr uint64_t kRawTupleHeaderBytes = 28;
 constexpr uint64_t kRawWatermarkFrameBytes = 9;  // kind byte + i64
 
+uint64_t ZigzagEncode(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+}
+
+int64_t ZigzagDecode(uint64_t v) {
+  return static_cast<int64_t>(v >> 1) ^ -static_cast<int64_t>(v & 1);
+}
+
+TupleKind WireKind(const Tuple& t, bool remotify) {
+  if (!remotify) return t.kind;
+  return t.kind == TupleKind::kSource ? TupleKind::kSource : TupleKind::kRemote;
+}
+
+// Compact frame header flags.
+constexpr uint8_t kFlagCompressed = 0x1;
+constexpr uint8_t kFlagHasWatermark = 0x2;
+
+// Guard against hostile declared sizes before allocating (matches the TCP
+// transport's frame bound).
+constexpr uint64_t kMaxDeclaredBytes = 64ull << 20;
+
+}  // namespace
+
 void PutVarint(ByteWriter& w, uint64_t v) {
   while (v >= 0x80) {
     w.PutU8(static_cast<uint8_t>(v) | 0x80);
@@ -53,32 +76,9 @@ uint64_t GetVarint(ByteReader& r) {
   throw std::runtime_error("varint longer than 10 bytes");
 }
 
-uint64_t ZigzagEncode(int64_t v) {
-  return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
-}
-
-int64_t ZigzagDecode(uint64_t v) {
-  return static_cast<int64_t>(v >> 1) ^ -static_cast<int64_t>(v & 1);
-}
-
 void PutZigzag(ByteWriter& w, int64_t v) { PutVarint(w, ZigzagEncode(v)); }
 
 int64_t GetZigzag(ByteReader& r) { return ZigzagDecode(GetVarint(r)); }
-
-TupleKind WireKind(const Tuple& t, bool remotify) {
-  if (!remotify) return t.kind;
-  return t.kind == TupleKind::kSource ? TupleKind::kSource : TupleKind::kRemote;
-}
-
-// Compact frame header flags.
-constexpr uint8_t kFlagCompressed = 0x1;
-constexpr uint8_t kFlagHasWatermark = 0x2;
-
-// Guard against hostile declared sizes before allocating (matches the TCP
-// transport's frame bound).
-constexpr uint64_t kMaxDeclaredBytes = 64ull << 20;
-
-}  // namespace
 
 const char* FrameKindName(uint8_t kind) {
   switch (static_cast<FrameKind>(kind)) {

@@ -42,9 +42,22 @@
 #include <vector>
 
 #include "common/engine_options.h"
+#include "common/serialize.h"
 #include "core/type_registry.h"
 
 namespace genealog {
+
+// --- varint primitives ------------------------------------------------------
+
+// The LEB128-style varint/zigzag encoders the compact codec is built on,
+// shared with the lineage request/response protocol (net/lineage_protocol.h).
+// GetVarint throws std::runtime_error on encodings longer than 10 bytes or
+// overflowing 64 bits; truncation surfaces as ByteReader's std::out_of_range.
+void PutVarint(ByteWriter& w, uint64_t v);
+size_t VarintSize(uint64_t v);
+uint64_t GetVarint(ByteReader& r);
+void PutZigzag(ByteWriter& w, int64_t v);
+int64_t GetZigzag(ByteReader& r);
 
 enum class FrameKind : uint8_t {
   kTuple = 1,

@@ -20,6 +20,7 @@
 #include "baseline/resolver.h"
 #include "common/engine_options.h"
 #include "genealog/lineage_query.h"
+#include "genealog/lineage_service.h"
 #include "genealog/lineage_store.h"
 #include "genealog/mu.h"
 #include "genealog/provenance_sink.h"
@@ -84,6 +85,11 @@ struct BuiltQuery {
   // Live lineage index (GL with EngineOptions::lineage_store only); fed by
   // the provenance sink, shared with LineageQuery handles.
   std::shared_ptr<LineageStore> lineage_store;
+
+  // Remote serving endpoint over the store (lineage_serve_addr non-empty):
+  // started before Run() and kept alive with the query, so a remote console
+  // can ask while the topology executes and after it drains.
+  std::shared_ptr<LineageService> lineage_service;
 
   // Sum of the stateful window sizes (the MU join window / resolver slack).
   int64_t total_window_span = 0;

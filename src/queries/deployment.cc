@@ -223,8 +223,10 @@ BuiltQuery Assemble(const QuerySpec& spec, QueryBuildOptions options) {
   q.total_window_span = spec.total_window_span;
   // The live lineage index is created before assembly so the provenance sink
   // can be handed its pointer; GL only (BL records resolve through the
-  // resolver path, NP records nothing).
-  if (q.options.mode == ProvenanceMode::kGenealog && q.options.lineage_store) {
+  // resolver path, NP records nothing). A serve address implies the store —
+  // there is nothing to serve without one.
+  if (q.options.mode == ProvenanceMode::kGenealog &&
+      (q.options.lineage_store || !q.options.lineage_serve_addr.empty())) {
     q.lineage_store =
         std::make_shared<LineageStore>(MakeLineageOptions(q.options.engine()));
   }
@@ -232,6 +234,13 @@ BuiltQuery Assemble(const QuerySpec& spec, QueryBuildOptions options) {
     AssembleDistributed(spec, q);
   } else {
     AssembleIntra(spec, q);
+  }
+  // Remote lineage serving rides on the store: bind the endpoint before the
+  // caller runs the query so a console can attach from the first record.
+  if (q.lineage_store != nullptr && !q.options.lineage_serve_addr.empty()) {
+    q.lineage_service = std::make_shared<LineageService>(
+        q.lineage_store, ParseServeAddr(q.options.lineage_serve_addr));
+    q.lineage_service->Start();
   }
   return q;
 }

@@ -52,6 +52,7 @@
 #include "common/engine_options.h"
 #include "core/instrumentation.h"
 #include "genealog/lineage_query.h"
+#include "genealog/lineage_service.h"
 #include "genealog/provenance_record.h"
 #include "net/channel.h"
 #include "net/send_receive.h"
@@ -167,6 +168,11 @@ struct BuiltDataflow {
   // Live lineage index (GL with EngineOptions::lineage_store only); fed by
   // the provenance sink, shared with LineageQuery handles.
   std::shared_ptr<LineageStore> lineage_store;
+
+  // Remote serving endpoint over the store (lineage_serve_addr non-empty):
+  // started at Build() and kept alive with the dataflow, so a remote console
+  // can ask while the topology executes and after it drains.
+  std::shared_ptr<LineageService> lineage_service;
 
   int n_instances = 1;
   // Sum of the plan's stateful window spans (provenance finalize slack).

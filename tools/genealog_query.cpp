@@ -3,17 +3,22 @@
 // generated workload, and report alerts, provenance, and run metrics.
 // All lineage output is served through the library's LineageQuery API
 // (genealog/lineage_query.h) — live runs query the store the topology
-// maintains online, and --replay-provenance rebuilds the same store from a
-// provenance file written by an earlier run, with no query run at all.
+// maintains online, and --replay-provenance / --load-snapshot rebuild the
+// same store offline, with no query run at all. With --serve the store is
+// additionally published over TCP (genealog/lineage_service.h), and
+// --connect turns the tool into the matching remote console: every lineage
+// flag below works identically against a live handle or a LineageClient.
 //
 //   genealog_query --query q2 --mode gl --print-provenance
 //   genealog_query --query q3 --mode bl --distributed --tcp
 //   genealog_query --query q1 --mode gl --provenance-file prov.bin --replays 5
 //   genealog_query --replay-provenance prov.bin --lineage-stats \
 //       --contributors 0x1000000000a
+//   genealog_query --query q1 --mode gl --serve 127.0.0.1:7841 --allow-shutdown
+//   genealog_query --connect 127.0.0.1:7841 --lineage-stats --shutdown
 //
 // Flags:
-//   --query q1|q2|q3|q4      (required unless --replay-provenance)
+//   --query q1|q2|q3|q4      (required unless offline/connect mode)
 //   --mode np|gl|bl          (default gl)
 //   --distributed            3-instance deployment (Figures 7/9C/10C/11C)
 //   --tcp                    TCP loopback channels (with --distributed)
@@ -28,12 +33,29 @@
 //   --print-provenance       print every retained record's lineage (GL)
 //   --replay-provenance PATH offline: load PATH into a LineageStore and serve
 //                            the lineage flags below without running a query
+//   --load-snapshot PATH     offline: restore a LineageStore snapshot written
+//                            by --save-snapshot and serve the lineage flags
+//   --save-snapshot PATH     persist the store (live, replayed or restored)
+//                            as an atomic, checksummed snapshot
+//   --serve ADDR:PORT        publish the store over TCP while the query runs
+//                            (live mode) or after the offline rebuild; blocks
+//                            until Ctrl-C or a remote shutdown
+//   --allow-shutdown         let a remote client stop the service (--serve)
+//   --connect ADDR:PORT      remote console: serve the lineage flags through
+//                            a LineageClient instead of a local store
+//   --shutdown               after serving the flags, ask the remote service
+//                            to stop (--connect; server needs --allow-shutdown)
 //   --contributors ID        backward closure of tuple ID (repeatable)
 //   --derived-from ID        forward closure of tuple ID (repeatable)
 //   --expand ID:K            K-hop neighborhood of tuple ID (repeatable)
+//   --select MIN:MAX         event-time-range scan (either side may be empty)
+//   --node-uid UID           restrict --select to tuples of one node uid
+//   --records-only           restrict --select to derived record heads
+//   --limit N                cap --select results (0 = unlimited)
 //   --lineage-stats          print LineageStore retention/eviction counters
 //   --retain-records N       lineage retention bound (0 = unbounded)
 //   --retain-span T          lineage event-time horizon (0 = none)
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -42,7 +64,9 @@
 #include <vector>
 
 #include "genealog/lineage_query.h"
+#include "genealog/lineage_service.h"
 #include "genealog/lineage_store.h"
+#include "metrics/report.h"
 #include "queries/queries.h"
 
 namespace {
@@ -71,16 +95,24 @@ struct CliOptions {
   bool print_alerts = false;
   bool print_provenance = false;
   std::string replay_provenance;
+  std::string load_snapshot;
+  std::string save_snapshot;
+  std::string serve;
+  bool allow_shutdown = false;
+  std::string connect_addr;
+  bool shutdown = false;
   std::vector<uint64_t> contributors;
   std::vector<uint64_t> derived_from;
   std::vector<ExpandRequest> expands;
+  bool has_select = false;
+  LineagePredicate predicate;
   bool lineage_stats = false;
   size_t retain_records = 0;  // 0 = library default
   int64_t retain_span = 0;
 
   bool WantsLineage() const {
-    return print_provenance || lineage_stats || !contributors.empty() ||
-           !derived_from.empty() || !expands.empty();
+    return print_provenance || lineage_stats || has_select ||
+           !contributors.empty() || !derived_from.empty() || !expands.empty();
   }
 };
 
@@ -90,12 +122,17 @@ struct CliOptions {
                "[--distributed] [--tcp] [--composed] [--replays N] "
                "[--rate TPS] [--cars N] [--meters N] [--duration S] "
                "[--days D] [--seed S] [--provenance-file PATH] "
-               "[--print-alerts] [--print-provenance]\n"
-               "       %s --replay-provenance PATH [lineage flags]\n"
+               "[--print-alerts] [--print-provenance] "
+               "[--serve ADDR:PORT [--allow-shutdown]] [lineage flags]\n"
+               "       %s --replay-provenance PATH [--serve ...] "
+               "[lineage flags]\n"
+               "       %s --load-snapshot PATH [--serve ...] [lineage flags]\n"
+               "       %s --connect ADDR:PORT [--shutdown] [lineage flags]\n"
                "lineage flags: [--contributors ID] [--derived-from ID] "
-               "[--expand ID:K] [--lineage-stats] [--retain-records N] "
-               "[--retain-span T]\n",
-               argv0, argv0);
+               "[--expand ID:K] [--select MIN:MAX] [--node-uid UID] "
+               "[--records-only] [--limit N] [--lineage-stats] "
+               "[--save-snapshot PATH] [--retain-records N] [--retain-span T]\n",
+               argv0, argv0, argv0, argv0);
   std::exit(2);
 }
 
@@ -104,6 +141,15 @@ uint64_t ParseId(const char* s, const char* argv0) {
   const uint64_t id = std::strtoull(s, &end, 0);  // base 0: decimal or 0x...
   if (end == s || *end != '\0') Usage(argv0);
   return id;
+}
+
+int64_t ParseTsBound(const std::string& s, int64_t open_bound,
+                     const char* argv0) {
+  if (s.empty()) return open_bound;  // "100:" / ":200" leave one side open
+  char* end = nullptr;
+  const long long v = std::strtoll(s.c_str(), &end, 10);
+  if (end == s.c_str() || *end != '\0') Usage(argv0);
+  return v;
 }
 
 CliOptions ParseArgs(int argc, char** argv) {
@@ -155,6 +201,18 @@ CliOptions ParseArgs(int argc, char** argv) {
       options.print_provenance = true;
     } else if (arg == "--replay-provenance") {
       options.replay_provenance = next_value(i);
+    } else if (arg == "--load-snapshot") {
+      options.load_snapshot = next_value(i);
+    } else if (arg == "--save-snapshot") {
+      options.save_snapshot = next_value(i);
+    } else if (arg == "--serve") {
+      options.serve = next_value(i);
+    } else if (arg == "--allow-shutdown") {
+      options.allow_shutdown = true;
+    } else if (arg == "--connect") {
+      options.connect_addr = next_value(i);
+    } else if (arg == "--shutdown") {
+      options.shutdown = true;
     } else if (arg == "--contributors") {
       options.contributors.push_back(ParseId(next_value(i), argv[0]));
     } else if (arg == "--derived-from") {
@@ -166,6 +224,22 @@ CliOptions ParseArgs(int argc, char** argv) {
       options.expands.push_back(
           {ParseId(value.substr(0, colon).c_str(), argv[0]),
            std::atoi(value.c_str() + colon + 1)});
+    } else if (arg == "--select") {
+      const std::string value = next_value(i);
+      const size_t colon = value.find(':');
+      if (colon == std::string::npos) Usage(argv[0]);
+      options.has_select = true;
+      options.predicate.min_ts =
+          ParseTsBound(value.substr(0, colon), INT64_MIN, argv[0]);
+      options.predicate.max_ts =
+          ParseTsBound(value.substr(colon + 1), INT64_MAX, argv[0]);
+    } else if (arg == "--node-uid") {
+      options.predicate.has_node_uid = true;
+      options.predicate.node_uid = ParseId(next_value(i), argv[0]);
+    } else if (arg == "--records-only") {
+      options.predicate.records_only = true;
+    } else if (arg == "--limit") {
+      options.predicate.limit = std::strtoull(next_value(i), nullptr, 10);
     } else if (arg == "--lineage-stats") {
       options.lineage_stats = true;
     } else if (arg == "--retain-records") {
@@ -177,8 +251,22 @@ CliOptions ParseArgs(int argc, char** argv) {
       Usage(argv[0]);
     }
   }
-  if (!options.replay_provenance.empty()) {
-    if (!options.query.empty()) Usage(argv[0]);
+  if (!options.connect_addr.empty()) {
+    // Remote console: every local-store mode is mutually exclusive.
+    if (!options.query.empty() || !options.replay_provenance.empty() ||
+        !options.load_snapshot.empty() || !options.serve.empty() ||
+        !options.save_snapshot.empty()) {
+      Usage(argv[0]);
+    }
+    return options;
+  }
+  if (options.shutdown) Usage(argv[0]);  // --shutdown needs --connect
+  if (!options.replay_provenance.empty() || !options.load_snapshot.empty()) {
+    if (!options.query.empty() ||
+        (!options.replay_provenance.empty() &&
+         !options.load_snapshot.empty())) {
+      Usage(argv[0]);
+    }
     return options;
   }
   if (options.query != "q1" && options.query != "q2" && options.query != "q3" &&
@@ -188,16 +276,19 @@ CliOptions ParseArgs(int argc, char** argv) {
   return options;
 }
 
-void PrintEntry(const char* prefix, const LineageQuery::Entry& entry) {
+void PrintEntry(const char* prefix, const LineageStore::Entry& entry) {
   std::printf("%sid=0x%llx ts=%lld %s %s\n", prefix,
               static_cast<unsigned long long>(entry.id),
               static_cast<long long>(entry.ts), entry.tuple->type_name(),
               entry.tuple->DebugPayload().c_str());
 }
 
-// Serves every requested lineage flag through the LineageQuery handle —
-// identical behavior whether the store was fed live or replayed from a file.
-void ServeLineage(const LineageQuery& lineage, const CliOptions& cli) {
+// Serves every requested lineage flag through a LineageQuery handle or a
+// LineageClient — the two expose the same method surface, so the console
+// behaves identically whether the store is local (live, replayed, restored)
+// or behind --connect.
+template <typename Lineage>
+void ServeLineage(Lineage& lineage, const CliOptions& cli) {
   if (cli.print_provenance) {
     for (const uint64_t id : lineage.RetainedRecordIds()) {
       const auto derived = lineage.Lookup(id);
@@ -228,22 +319,22 @@ void ServeLineage(const LineageQuery& lineage, const CliOptions& cli) {
                 entries.size());
     for (const auto& e : entries) PrintEntry("  <-> ", e);
   }
+  if (cli.has_select) {
+    const auto entries = lineage.Select(cli.predicate);
+    const LineagePredicate& p = cli.predicate;
+    std::printf("SELECT ts=[%lld, %lld]%s%s (%zu)\n",
+                static_cast<long long>(p.min_ts),
+                static_cast<long long>(p.max_ts),
+                p.has_node_uid ? " node-filtered" : "",
+                p.records_only ? " records-only" : "", entries.size());
+    for (const auto& e : entries) PrintEntry("  * ", e);
+  }
   if (cli.lineage_stats) {
-    const LineageStore::Stats s = lineage.Stats();
-    std::printf(
-        "lineage store     %llu/%llu records retained (%llu evicted in %llu "
-        "epochs), %llu tuples, %llu edges, %llu bytes, %llu node uids, "
-        "ts span [%lld, %lld]\n",
-        static_cast<unsigned long long>(s.records_retained),
-        static_cast<unsigned long long>(s.records_ingested),
-        static_cast<unsigned long long>(s.records_evicted),
-        static_cast<unsigned long long>(s.epochs_evicted),
-        static_cast<unsigned long long>(s.tuples_retained),
-        static_cast<unsigned long long>(s.edges_retained),
-        static_cast<unsigned long long>(s.bytes_retained),
-        static_cast<unsigned long long>(s.node_uids),
-        static_cast<long long>(s.min_retained_ts),
-        static_cast<long long>(s.max_retained_ts));
+    std::fputs(metrics::RenderCounterTable("lineage store",
+                                           metrics::LineageStatsRows(
+                                               lineage.Stats()))
+                   .c_str(),
+               stdout);
   }
 }
 
@@ -254,15 +345,72 @@ LineageOptions RetentionFromCli(const CliOptions& cli) {
   return lo;
 }
 
-// Offline mode: no query run — rebuild the store from a provenance file an
-// earlier run wrote and serve the same lineage flags against it.
-int ReplayAndServe(const CliOptions& cli) {
+std::shared_ptr<LineageService> StartService(
+    std::shared_ptr<const LineageStore> store, const CliOptions& cli) {
+  LineageServiceOptions so = ParseServeAddr(cli.serve);
+  so.allow_remote_shutdown = cli.allow_shutdown;
+  auto service = std::make_shared<LineageService>(std::move(store), so);
+  service->Start();
+  std::printf("lineage service listening on %s%s\n",
+              service->address().c_str(),
+              cli.allow_shutdown ? " (remote shutdown enabled)" : "");
+  std::fflush(stdout);
+  return service;
+}
+
+// Blocks until Ctrl-C or an honored remote shutdown, then prints the serve
+// counters.
+void WaitAndReport(LineageService& service) {
+  service.Wait();
+  service.Stop();
+  std::fputs(metrics::RenderCounterTable("lineage service",
+                                         metrics::ServeStatsRows(
+                                             service.stats()))
+                 .c_str(),
+             stdout);
+}
+
+void MaybeSaveSnapshot(const LineageStore& store, const CliOptions& cli) {
+  if (cli.save_snapshot.empty()) return;
+  store.SaveSnapshot(cli.save_snapshot);
+  std::printf("snapshot saved to %s\n", cli.save_snapshot.c_str());
+}
+
+// Remote console: serve the lineage flags through a LineageClient.
+int ConnectAndServe(const CliOptions& cli) {
+  LineageClient client(cli.connect_addr);
+  std::printf("connected to %s (server generation %u)\n\n",
+              cli.connect_addr.c_str(), client.server_generation());
+  ServeLineage(client, cli);
+  if (cli.shutdown) {
+    client.Shutdown();
+    std::printf("remote shutdown requested\n");
+  }
+  return 0;
+}
+
+// Offline modes: no query run — rebuild the store from a provenance file or
+// a snapshot and serve the same lineage flags (and optionally the network
+// endpoint) against it.
+int RebuildAndServe(const CliOptions& cli) {
   auto store = std::make_shared<LineageStore>(RetentionFromCli(cli));
-  const uint64_t n = ReplayProvenanceFile(cli.replay_provenance, *store);
-  std::printf("replayed %llu records from %s\n\n",
-              static_cast<unsigned long long>(n),
-              cli.replay_provenance.c_str());
-  ServeLineage(LineageQuery(store), cli);
+  if (!cli.load_snapshot.empty()) {
+    const uint64_t n = store->LoadSnapshot(cli.load_snapshot);
+    std::printf("restored %llu records from snapshot %s\n\n",
+                static_cast<unsigned long long>(n), cli.load_snapshot.c_str());
+  } else {
+    const uint64_t n = ReplayProvenanceFile(cli.replay_provenance, *store);
+    std::printf("replayed %llu records from %s\n\n",
+                static_cast<unsigned long long>(n),
+                cli.replay_provenance.c_str());
+  }
+  MaybeSaveSnapshot(*store, cli);
+  LineageQuery lineage(store);
+  ServeLineage(lineage, cli);
+  if (!cli.serve.empty()) {
+    auto service = StartService(store, cli);
+    WaitAndReport(*service);
+  }
   return 0;
 }
 
@@ -270,7 +418,15 @@ int ReplayAndServe(const CliOptions& cli) {
 
 int main(int argc, char** argv) {
   const CliOptions cli = ParseArgs(argc, argv);
-  if (!cli.replay_provenance.empty()) return ReplayAndServe(cli);
+  try {
+    if (!cli.connect_addr.empty()) return ConnectAndServe(cli);
+    if (!cli.replay_provenance.empty() || !cli.load_snapshot.empty()) {
+      return RebuildAndServe(cli);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
   const bool is_lr = cli.query == "q1" || cli.query == "q2";
 
   queries::QueryBuildOptions options;
@@ -281,7 +437,7 @@ int main(int argc, char** argv) {
   options.provenance_file = cli.provenance_file;
   options.source.replays = cli.replays;
   options.source.max_rate_tps = cli.rate;
-  if (cli.WantsLineage()) {
+  if (cli.WantsLineage() || !cli.serve.empty() || !cli.save_snapshot.empty()) {
     if (cli.mode != ProvenanceMode::kGenealog) {
       std::fprintf(stderr, "lineage flags require --mode gl\n");
       return 2;
@@ -330,6 +486,16 @@ int main(int argc, char** argv) {
                              : queries::BuildQ4(data, std::move(options));
   }();
 
+  // Serving starts before Run(): a remote console can attach and query while
+  // the topology executes (the normal GeneaLog live-query story).
+  std::shared_ptr<LineageService> service;
+  try {
+    if (!cli.serve.empty()) service = StartService(query.lineage_store, cli);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+
   std::printf("running %s mode=%s deployment=%s...\n\n", cli.query.c_str(),
               ToString(cli.mode),
               cli.distributed ? (cli.tcp ? "distributed/tcp" : "distributed")
@@ -337,7 +503,16 @@ int main(int argc, char** argv) {
   query.Run();
 
   if (cli.WantsLineage()) {
-    ServeLineage(query.lineage(), cli);
+    LineageQuery lineage = query.lineage();
+    ServeLineage(lineage, cli);
+  }
+  if (query.lineage_store != nullptr) {
+    try {
+      MaybeSaveSnapshot(*query.lineage_store, cli);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 1;
+    }
   }
 
   const double seconds =
@@ -379,6 +554,15 @@ int main(int argc, char** argv) {
     std::printf("traversal (%s, instance %d): %.4f ms avg over %llu graphs\n",
                 su->name().c_str(), su->instance_id(), su->mean_traversal_ms(),
                 static_cast<unsigned long long>(su->traversal_count()));
+  }
+
+  // Keep serving after the run drains: the store outlives the topology, so a
+  // console can still walk the retained lineage.
+  if (service != nullptr) {
+    std::printf("\nquery drained; still serving lineage on %s\n",
+                service->address().c_str());
+    std::fflush(stdout);
+    WaitAndReport(*service);
   }
   return 0;
 }
